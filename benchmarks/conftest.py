@@ -1,0 +1,62 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs the
+corresponding experiment on the simulated substrate, prints the same rows /
+series the paper reports (so the shape can be compared by eye), and uses
+``pytest-benchmark`` to time the analysis step itself.
+
+Set ``PASTA_BENCH_FULL=1`` to run every workload at the paper's batch sizes;
+by default a reduced batch size is used so the whole harness completes in a
+couple of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import pytest
+
+from repro.dlframework.models import MODEL_ABBREVIATIONS, PAPER_MODELS
+
+#: Reduced batch size used unless PASTA_BENCH_FULL is set.
+FAST_BATCH_SIZE: Optional[int] = 2
+
+
+def bench_batch_size() -> Optional[int]:
+    """Batch size override for benchmark workloads (None = paper batch size)."""
+    if os.environ.get("PASTA_BENCH_FULL"):
+        return None
+    return FAST_BATCH_SIZE
+
+
+def model_label(name: str) -> str:
+    """The abbreviation used in the paper's figures (Table IV)."""
+    return MODEL_ABBREVIATIONS.get(name, name)
+
+
+def print_header(title: str) -> None:
+    """Print a figure/table header in the benchmark output."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_row(*columns: object, widths: tuple[int, ...] = ()) -> None:
+    """Print one aligned row of a result table."""
+    if not widths:
+        widths = tuple(18 for _ in columns)
+    cells = []
+    for value, width in zip(columns, widths):
+        if isinstance(value, float):
+            cells.append(f"{value:>{width}.3f}")
+        else:
+            cells.append(f"{str(value):>{width}}")
+    print(" ".join(cells))
+
+
+@pytest.fixture(scope="session")
+def paper_models() -> tuple[str, ...]:
+    """The six evaluation models of Table IV."""
+    return PAPER_MODELS

@@ -1,0 +1,117 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Two ablations:
+
+* **Trace-buffer size** — the CPU-side analysis model stalls the GPU every time
+  the device trace buffer fills; larger buffers reduce flush rounds but cannot
+  remove the transfer/analysis cost, while PASTA's GPU-resident model is
+  insensitive to buffer size (it never ships raw records).
+* **Instrumentation coverage** — NVBit's all-SASS instrumentation versus
+  Compute Sanitizer's memory-only patching, isolating the cost of record-volume
+  inflation plus SASS dump/parse from the analysis-placement decision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_batch_size, print_header, print_row
+from repro.gpusim.costmodel import CostModelConfig, InstrumentationBackend, OverheadModel
+from repro.gpusim.device import A100
+from repro.gpusim.trace import AnalysisModel, TRACE_RECORD_BYTES, TraceBuffer
+from repro.tools import WorkloadProfile
+from repro.workloads import run_workload
+
+MiB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def bert_profile():
+    profile = WorkloadProfile()
+    run_workload("bert", device="a100", tools=[profile], batch_size=bench_batch_size())
+    return profile
+
+
+def test_ablation_trace_buffer_size(benchmark, bert_profile):
+    """Flush rounds vs buffer size for the CPU-side model (Figure 2a's stall source)."""
+    total_records = bert_profile.total_accesses()
+    sizes = [1 * MiB, 4 * MiB, 16 * MiB, 64 * MiB]
+
+    def evaluate():
+        return {
+            size: TraceBuffer(capacity_bytes=size).collect(total_records, AnalysisModel.CPU_SIDE)
+            for size in sizes
+        }
+
+    stats = benchmark(evaluate)
+
+    print_header("Ablation — device trace-buffer size (CPU-side analysis, BERT)")
+    print_row("buffer MB", "flush rounds", "transferred MB", widths=(10, 14, 16))
+    for size, stat in stats.items():
+        print_row(size // MiB, stat.flush_rounds, stat.transferred_bytes / MiB,
+                  widths=(10, 14, 16))
+    gpu_stat = TraceBuffer(capacity_bytes=4 * MiB).collect(total_records, AnalysisModel.GPU_RESIDENT)
+    print(f"GPU-resident model: 0 flush rounds, {gpu_stat.transferred_bytes / 1024:.0f} KB transferred")
+
+    rounds = [stat.flush_rounds for stat in stats.values()]
+    assert rounds == sorted(rounds, reverse=True)
+    transferred = {stat.transferred_bytes for stat in stats.values()}
+    assert len(transferred) == 1  # transfer volume is independent of buffer size
+    assert gpu_stat.flush_rounds == 0
+
+
+def test_ablation_instrumentation_coverage(benchmark, bert_profile):
+    """Cost of all-SASS (NVBit) vs memory-only (Sanitizer) instrumentation."""
+    model = OverheadModel(A100)
+    launches = bert_profile.launches
+
+    def evaluate():
+        return {
+            "sanitizer_gpu": model.workload_cost(launches, AnalysisModel.GPU_RESIDENT,
+                                                 InstrumentationBackend.COMPUTE_SANITIZER),
+            "sanitizer_cpu": model.workload_cost(launches, AnalysisModel.CPU_SIDE,
+                                                 InstrumentationBackend.COMPUTE_SANITIZER),
+            "nvbit_cpu": model.workload_cost(launches, AnalysisModel.CPU_SIDE,
+                                             InstrumentationBackend.NVBIT),
+            "nvbit_gpu": model.workload_cost(launches, AnalysisModel.GPU_RESIDENT,
+                                             InstrumentationBackend.NVBIT),
+        }
+
+    costs = benchmark(evaluate)
+
+    print_header("Ablation — instrumentation coverage x analysis placement (BERT, A100)")
+    print_row("configuration", "normalised overhead", widths=(18, 22))
+    for name, cost in costs.items():
+        print_row(name, cost.normalized_overhead(), widths=(18, 22))
+
+    # Coverage and placement compose multiplicatively: NVBit inflates every
+    # configuration, and CPU-side analysis inflates every backend.
+    assert costs["nvbit_cpu"].overhead_ns > costs["sanitizer_cpu"].overhead_ns
+    assert costs["nvbit_gpu"].overhead_ns > costs["sanitizer_gpu"].overhead_ns
+    assert costs["sanitizer_cpu"].overhead_ns > costs["sanitizer_gpu"].overhead_ns
+    assert costs["nvbit_cpu"].overhead_ns == max(c.overhead_ns for c in costs.values())
+
+
+def test_ablation_gpu_analysis_lane_count(benchmark, bert_profile):
+    """Sensitivity of the GPU-resident analysis to the number of analysis lanes."""
+    launches = bert_profile.launches
+    lane_settings = [1, 8, 32, 128]
+
+    def evaluate():
+        out = {}
+        for lanes in lane_settings:
+            config = CostModelConfig(analysis_lanes_per_sm=lanes)
+            out[lanes] = OverheadModel(A100, config).workload_cost(
+                launches, AnalysisModel.GPU_RESIDENT
+            )
+        return out
+
+    costs = benchmark(evaluate)
+
+    print_header("Ablation — GPU analysis lanes per SM (BERT, A100, GPU-resident)")
+    print_row("lanes/SM", "normalised overhead", widths=(10, 22))
+    for lanes, cost in costs.items():
+        print_row(lanes, cost.normalized_overhead(), widths=(10, 22))
+
+    overheads = [costs[lanes].overhead_ns for lanes in lane_settings]
+    assert overheads == sorted(overheads, reverse=True)

@@ -1,0 +1,65 @@
+"""Figure 10: breakdown of profiling time into execution / collection / transfer / analysis.
+
+For each model, device and analysis variant, prints the fraction of total
+profiled time spent in each component.  The expected shape: CPU-side variants
+are dominated by (single-threaded) trace analysis; the GPU-resident variant is
+dominated by fused collection+analysis, whose absolute time is far smaller
+(Figure 9).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_batch_size, model_label, print_header, print_row
+from repro.gpusim.device import A100, RTX3060
+from repro.tools import OverheadComparison, WorkloadProfile
+from repro.workloads import run_workload
+
+DEVICES = {"A100": A100, "3060": RTX3060}
+
+
+@pytest.fixture(scope="module")
+def workload_profiles(paper_models):
+    profiles = {}
+    for name in paper_models:
+        profile = WorkloadProfile()
+        run_workload(name, device="a100", tools=[profile], batch_size=bench_batch_size())
+        profiles[name] = profile
+    return profiles
+
+
+def test_figure10_breakdown(benchmark, workload_profiles):
+    comparison = OverheadComparison()
+
+    def evaluate():
+        out = {}
+        for device_tag, spec in DEVICES.items():
+            for name, profile in workload_profiles.items():
+                rows = comparison.evaluate(profile.launches, spec)
+                out[(device_tag, name)] = {
+                    variant: row.fractions for variant, row in rows.items()
+                }
+        return out
+
+    fractions = benchmark(evaluate)
+
+    print_header("Figure 10 — breakdown of profiling time (fraction of total)")
+    print_row("device", "model", "variant", "execution", "collection", "transfer",
+              "analysis", widths=(7, 9, 11, 10, 11, 9, 9))
+    for (device_tag, name), variants in fractions.items():
+        for variant, parts in variants.items():
+            print_row(device_tag, model_label(name), variant, parts["execution"],
+                      parts["collection"], parts["transfer"], parts["analysis"],
+                      widths=(7, 9, 11, 10, 11, 9, 9))
+
+    for (_device, _name), variants in fractions.items():
+        assert variants["CS-CPU"]["analysis"] > 0.5
+        assert variants["NVBIT-CPU"]["analysis"] > 0.5
+        # Collection and analysis are fused on the device in the GPU-resident
+        # variant; the separate analysis term is therefore zero and collection
+        # dominates the (much smaller) total.
+        assert variants["CS-GPU"]["analysis"] == 0.0
+        assert variants["CS-GPU"]["collection"] > variants["CS-GPU"]["transfer"]
+        total = sum(variants["CS-GPU"].values())
+        assert total == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,46 @@
+"""Figure 13: time-series memory-access hotness of BERT inference.
+
+Builds the 2 MB-block x time-window hotness matrix for BERT inference,
+identifies long-lived hot blocks (prefetch/pin candidates) and short-lived
+bursty blocks (proactive-eviction candidates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_batch_size, print_header
+from repro.tools import TimeSeriesHotnessTool
+from repro.workloads import run_workload
+
+
+def test_figure13_bert_hotness(benchmark):
+    hotness = TimeSeriesHotnessTool(kernels_per_window=10)
+    run_workload("bert", device="a100", mode="inference", tools=[hotness],
+                 batch_size=bench_batch_size())
+
+    blocks, matrix = benchmark(hotness.hotness_matrix)
+
+    classes = hotness.classify_blocks()
+    by_kind: dict[str, int] = {}
+    for c in classes:
+        by_kind[c.kind] = by_kind.get(c.kind, 0) + 1
+
+    print_header("Figure 13 — memory access hotness of BERT inference over time")
+    print(f"2 MB blocks observed: {len(blocks)}, time windows: {hotness.window_count}")
+    print(f"block classification: {by_kind}")
+    print(f"prefetch/pin candidates (long-lived hot): {len(hotness.prefetch_candidates())}")
+    print(f"proactive-eviction candidates (bursty): {len(hotness.eviction_candidates())}")
+    # A compact textual rendering of the hotness heat map (top 10 hottest blocks).
+    totals = matrix.sum(axis=1)
+    order = np.argsort(-totals)[:10]
+    print("\nhottest blocks (rows) over windows (columns), '#' = accessed:")
+    for row in order:
+        line = "".join("#" if matrix[row, w] > 0 else "." for w in range(matrix.shape[1]))
+        print(f"  block {blocks[row]:>12}: {line}")
+
+    assert matrix.shape == (len(blocks), hotness.window_count)
+    assert len(blocks) > 10
+    assert hotness.prefetch_candidates(), "expected long-lived hot blocks (parameters)"
+    assert by_kind.get("long_lived_hot", 0) > 0
+    assert by_kind.get("bursty", 0) + by_kind.get("intermittent", 0) > 0

@@ -1,0 +1,44 @@
+"""Figure 7: kernel invocation frequency distribution across model runs.
+
+Regenerates the paper's observation that only a small subset of kernels is
+invoked heavily during inference and training of the six evaluation models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_batch_size, model_label, print_header, print_row
+from repro.tools import KernelFrequencyTool
+from repro.workloads import run_workload
+
+
+def _collect(model_name: str, mode: str) -> KernelFrequencyTool:
+    tool = KernelFrequencyTool()
+    run_workload(model_name, device="a100", mode=mode, tools=[tool],
+                 batch_size=bench_batch_size())
+    return tool
+
+
+@pytest.mark.parametrize("mode", ["inference", "train"])
+def test_figure7_kernel_frequency(benchmark, paper_models, mode):
+    """Print the per-model top-kernel distribution and benchmark the analysis."""
+    tools = {name: _collect(name, mode) for name in paper_models}
+
+    def analyse():
+        return {name: tool.top_kernels(5) for name, tool in tools.items()}
+
+    top = benchmark(analyse)
+
+    print_header(f"Figure 7 — kernel invocation frequency ({mode})")
+    print_row("model", "launches", "distinct", "top-5 share", widths=(10, 12, 10, 12))
+    for name, tool in tools.items():
+        print_row(model_label(name), tool.total_launches, tool.distinct_kernels,
+                  tool.concentration(5), widths=(10, 12, 10, 12))
+        for entry in top[name][:3]:
+            print(f"    {entry.invocations:6d}x  {entry.kernel_name}")
+
+    for name, tool in tools.items():
+        assert tool.total_launches > 20
+        threshold = 0.5 if mode == "inference" else 0.4
+        assert tool.concentration(5) > threshold, f"{name}: top kernels should dominate"

@@ -1,0 +1,78 @@
+"""Figure 9: normalised overhead of the three analysis variants on A100 and RTX 3060.
+
+Compares PASTA's GPU-resident collect-and-analyze (CS-GPU) against CPU-side
+analysis with Compute Sanitizer (CS-CPU) and NVBit (NVBIT-CPU) instrumentation
+for the memory-characterisation tool, per model and device.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import bench_batch_size, model_label, print_header, print_row
+from repro.gpusim.device import A100, RTX3060
+from repro.tools import OverheadComparison, WorkloadProfile
+from repro.workloads import run_workload
+
+DEVICES = {"A100": A100, "3060": RTX3060}
+
+
+def _profile(model_name: str) -> WorkloadProfile:
+    profile = WorkloadProfile()
+    run_workload(model_name, device="a100", tools=[profile], batch_size=bench_batch_size())
+    return profile
+
+
+@pytest.fixture(scope="module")
+def workload_profiles(paper_models):
+    return {name: _profile(name) for name in paper_models}
+
+
+def test_figure9_overhead(benchmark, workload_profiles):
+    comparison = OverheadComparison()
+
+    def evaluate():
+        rows = {}
+        for device_tag, spec in DEVICES.items():
+            for name, profile in workload_profiles.items():
+                rows[(device_tag, name)] = comparison.evaluate(profile.launches, spec)
+        return rows
+
+    rows = benchmark(evaluate)
+
+    print_header("Figure 9 — normalised overhead (log10, vs uninstrumented execution)")
+    print_row("model", "variant", "A100", "3060", widths=(10, 12, 12, 12))
+    for name in workload_profiles:
+        for variant in ("CS-GPU", "CS-CPU", "NVBIT-CPU"):
+            a100 = rows[("A100", name)][variant].normalized_overhead
+            r3060 = rows[("3060", name)][variant].normalized_overhead
+            print_row(model_label(name), variant, math.log10(max(a100, 1e-9)),
+                      math.log10(max(r3060, 1e-9)), widths=(10, 12, 12, 12))
+
+    geo_speedups = {}
+    for device_tag, spec in DEVICES.items():
+        cs, nvbit = [], []
+        for name, profile in workload_profiles.items():
+            speedups = comparison.speedup_of_gpu_analysis(profile.launches, spec)
+            cs.append(speedups["CS-CPU"])
+            nvbit.append(speedups["NVBIT-CPU"])
+        geo_speedups[device_tag] = (
+            math.exp(sum(math.log(v) for v in cs) / len(cs)),
+            math.exp(sum(math.log(v) for v in nvbit) / len(nvbit)),
+        )
+    print("\nGeometric-mean speedup of CS-GPU over CPU-side analysis:")
+    for device_tag, (cs, nvbit) in geo_speedups.items():
+        print(f"  {device_tag}: {cs:.0f}x vs CS-CPU, {nvbit:.0f}x vs NVBIT-CPU "
+              f"(paper: 941x/13006x on A100, 627x/7353x on RTX 3060)")
+
+    # Shape assertions: ordering holds everywhere, speedups are orders of
+    # magnitude, and the larger GPU benefits more.
+    for key, variants in rows.items():
+        assert (variants["CS-GPU"].normalized_overhead
+                < variants["CS-CPU"].normalized_overhead
+                < variants["NVBIT-CPU"].normalized_overhead), key
+    assert geo_speedups["A100"][0] > 100
+    assert geo_speedups["A100"][1] > geo_speedups["A100"][0]
+    assert geo_speedups["A100"][0] > geo_speedups["3060"][0]

@@ -1,0 +1,53 @@
+"""Table V: memory footprint and working-set statistics of the six DNN models.
+
+Regenerates the per-model kernel count, memory footprint, workload working set
+and the min/average/median/90th-percentile per-kernel working sets, for both
+inference and training, and checks the paper's headline shape: footprints are
+a multiple of working sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_batch_size, model_label, print_header, print_row
+from repro.tools import MemoryCharacteristicsTool
+from repro.workloads import run_workload
+
+MiB = float(1024 * 1024)
+
+
+def _characterise(model_name: str, mode: str) -> MemoryCharacteristicsTool:
+    tool = MemoryCharacteristicsTool()
+    run_workload(model_name, device="a100", mode=mode, tools=[tool],
+                 batch_size=bench_batch_size())
+    return tool
+
+
+@pytest.mark.parametrize("mode", ["inference", "train"])
+def test_table5_memory_characteristics(benchmark, paper_models, mode):
+    tools = {name: _characterise(name, mode) for name in paper_models}
+
+    summaries = benchmark(lambda: {name: tool.summary() for name, tool in tools.items()})
+
+    print_header(f"Table V — memory characteristics ({mode}), sizes in MB")
+    print_row("model", "kernels", "footprint", "working set", "min WS", "avg WS",
+              "median WS", "p90 WS", widths=(9, 9, 11, 12, 9, 9, 10, 9))
+    ratios = []
+    for name, summary in summaries.items():
+        ratios.append(summary.memory_footprint_bytes / max(1, summary.working_set_bytes))
+        print_row(
+            model_label(name), summary.kernel_count,
+            summary.memory_footprint_bytes / MiB, summary.working_set_bytes / MiB,
+            summary.min_working_set_bytes / MiB, summary.avg_working_set_bytes / MiB,
+            summary.median_working_set_bytes / MiB, summary.p90_working_set_bytes / MiB,
+            widths=(9, 9, 11, 12, 9, 9, 10, 9),
+        )
+    avg_ratio = sum(ratios) / len(ratios)
+    print(f"\naverage footprint / working-set ratio: {avg_ratio:.2f}x "
+          f"(paper: 2.22x inference, 3.79x training)")
+
+    for name, summary in summaries.items():
+        assert summary.memory_footprint_bytes > summary.working_set_bytes > 0, name
+        assert summary.median_working_set_bytes <= summary.p90_working_set_bytes
+    assert avg_ratio > 1.5

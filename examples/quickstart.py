@@ -1,0 +1,52 @@
+"""Quickstart: profile a model with PASTA in a dozen lines.
+
+Creates a simulated A100, runs one ResNet-18 inference pass under a PASTA
+session with two built-in tools, and prints their reports.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core.session import PastaSession
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.engine import ExecutionEngine
+from repro.dlframework.models import create_model
+from repro.gpusim import A100, create_runtime
+from repro.tools import KernelFrequencyTool, MemoryCharacteristicsTool
+
+
+def main() -> None:
+    # 1. A simulated GPU and a DL-framework context bound to it.
+    runtime = create_runtime(A100)
+    ctx = FrameworkContext(runtime)
+    engine = ExecutionEngine(ctx)
+
+    # 2. A PASTA session with two analysis tools from the collection.
+    frequency = KernelFrequencyTool()
+    memory = MemoryCharacteristicsTool()
+    session = PastaSession(runtime, tools=[frequency, memory])
+    session.attach_framework(ctx)
+
+    # 3. Run the workload under the session.
+    model = create_model("resnet18")
+    with session:
+        engine.prepare(model)
+        summary = engine.run_inference(model, iterations=1)
+
+    # 4. Inspect the results.
+    print(f"model: {summary.model_name}, kernels launched: {summary.kernel_launches}")
+    print(f"peak pool memory: {summary.peak_allocated_bytes / 2**20:.1f} MB")
+    print("\nmost frequently invoked kernels:")
+    for entry in frequency.top_kernels(5):
+        print(f"  {entry.invocations:5d}x  {entry.kernel_name}")
+    ws = memory.summary()
+    print(f"\nmemory footprint: {ws.memory_footprint_bytes / 2**20:.1f} MB, "
+          f"working set: {ws.working_set_bytes / 2**20:.1f} MB "
+          f"(ratio {ws.memory_footprint_bytes / max(1, ws.working_set_bytes):.2f}x)")
+    print(f"profiling overhead (GPU-resident analysis): "
+          f"{session.overhead_accountant.normalized_overhead():.1f}x execution time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""DL workload characterisation across the paper's six evaluation models.
+
+Reproduces, at example scale, the Figure 7 / Table V / Figure 4 case studies:
+kernel invocation frequency, memory footprint vs working set, and the
+cross-layer call stack of the most memory-referenced kernel.
+
+Run with:  python examples/workload_characterization.py [--mode train] [--batch-size N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.dlframework.models import MODEL_ABBREVIATIONS, PAPER_MODELS
+from repro.tools import (
+    InefficiencyLocatorTool,
+    KernelFrequencyTool,
+    MemoryCharacteristicsTool,
+)
+from repro.workloads import run_workload
+
+MiB = float(2**20)
+
+
+def characterise(model_name: str, mode: str, batch_size: int | None) -> None:
+    frequency = KernelFrequencyTool()
+    memory = MemoryCharacteristicsTool()
+    locator = InefficiencyLocatorTool()
+    run_workload(model_name, device="a100", mode=mode,
+                 tools=[frequency, memory, locator], batch_size=batch_size)
+
+    label = MODEL_ABBREVIATIONS.get(model_name, model_name)
+    summary = memory.summary()
+    print(f"\n=== {label} ({mode}) ===")
+    print(f"kernels: {summary.kernel_count}, distinct kernel names: {frequency.distinct_kernels}")
+    print(f"footprint: {summary.memory_footprint_bytes / MiB:.1f} MB, "
+          f"working set: {summary.working_set_bytes / MiB:.1f} MB, "
+          f"median kernel WS: {summary.median_working_set_bytes / MiB:.2f} MB")
+    print(f"top-5 kernels cover {frequency.concentration(5):.0%} of all launches:")
+    for entry in frequency.top_kernels(5):
+        print(f"  {entry.invocations:5d}x  {entry.kernel_name}")
+
+    finding = locator.locate("MAX_MEM_REFERENCED_KERNEL")
+    if finding is not None:
+        print("\ncross-layer call stack of the most memory-referenced kernel:")
+        print("  " + finding.render().replace("\n", "\n  "))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=["inference", "train"], default="inference")
+    parser.add_argument("--batch-size", type=int, default=4,
+                        help="batch size override (use the paper's sizes with 0)")
+    parser.add_argument("--models", nargs="*", default=list(PAPER_MODELS))
+    args = parser.parse_args()
+    batch = None if args.batch_size == 0 else args.batch_size
+    for model_name in args.models:
+        characterise(model_name, args.mode, batch)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments without the ``wheel`` package (legacy ``setup.py develop`` /
+``pip install -e .`` fallback).
+"""
+
+from setuptools import setup
+
+setup()

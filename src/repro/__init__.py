@@ -1,0 +1,25 @@
+"""PASTA reproduction: a modular program-analysis tool framework for accelerators.
+
+Package layout
+--------------
+* :mod:`repro.core` — the PASTA framework itself (event handler, event
+  processor, tool collection template, session, annotations, knobs).
+* :mod:`repro.gpusim` — simulated GPU devices, runtimes, UVM and cost models.
+* :mod:`repro.vendors` — simulated vendor profiling backends (Compute
+  Sanitizer, NVBit, ROCProfiler-SDK).
+* :mod:`repro.dlframework` — simulated DL framework (tensors, caching
+  allocator, operators, model zoo, parallelism).
+* :mod:`repro.tools` — analysis tools built with PASTA (the paper's case
+  studies).
+* :mod:`repro.workloads` — convenience runners for profiling models.
+* :mod:`repro.pasta` — the user annotation API (``pasta.start()/stop()``).
+"""
+
+from repro import pasta
+from repro.core.session import PastaSession
+from repro.core.tool import PastaTool
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["PastaSession", "PastaTool", "ReproError", "__version__", "pasta"]

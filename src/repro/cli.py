@@ -1,0 +1,136 @@
+"""Command-line interface: the reproduction's ``accelprof`` equivalent.
+
+The paper's artifact launches profiled applications as
+``accelprof -t <tool> <executable>``.  Since the workloads here are the
+simulated models of the zoo, the CLI takes a model name instead of an
+executable and otherwise mirrors that interface: pick one or more tools from
+the registry, a device, a mode, and optionally a grid-id analysis window, then
+print each tool's report.
+
+Examples
+--------
+::
+
+    pasta-profile resnet18 --tool kernel_frequency --device a100
+    pasta-profile gpt2 --mode train --tool memory_characteristics --tool memory_timeline
+    pasta-profile bert --tool kernel_frequency --start-grid-id 0 --end-grid-id 49 --json
+    pasta-profile --list-tools
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.core.annotations import RangeFilter
+from repro.core.registry import create_tool, registered_tools
+from repro.core.session import PastaSession
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.engine import ExecutionEngine
+from repro.dlframework.models import MODEL_REGISTRY, create_model
+from repro.errors import ReproError
+from repro.gpusim.device import get_device_spec
+from repro.gpusim.runtime import create_runtime
+
+# Importing the tools package registers the built-in tool collection.
+import repro.tools  # noqa: F401  (side effect: tool registration)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="pasta-profile",
+        description="Profile a simulated DL workload with PASTA analysis tools.",
+    )
+    parser.add_argument("model", nargs="?", choices=sorted(MODEL_REGISTRY),
+                        help="model to profile (from the model zoo)")
+    parser.add_argument("--tool", "-t", action="append", default=[],
+                        help="tool name from the registry; may be repeated")
+    parser.add_argument("--device", "-d", default="a100",
+                        help="device short name: a100, rtx3060, mi300x (default: a100)")
+    parser.add_argument("--mode", choices=["inference", "train"], default="inference")
+    parser.add_argument("--iterations", type=int, default=1)
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="override the model's paper batch size")
+    parser.add_argument("--backend", default=None,
+                        help="profiling backend: compute_sanitizer, nvbit, rocprofiler")
+    parser.add_argument("--fine-grained", action="store_true",
+                        help="enable device-side (instruction-level) instrumentation")
+    parser.add_argument("--start-grid-id", type=int, default=None,
+                        help="first kernel-launch index to analyse (START_GRID_ID)")
+    parser.add_argument("--end-grid-id", type=int, default=None,
+                        help="last kernel-launch index to analyse (END_GRID_ID)")
+    parser.add_argument("--json", action="store_true", help="emit reports as JSON")
+    parser.add_argument("--list-tools", action="store_true",
+                        help="list registered tools and exit")
+    return parser
+
+
+def _print_text_report(reports: dict[str, dict[str, object]]) -> None:
+    for tool_name, report in reports.items():
+        print(f"\n[{tool_name}]")
+        for key, value in report.items():
+            if key == "tool":
+                continue
+            print(f"  {key}: {value}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_tools:
+        for name in registered_tools():
+            print(name)
+        return 0
+    if not args.model:
+        parser.error("a model name is required unless --list-tools is given")
+    if not args.tool:
+        parser.error("at least one --tool is required (see --list-tools)")
+
+    try:
+        spec = get_device_spec(args.device)
+        tools = [create_tool(name) for name in args.tool]
+        runtime = create_runtime(spec)
+        ctx = FrameworkContext(runtime)
+        engine = ExecutionEngine(ctx)
+        model = create_model(args.model)
+
+        range_filter = RangeFilter()
+        if args.start_grid_id is not None or args.end_grid_id is not None:
+            range_filter.set_grid_window(args.start_grid_id, args.end_grid_id)
+
+        session = PastaSession(
+            runtime,
+            tools=tools,
+            vendor_backend=args.backend,
+            enable_fine_grained=args.fine_grained,
+            range_filter=range_filter,
+        )
+        session.attach_framework(ctx)
+        with session:
+            engine.prepare(model)
+            if args.mode == "inference":
+                summary = engine.run_inference(model, iterations=args.iterations,
+                                               batch_size=args.batch_size)
+            else:
+                summary = engine.run_training(model, iterations=args.iterations,
+                                              batch_size=args.batch_size)
+        reports = session.reports()
+        reports["run"] = summary.as_dict()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps(reports, indent=2, default=str))
+    else:
+        _print_text_report(reports)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""PASTA core: the paper's primary contribution.
+
+Event model (Table II), event handler, event processor with GPU-resident
+preprocessing and dispatch, the tool-collection template, range-specific
+analysis, cross-layer call stacks, inefficiency-location knobs, overhead
+accounting, and the user-facing session.
+"""
+
+from repro.core.annotations import RangeFilter, start, stop
+from repro.core.callstack import (
+    CrossLayerStack,
+    StackFrame,
+    build_cross_layer_stack,
+    python_frames_from_stack,
+    synthesize_cpp_frames,
+)
+from repro.core.events import (
+    COARSE_CATEGORIES,
+    EventCategory,
+    FINE_GRAINED_CATEGORIES,
+    FRAMEWORK_CATEGORIES,
+    InstructionEvent,
+    KernelArgumentInfo,
+    KernelLaunchEvent,
+    KernelMemoryProfile,
+    MemcpyEvent,
+    MemoryAccessEvent,
+    MemoryAllocEvent,
+    MemoryFreeEvent,
+    MemsetEvent,
+    OperatorEndEvent,
+    OperatorStartEvent,
+    PastaEvent,
+    RegionEvent,
+    RuntimeApiEvent,
+    SynchronizationEvent,
+    TensorAllocEvent,
+    TensorFreeEvent,
+)
+from repro.core.handler import PastaEventHandler
+from repro.core.knobs import (
+    KernelStats,
+    KnobRegistry,
+    max_called_kernel,
+    max_duration_kernel,
+    max_mem_referenced_kernel,
+    max_working_set_kernel,
+)
+from repro.core.overhead import OverheadAccountant
+from repro.core.processor import DispatchUnit, PastaEventProcessor
+from repro.core.registry import (
+    PASTA_TOOL_ENV,
+    clear_registry,
+    create_tool,
+    create_tools,
+    register_tool,
+    registered_tools,
+    select_tool,
+)
+from repro.core.session import PROFILER_RESERVED_BYTES, PastaSession
+from repro.core.tool import PastaTool
+
+__all__ = [
+    "COARSE_CATEGORIES",
+    "CrossLayerStack",
+    "DispatchUnit",
+    "EventCategory",
+    "FINE_GRAINED_CATEGORIES",
+    "FRAMEWORK_CATEGORIES",
+    "InstructionEvent",
+    "KernelArgumentInfo",
+    "KernelLaunchEvent",
+    "KernelMemoryProfile",
+    "KernelStats",
+    "KnobRegistry",
+    "MemcpyEvent",
+    "MemoryAccessEvent",
+    "MemoryAllocEvent",
+    "MemoryFreeEvent",
+    "MemsetEvent",
+    "OperatorEndEvent",
+    "OperatorStartEvent",
+    "OverheadAccountant",
+    "PASTA_TOOL_ENV",
+    "PROFILER_RESERVED_BYTES",
+    "PastaEvent",
+    "PastaEventHandler",
+    "PastaEventProcessor",
+    "PastaSession",
+    "PastaTool",
+    "RangeFilter",
+    "RegionEvent",
+    "RuntimeApiEvent",
+    "StackFrame",
+    "SynchronizationEvent",
+    "TensorAllocEvent",
+    "TensorFreeEvent",
+    "build_cross_layer_stack",
+    "clear_registry",
+    "create_tool",
+    "create_tools",
+    "max_called_kernel",
+    "max_duration_kernel",
+    "max_mem_referenced_kernel",
+    "max_working_set_kernel",
+    "python_frames_from_stack",
+    "register_tool",
+    "registered_tools",
+    "select_tool",
+    "start",
+    "stop",
+    "synthesize_cpp_frames",
+]

@@ -1,0 +1,346 @@
+"""Unified PASTA event model (Table II of the paper).
+
+Every runtime observation — whether it originates from a vendor profiling
+backend, from the DL framework's callbacks, or from a user annotation — is
+normalised into one of the event dataclasses below before reaching the event
+processor and the tools.  The taxonomy follows Table II:
+
+* **coarse-grained host-called API events** — driver/runtime API calls, kernel
+  launches, memory copies/sets, synchronisation, resource operations;
+* **fine-grained device-side operations** — per-thread memory accesses,
+  barriers, block entry/exit, and the other instruction-level rows; and
+* **high-level DL framework events** — operator start/end, tensor allocation
+  and reclamation, plus annotation-driven region boundaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.gpusim.instruction import InstructionKind
+
+_event_ids = itertools.count(1)
+
+
+class EventCategory(str, Enum):
+    """Categories of PASTA events, grouping the rows of Table II."""
+
+    # Coarse-grained host-called API events.
+    RUNTIME_API = "runtime_api"
+    KERNEL_LAUNCH = "kernel_launch"
+    MEMORY_ALLOC = "memory_alloc"
+    MEMORY_FREE = "memory_free"
+    MEMCPY = "memcpy"
+    MEMSET = "memset"
+    SYNCHRONIZATION = "synchronization"
+    # Fine-grained device-side operations.
+    MEMORY_ACCESS = "memory_access"
+    INSTRUCTION = "instruction"
+    KERNEL_MEMORY_PROFILE = "kernel_memory_profile"
+    # High-level DL framework events.
+    OPERATOR_START = "operator_start"
+    OPERATOR_END = "operator_end"
+    TENSOR_ALLOC = "tensor_alloc"
+    TENSOR_FREE = "tensor_free"
+    # Annotation-driven region boundaries (pasta.start()/pasta.stop()).
+    REGION_START = "region_start"
+    REGION_STOP = "region_stop"
+
+
+#: Categories considered "coarse-grained" (preprocessed on the CPU).
+COARSE_CATEGORIES = frozenset(
+    {
+        EventCategory.RUNTIME_API,
+        EventCategory.KERNEL_LAUNCH,
+        EventCategory.MEMORY_ALLOC,
+        EventCategory.MEMORY_FREE,
+        EventCategory.MEMCPY,
+        EventCategory.MEMSET,
+        EventCategory.SYNCHRONIZATION,
+    }
+)
+
+#: Categories considered "fine-grained" (preprocessed on the GPU).
+FINE_GRAINED_CATEGORIES = frozenset(
+    {
+        EventCategory.MEMORY_ACCESS,
+        EventCategory.INSTRUCTION,
+        EventCategory.KERNEL_MEMORY_PROFILE,
+    }
+)
+
+#: Categories originating from the DL framework.
+FRAMEWORK_CATEGORIES = frozenset(
+    {
+        EventCategory.OPERATOR_START,
+        EventCategory.OPERATOR_END,
+        EventCategory.TENSOR_ALLOC,
+        EventCategory.TENSOR_FREE,
+        EventCategory.REGION_START,
+        EventCategory.REGION_STOP,
+    }
+)
+
+
+@dataclass
+class PastaEvent:
+    """Base class of all normalised events."""
+
+    category: EventCategory = EventCategory.RUNTIME_API
+    device_index: int = 0
+    timestamp_ns: int = 0
+    #: Name of the producer ("compute_sanitizer", "nvbit", "rocprofiler",
+    #: "framework", "annotation").
+    source: str = ""
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+
+@dataclass
+class RuntimeApiEvent(PastaEvent):
+    """A driver/runtime API invocation (e.g. ``cudaMalloc``, ``hipMemcpy``)."""
+
+    api_name: str = ""
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.RUNTIME_API
+
+
+@dataclass(frozen=True)
+class KernelArgumentInfo:
+    """Metadata about one memory region passed to a kernel.
+
+    Carried on :class:`KernelLaunchEvent` so the event processor's
+    GPU-resident preprocessing can attribute accesses to memory objects
+    without materialising raw access records.
+    """
+
+    address: int
+    size: int
+    referenced_bytes: int
+    access_count: int
+    label: str = ""
+
+
+@dataclass
+class KernelLaunchEvent(PastaEvent):
+    """A kernel launch, with the metadata the event processor extracts."""
+
+    kernel_name: str = ""
+    launch_id: int = 0
+    grid: tuple[int, int, int] = (1, 1, 1)
+    block: tuple[int, int, int] = (1, 1, 1)
+    stream_id: int = 0
+    duration_ns: int = 0
+    memory_footprint_bytes: int = 0
+    working_set_bytes: int = 0
+    total_memory_accesses: int = 0
+    #: Operator the framework attributes this launch to ('' outside operators).
+    op_context: str = ""
+    #: Sequential index of this launch within the run (used by the
+    #: START_GRID_ID / END_GRID_ID range filter).
+    grid_index: int = 0
+    #: Per-argument access metadata (address, size, referenced bytes, accesses).
+    arguments: tuple[KernelArgumentInfo, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.KERNEL_LAUNCH
+
+    @property
+    def total_threads(self) -> int:
+        """Total threads in the launch."""
+        gx, gy, gz = self.grid
+        bx, by, bz = self.block
+        return gx * gy * gz * bx * by * bz
+
+
+@dataclass
+class MemoryAllocEvent(PastaEvent):
+    """A driver-level memory allocation (``cudaMalloc`` and variants)."""
+
+    address: int = 0
+    size: int = 0
+    object_id: int = 0
+    memory_kind: str = "device"
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.MEMORY_ALLOC
+
+
+@dataclass
+class MemoryFreeEvent(PastaEvent):
+    """A driver-level memory free."""
+
+    address: int = 0
+    size: int = 0
+    object_id: int = 0
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.MEMORY_FREE
+
+
+@dataclass
+class MemcpyEvent(PastaEvent):
+    """An explicit memory copy, with its normalised direction."""
+
+    size: int = 0
+    direction: str = "host_to_device"
+    duration_ns: int = 0
+    stream_id: int = 0
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.MEMCPY
+
+
+@dataclass
+class MemsetEvent(PastaEvent):
+    """A memory-set operation."""
+
+    address: int = 0
+    size: int = 0
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.MEMSET
+
+
+@dataclass
+class SynchronizationEvent(PastaEvent):
+    """A stream or device synchronisation."""
+
+    scope: str = "device"
+    stream_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.SYNCHRONIZATION
+
+
+@dataclass
+class MemoryAccessEvent(PastaEvent):
+    """One sampled device-side memory access (fine-grained)."""
+
+    address: int = 0
+    size: int = 4
+    is_write: bool = False
+    kernel_launch_id: int = 0
+    thread_index: int = 0
+    block_index: int = 0
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.MEMORY_ACCESS
+
+
+@dataclass
+class InstructionEvent(PastaEvent):
+    """A sampled device-side non-memory instruction (barrier, block marker, ...)."""
+
+    kind: InstructionKind = InstructionKind.OTHER
+    kernel_launch_id: int = 0
+    thread_index: int = 0
+    block_index: int = 0
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.INSTRUCTION
+
+
+@dataclass
+class KernelMemoryProfile(PastaEvent):
+    """GPU-preprocessed per-kernel memory profile (the result-map of Figure 8b).
+
+    Produced by the event processor's GPU-resident analysis: for one kernel
+    launch, the map from memory-object id to access count, plus the derived
+    footprint/working-set numbers.  This is the event most memory tools
+    consume instead of raw access records.
+    """
+
+    kernel_name: str = ""
+    launch_id: int = 0
+    op_context: str = ""
+    object_access_counts: dict[int, int] = field(default_factory=dict)
+    #: (object_id -> referenced bytes) for objects with at least one access.
+    object_referenced_bytes: dict[int, int] = field(default_factory=dict)
+    footprint_bytes: int = 0
+    working_set_bytes: int = 0
+    total_accesses: int = 0
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.KERNEL_MEMORY_PROFILE
+
+    @property
+    def accessed_object_count(self) -> int:
+        """Number of distinct memory objects the kernel referenced."""
+        return sum(1 for count in self.object_access_counts.values() if count > 0)
+
+
+@dataclass
+class OperatorStartEvent(PastaEvent):
+    """A DL framework operator began executing."""
+
+    op_id: int = 0
+    name: str = ""
+    scope: str = ""
+    sequence: int = 0
+    python_stack: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.OPERATOR_START
+
+
+@dataclass
+class OperatorEndEvent(PastaEvent):
+    """A DL framework operator finished executing."""
+
+    op_id: int = 0
+    name: str = ""
+    scope: str = ""
+    sequence: int = 0
+    kernel_count: int = 0
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.OPERATOR_END
+
+
+@dataclass
+class TensorAllocEvent(PastaEvent):
+    """A framework tensor allocation (normalised to a positive size)."""
+
+    tensor_id: int = 0
+    tensor_name: str = ""
+    address: int = 0
+    nbytes: int = 0
+    pool_allocated_bytes: int = 0
+    pool_reserved_bytes: int = 0
+    event_index: int = 0
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.TENSOR_ALLOC
+
+
+@dataclass
+class TensorFreeEvent(PastaEvent):
+    """A framework tensor reclamation (normalised to a positive size)."""
+
+    tensor_id: int = 0
+    tensor_name: str = ""
+    address: int = 0
+    nbytes: int = 0
+    pool_allocated_bytes: int = 0
+    pool_reserved_bytes: int = 0
+    event_index: int = 0
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.TENSOR_FREE
+
+
+@dataclass
+class RegionEvent(PastaEvent):
+    """A user annotation boundary (``pasta.start()`` / ``pasta.stop()``)."""
+
+    label: str = ""
+    starting: bool = True
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.REGION_START if self.starting else EventCategory.REGION_STOP

@@ -1,0 +1,88 @@
+"""Inefficiency-location knobs (Section III-F2).
+
+Rather than capturing full context for every runtime event (expensive), PASTA
+lets users select *which* kernel deserves a full cross-layer call stack via
+predefined knobs such as ``MAX_MEM_REFERENCED_KERNEL`` (the kernel with the
+most memory references) and ``MAX_CALLED_KERNEL`` (the most frequently invoked
+kernel).  Users can register custom knobs as plain selection functions over the
+per-kernel statistics PASTA accumulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import PastaError
+
+
+@dataclass
+class KernelStats:
+    """Aggregated statistics for one kernel name."""
+
+    kernel_name: str
+    invocation_count: int = 0
+    total_memory_accesses: int = 0
+    total_duration_ns: int = 0
+    max_working_set_bytes: int = 0
+    #: Python stack of the operator active at the kernel's first launch.
+    representative_python_stack: tuple[str, ...] = ()
+    representative_op: str = ""
+
+
+#: A knob is a function selecting one KernelStats out of the collected set.
+KnobFn = Callable[[dict[str, KernelStats]], Optional[KernelStats]]
+
+
+def _max_by(stats: dict[str, KernelStats], key: Callable[[KernelStats], float]) -> Optional[KernelStats]:
+    if not stats:
+        return None
+    return max(stats.values(), key=key)
+
+
+def max_mem_referenced_kernel(stats: dict[str, KernelStats]) -> Optional[KernelStats]:
+    """``MAX_MEM_REFERENCED_KERNEL``: the kernel with the most memory references."""
+    return _max_by(stats, lambda s: s.total_memory_accesses)
+
+
+def max_called_kernel(stats: dict[str, KernelStats]) -> Optional[KernelStats]:
+    """``MAX_CALLED_KERNEL``: the most frequently invoked kernel."""
+    return _max_by(stats, lambda s: s.invocation_count)
+
+
+def max_duration_kernel(stats: dict[str, KernelStats]) -> Optional[KernelStats]:
+    """``MAX_DURATION_KERNEL``: the kernel with the largest cumulative time."""
+    return _max_by(stats, lambda s: s.total_duration_ns)
+
+
+def max_working_set_kernel(stats: dict[str, KernelStats]) -> Optional[KernelStats]:
+    """``MAX_WORKING_SET_KERNEL``: the kernel with the largest single-launch working set."""
+    return _max_by(stats, lambda s: s.max_working_set_bytes)
+
+
+class KnobRegistry:
+    """Holds the predefined knobs plus any user-registered custom knobs."""
+
+    def __init__(self) -> None:
+        self._knobs: dict[str, KnobFn] = {
+            "MAX_MEM_REFERENCED_KERNEL": max_mem_referenced_kernel,
+            "MAX_CALLED_KERNEL": max_called_kernel,
+            "MAX_DURATION_KERNEL": max_duration_kernel,
+            "MAX_WORKING_SET_KERNEL": max_working_set_kernel,
+        }
+
+    def register(self, name: str, fn: KnobFn) -> None:
+        """Register a custom knob under ``name``."""
+        self._knobs[name.upper()] = fn
+
+    def names(self) -> list[str]:
+        """Available knob names."""
+        return sorted(self._knobs)
+
+    def select(self, name: str, stats: dict[str, KernelStats]) -> Optional[KernelStats]:
+        """Apply the named knob to the collected kernel statistics."""
+        try:
+            fn = self._knobs[name.upper()]
+        except KeyError:
+            raise PastaError(f"unknown knob {name!r}; available: {self.names()}") from None
+        return fn(stats)

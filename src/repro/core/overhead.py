@@ -1,0 +1,79 @@
+"""Profiling-overhead accounting (data source for Figures 9 and 10).
+
+The accountant sits beside the event processor and charges each analysed
+kernel launch with the cost the selected instrumentation backend and analysis
+model would incur, using the analytical model in
+:mod:`repro.gpusim.costmodel`.  At the end of a run it exposes the total
+:class:`~repro.gpusim.costmodel.ProfilingCost`, its normalised overhead
+(Figure 9's y-axis) and its execution/collection/transfer/analysis breakdown
+(Figure 10's y-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.events import KernelLaunchEvent
+from repro.gpusim.costmodel import (
+    CostModelConfig,
+    InstrumentationBackend,
+    OverheadModel,
+    ProfilingCost,
+)
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.trace import AnalysisModel
+
+
+@dataclass
+class OverheadAccountant:
+    """Accumulates profiling cost across the kernels of one run."""
+
+    device_spec: DeviceSpec
+    analysis_model: AnalysisModel = AnalysisModel.GPU_RESIDENT
+    backend: InstrumentationBackend = InstrumentationBackend.COMPUTE_SANITIZER
+    config: Optional[CostModelConfig] = None
+    cost: ProfilingCost = field(default_factory=ProfilingCost)
+    kernels_recorded: int = 0
+
+    def __post_init__(self) -> None:
+        self._model = OverheadModel(self.device_spec, self.config)
+
+    def record_kernel(self, event: KernelLaunchEvent) -> ProfilingCost:
+        """Charge the cost of profiling one kernel launch and return it."""
+        kernel_cost = self._model.kernel_cost(
+            kernel_duration_ns=float(event.duration_ns),
+            memory_accesses=event.total_memory_accesses,
+            model=self.analysis_model,
+            backend=self.backend,
+        )
+        self.cost = self.cost + kernel_cost
+        self.kernels_recorded += 1
+        return kernel_cost
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def normalized_overhead(self) -> float:
+        """Total overhead relative to uninstrumented execution time."""
+        return self.cost.normalized_overhead()
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        """Fraction of profiled time per component."""
+        return self.cost.fractions()
+
+    def report(self) -> dict[str, object]:
+        """Structured summary of the accumulated cost."""
+        return {
+            "device": self.device_spec.name,
+            "analysis_model": self.analysis_model.value,
+            "backend": self.backend.value,
+            "kernels": self.kernels_recorded,
+            "execution_ns": self.cost.execution_ns,
+            "collection_ns": self.cost.collection_ns,
+            "transfer_ns": self.cost.transfer_ns,
+            "analysis_ns": self.cost.analysis_ns,
+            "total_ns": self.cost.total_ns,
+            "normalized_overhead": self.normalized_overhead(),
+            "fractions": self.breakdown_fractions(),
+        }

@@ -1,0 +1,75 @@
+"""Tool registry and selection.
+
+The paper's artifact selects a tool with ``accelprof -t <tool> <executable>``
+or via an environment variable.  The registry maps tool names to tool factories
+and resolves the user's selection (explicit name, ``PASTA_TOOL`` environment
+variable, or a default).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Optional
+
+from repro.errors import ToolError
+from repro.core.tool import PastaTool
+
+#: Environment variable used to select a tool (the CLI's ``-t`` equivalent).
+PASTA_TOOL_ENV = "PASTA_TOOL"
+
+#: Factory signature for registered tools.
+ToolFactory = Callable[[], PastaTool]
+
+_registry: dict[str, ToolFactory] = {}
+
+
+def register_tool(name: str, factory: ToolFactory, overwrite: bool = False) -> None:
+    """Register a tool factory under ``name``."""
+    key = name.strip().lower()
+    if not key:
+        raise ToolError("tool name must be non-empty")
+    if key in _registry and not overwrite:
+        raise ToolError(f"tool {name!r} is already registered")
+    _registry[key] = factory
+
+
+def registered_tools() -> list[str]:
+    """Names of all registered tools."""
+    return sorted(_registry)
+
+
+def create_tool(name: str) -> PastaTool:
+    """Instantiate a registered tool by name."""
+    key = name.strip().lower()
+    factory = _registry.get(key)
+    if factory is None:
+        raise ToolError(f"unknown tool {name!r}; registered tools: {registered_tools()}")
+    return factory()
+
+
+def create_tools(names: Iterable[str]) -> list[PastaTool]:
+    """Instantiate several registered tools."""
+    return [create_tool(name) for name in names]
+
+
+def select_tool(
+    explicit: Optional[str] = None, env: Optional[dict[str, str]] = None
+) -> PastaTool:
+    """Resolve the user's tool selection.
+
+    Precedence: an explicit name, then the ``PASTA_TOOL`` environment variable.
+    Raises :class:`~repro.errors.ToolError` if neither is set.
+    """
+    env = dict(os.environ if env is None else env)
+    name = explicit or env.get(PASTA_TOOL_ENV)
+    if not name:
+        raise ToolError(
+            f"no tool selected; pass a name or set the {PASTA_TOOL_ENV} environment variable "
+            f"(registered tools: {registered_tools()})"
+        )
+    return create_tool(name)
+
+
+def clear_registry() -> None:
+    """Remove all registered tools (used by tests)."""
+    _registry.clear()

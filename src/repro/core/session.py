@@ -1,0 +1,201 @@
+"""PASTA session: the user-facing entry point wiring all three modules together.
+
+A :class:`PastaSession` owns one event handler, one event processor and a set
+of tools for a single target runtime (GPU).  It corresponds to what the
+paper's ``accelprof -t <tool> <executable>`` launcher sets up before the target
+application runs: attach to the vendor profiling library, attach to the DL
+framework's callbacks, configure the analysis range, and route everything into
+the selected tools.
+
+Typical usage::
+
+    runtime = create_runtime(A100)
+    ctx = FrameworkContext(runtime)
+    session = PastaSession(runtime, tools=[KernelFrequencyTool()])
+    session.attach_framework(ctx)
+    with session:
+        engine.run_inference(model)
+    print(session.reports())
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.errors import PastaError, VendorError
+from repro.core.annotations import RangeFilter, _set_active_session
+from repro.core.handler import PastaEventHandler
+from repro.core.overhead import OverheadAccountant
+from repro.core.processor import PastaEventProcessor
+from repro.core.tool import PastaTool
+from repro.dlframework.context import FrameworkContext
+from repro.gpusim.costmodel import CostModelConfig
+from repro.gpusim.device import MiB
+from repro.gpusim.runtime import AcceleratorRuntime
+from repro.gpusim.trace import AnalysisModel
+from repro.vendors import (
+    ComputeSanitizerBackend,
+    NvbitBackend,
+    ProfilingBackend,
+    RocprofilerBackend,
+    default_backend_for_vendor,
+)
+
+#: Device memory PASTA reserves for its profiling buffers (Section VI-A).
+PROFILER_RESERVED_BYTES = 4 * MiB
+
+_BACKEND_NAMES = {
+    "compute_sanitizer": ComputeSanitizerBackend,
+    "sanitizer": ComputeSanitizerBackend,
+    "nvbit": NvbitBackend,
+    "rocprofiler": RocprofilerBackend,
+}
+
+
+def _make_backend(spec: Union[str, ProfilingBackend, None], runtime: AcceleratorRuntime) -> ProfilingBackend:
+    if isinstance(spec, ProfilingBackend):
+        return spec
+    if spec is None:
+        return default_backend_for_vendor(runtime.vendor)
+    cls = _BACKEND_NAMES.get(spec.strip().lower())
+    if cls is None:
+        raise VendorError(f"unknown profiling backend {spec!r}; known: {sorted(_BACKEND_NAMES)}")
+    return cls()
+
+
+class PastaSession:
+    """One profiling session over one simulated GPU runtime."""
+
+    def __init__(
+        self,
+        runtime: AcceleratorRuntime,
+        tools: Optional[Sequence[PastaTool]] = None,
+        vendor_backend: Union[str, ProfilingBackend, None] = None,
+        analysis_model: AnalysisModel = AnalysisModel.GPU_RESIDENT,
+        enable_fine_grained: bool = False,
+        range_filter: Optional[RangeFilter] = None,
+        measure_overhead: bool = True,
+        cost_config: Optional[CostModelConfig] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.backend = _make_backend(vendor_backend, runtime)
+        self.analysis_model = analysis_model
+        self.enable_fine_grained = enable_fine_grained
+        self.handler = PastaEventHandler()
+        self.overhead_accountant: Optional[OverheadAccountant] = None
+        if measure_overhead:
+            self.overhead_accountant = OverheadAccountant(
+                device_spec=runtime.device.spec,
+                analysis_model=analysis_model,
+                backend=self.backend.instrumentation,
+                config=cost_config,
+            )
+        self.processor = PastaEventProcessor(
+            address_resolver=self._resolve_address,
+            range_filter=range_filter,
+            enable_gpu_preprocessing=True,
+            overhead_accountant=self.overhead_accountant,
+        )
+        self.handler.set_sink(self.processor.submit)
+        self._tools: list[PastaTool] = []
+        for tool in tools or ():
+            self.add_tool(tool)
+        self._attached_contexts: list[FrameworkContext] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def add_tool(self, tool: PastaTool) -> PastaTool:
+        """Register an analysis tool with the session."""
+        self._tools.append(tool)
+        self.processor.register_tool(tool)
+        if tool.requires_fine_grained:
+            self.enable_fine_grained = True
+        return tool
+
+    @property
+    def tools(self) -> list[PastaTool]:
+        """Tools registered with this session."""
+        return list(self._tools)
+
+    def attach_framework(self, ctx: FrameworkContext) -> None:
+        """Attach to a DL framework context (operator + tensor callbacks)."""
+        if ctx in self._attached_contexts:
+            return
+        self.handler.attach_framework(ctx.callbacks, device_index=ctx.runtime.device.index)
+        self._attached_contexts.append(ctx)
+
+    def _resolve_address(self, address: int) -> Optional[tuple[int, int]]:
+        obj = self.runtime.allocator.lookup(address, live_only=False)
+        if obj is None:
+            return None
+        return obj.object_id, obj.size
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "PastaSession":
+        """Attach to the vendor backend and begin profiling."""
+        if self._started:
+            raise PastaError("session is already started")
+        if not self.backend.is_attached:
+            self.backend.attach(self.runtime)
+        self.handler.attach_vendor_backend(self.backend)
+        if self.enable_fine_grained:
+            if isinstance(self.backend, ComputeSanitizerBackend):
+                self.backend.sanitizer_patch_module("all")
+            else:
+                self.backend.enable_instruction_tracing(True)
+        self.runtime.device.reserve_profiler_memory(PROFILER_RESERVED_BYTES)
+        for tool in self._tools:
+            tool.on_session_start()
+        _set_active_session(self)
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop profiling and detach from the vendor backend."""
+        if not self._started:
+            return
+        for tool in self._tools:
+            tool.on_session_end()
+        self.handler.detach_vendor_backend(self.backend)
+        self.backend.detach()
+        self.runtime.device.reserve_profiler_memory(0)
+        _set_active_session(None)
+        self._started = False
+
+    def __enter__(self) -> "PastaSession":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def is_active(self) -> bool:
+        """True while the session is started."""
+        return self._started
+
+    # ------------------------------------------------------------------ #
+    # annotations (pasta.start()/pasta.stop())
+    # ------------------------------------------------------------------ #
+    def begin_region(self, label: str = "") -> None:
+        """Open an analysis region."""
+        self.handler.emit_region(label, starting=True, device_index=self.runtime.device.index)
+
+    def end_region(self, label: str = "") -> None:
+        """Close the innermost analysis region."""
+        self.handler.emit_region(label, starting=False, device_index=self.runtime.device.index)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def reports(self) -> dict[str, dict[str, object]]:
+        """Collect every tool's report, plus the overhead report if enabled."""
+        out: dict[str, dict[str, object]] = {}
+        for tool in self._tools:
+            out[tool.tool_name] = tool.report()
+        if self.overhead_accountant is not None:
+            out["overhead"] = self.overhead_accountant.report()
+        return out

@@ -1,0 +1,151 @@
+"""PASTA tool collection template.
+
+The tool collection is the third of PASTA's three modules (Figure 1): users
+build custom analyses by subclassing :class:`PastaTool` and overriding the
+handler methods they care about — the paper's "simply overriding functions in
+the PASTA tool collection template".  Tools receive already-normalised,
+already-preprocessed events from the event processor and never interact with
+vendor APIs directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import (
+    EventCategory,
+    InstructionEvent,
+    KernelLaunchEvent,
+    KernelMemoryProfile,
+    MemcpyEvent,
+    MemoryAccessEvent,
+    MemoryAllocEvent,
+    MemoryFreeEvent,
+    MemsetEvent,
+    OperatorEndEvent,
+    OperatorStartEvent,
+    PastaEvent,
+    RegionEvent,
+    RuntimeApiEvent,
+    SynchronizationEvent,
+    TensorAllocEvent,
+    TensorFreeEvent,
+)
+
+
+class PastaTool:
+    """Base class for user-defined analysis tools.
+
+    Subclasses set :attr:`tool_name` and override whichever ``on_*`` hooks
+    their analysis needs; the default implementations are no-ops.  Tools can
+    restrict which categories they receive via :attr:`subscribed_categories`
+    (``None`` subscribes to everything), which lets the dispatch unit skip
+    irrelevant tools cheaply.
+    """
+
+    #: Registry name of the tool (used for PASTA_TOOL selection).
+    tool_name: str = "pasta_tool"
+    #: Categories the tool wants, or None for all.
+    subscribed_categories: Optional[frozenset[EventCategory]] = None
+    #: Whether the tool needs fine-grained (device-side) instrumentation.
+    requires_fine_grained: bool = False
+
+    def __init__(self) -> None:
+        self.events_received = 0
+
+    # ------------------------------------------------------------------ #
+    # dispatch entry point (called by the event processor)
+    # ------------------------------------------------------------------ #
+    def wants(self, category: EventCategory) -> bool:
+        """True if the tool subscribes to ``category``."""
+        return self.subscribed_categories is None or category in self.subscribed_categories
+
+    def handle_event(self, event: PastaEvent) -> None:
+        """Route one event to the matching ``on_*`` hook."""
+        self.events_received += 1
+        method_name = _DISPATCH.get(event.category)
+        if method_name is not None:
+            getattr(self, method_name)(event)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle hooks
+    # ------------------------------------------------------------------ #
+    def on_session_start(self) -> None:
+        """Called when the owning session starts profiling."""
+
+    def on_session_end(self) -> None:
+        """Called when the owning session stops profiling."""
+
+    def report(self) -> dict[str, object]:
+        """Produce the tool's analysis report (overridden by concrete tools)."""
+        return {"tool": self.tool_name, "events": self.events_received}
+
+    # ------------------------------------------------------------------ #
+    # event hooks (all optional)
+    # ------------------------------------------------------------------ #
+    def on_runtime_api(self, event: RuntimeApiEvent) -> None:
+        """A driver/runtime API call."""
+
+    def on_kernel_launch(self, event: KernelLaunchEvent) -> None:
+        """A kernel launch (coarse-grained)."""
+
+    def on_memory_alloc(self, event: MemoryAllocEvent) -> None:
+        """A driver-level memory allocation."""
+
+    def on_memory_free(self, event: MemoryFreeEvent) -> None:
+        """A driver-level memory free."""
+
+    def on_memcpy(self, event: MemcpyEvent) -> None:
+        """An explicit memory copy."""
+
+    def on_memset(self, event: MemsetEvent) -> None:
+        """A memory-set operation."""
+
+    def on_synchronization(self, event: SynchronizationEvent) -> None:
+        """A stream/device synchronisation."""
+
+    def on_memory_access(self, event: MemoryAccessEvent) -> None:
+        """A sampled fine-grained memory access."""
+
+    def on_instruction(self, event: InstructionEvent) -> None:
+        """A sampled fine-grained non-memory instruction."""
+
+    def on_kernel_memory_profile(self, event: KernelMemoryProfile) -> None:
+        """A GPU-preprocessed per-kernel memory profile."""
+
+    def on_operator_start(self, event: OperatorStartEvent) -> None:
+        """A framework operator started."""
+
+    def on_operator_end(self, event: OperatorEndEvent) -> None:
+        """A framework operator finished."""
+
+    def on_tensor_alloc(self, event: TensorAllocEvent) -> None:
+        """A framework tensor allocation."""
+
+    def on_tensor_free(self, event: TensorFreeEvent) -> None:
+        """A framework tensor reclamation."""
+
+    def on_region(self, event: RegionEvent) -> None:
+        """A user annotation boundary."""
+
+
+#: Category -> hook method name; resolved through ``getattr`` at dispatch time
+#: so subclass overrides are honoured.
+_DISPATCH = {
+    EventCategory.RUNTIME_API: "on_runtime_api",
+    EventCategory.KERNEL_LAUNCH: "on_kernel_launch",
+    EventCategory.MEMORY_ALLOC: "on_memory_alloc",
+    EventCategory.MEMORY_FREE: "on_memory_free",
+    EventCategory.MEMCPY: "on_memcpy",
+    EventCategory.MEMSET: "on_memset",
+    EventCategory.SYNCHRONIZATION: "on_synchronization",
+    EventCategory.MEMORY_ACCESS: "on_memory_access",
+    EventCategory.INSTRUCTION: "on_instruction",
+    EventCategory.KERNEL_MEMORY_PROFILE: "on_kernel_memory_profile",
+    EventCategory.OPERATOR_START: "on_operator_start",
+    EventCategory.OPERATOR_END: "on_operator_end",
+    EventCategory.TENSOR_ALLOC: "on_tensor_alloc",
+    EventCategory.TENSOR_FREE: "on_tensor_free",
+    EventCategory.REGION_START: "on_region",
+    EventCategory.REGION_STOP: "on_region",
+}

@@ -1,0 +1,56 @@
+"""Simulated deep-learning framework substrate.
+
+Stands in for PyTorch: tensors, a caching pool allocator, operators lowered to
+realistic kernels, a module system and model zoo, framework callbacks, and
+data/tensor/pipeline parallel execution over simulated multi-GPU device sets.
+"""
+
+from repro.dlframework.allocator import (
+    AllocatorProfile,
+    AllocatorStats,
+    CachingAllocator,
+    CUDA_ALLOCATOR_PROFILE,
+    HIP_ALLOCATOR_PROFILE,
+    MemoryUsageRecord,
+    round_size,
+)
+from repro.dlframework.backend import (
+    BackendProfile,
+    CUDA_BACKEND,
+    HIP_BACKEND,
+    backend_for_device,
+)
+from repro.dlframework.callbacks import FrameworkCallbackRegistry, OperatorEvent
+from repro.dlframework.context import FrameworkContext, TensorUse, read, readwrite, unused, write
+from repro.dlframework.engine import ExecutionEngine, RunSummary
+from repro.dlframework.optim import Adam, Optimizer, SGD
+from repro.dlframework.tensor import DType, Tensor
+
+__all__ = [
+    "Adam",
+    "AllocatorProfile",
+    "AllocatorStats",
+    "BackendProfile",
+    "CachingAllocator",
+    "CUDA_ALLOCATOR_PROFILE",
+    "CUDA_BACKEND",
+    "DType",
+    "ExecutionEngine",
+    "FrameworkCallbackRegistry",
+    "FrameworkContext",
+    "HIP_ALLOCATOR_PROFILE",
+    "HIP_BACKEND",
+    "MemoryUsageRecord",
+    "OperatorEvent",
+    "Optimizer",
+    "RunSummary",
+    "SGD",
+    "Tensor",
+    "TensorUse",
+    "backend_for_device",
+    "read",
+    "readwrite",
+    "round_size",
+    "unused",
+    "write",
+]

@@ -1,0 +1,385 @@
+"""PyTorch-style caching (pool) allocator for the DL framework substrate.
+
+Contemporary DL frameworks do not call ``cudaMalloc`` per tensor.  They request
+large *segments* from the driver and carve them into blocks, keeping freed
+blocks cached for reuse (PyTorch's ``CUDACachingAllocator``).  Two consequences
+matter for the paper:
+
+* A single driver-level memory object contains many tensors with different
+  lifetimes — the object/tensor granularity mismatch behind the UVM prefetch
+  study (Section V-C1, Figures 11/12).
+* Memory-usage timelines must be reconstructed from framework callbacks
+  (``c10::reportMemoryUsage``-style), not from ``cudaMalloc`` events, because
+  most tensor allocations never reach the driver (Figures 14/15).
+
+The allocator reproduces the behaviours analyses depend on: size rounding,
+small/large pools with different segment sizes, block splitting and coalescing,
+caching of freed blocks, and signed memory-usage callbacks with a logical event
+index.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.errors import AllocatorError
+from repro.dlframework.tensor import DType, Tensor
+from repro.gpusim.device import MiB
+from repro.gpusim.memory import MemoryObject
+from repro.gpusim.runtime import AcceleratorRuntime
+
+_block_ids = itertools.count(1)
+
+#: Allocation request rounding, matching PyTorch's 512-byte granularity.
+ROUND_BYTES = 512
+#: Requests below this size are served from the small pool.
+SMALL_ALLOCATION_LIMIT = 1 * MiB
+
+
+def round_size(nbytes: int, round_to: int = ROUND_BYTES) -> int:
+    """Round a request up to the allocator granularity (minimum one granule)."""
+    if nbytes <= 0:
+        return round_to
+    return ((nbytes + round_to - 1) // round_to) * round_to
+
+
+@dataclass(frozen=True)
+class AllocatorProfile:
+    """Backend-specific allocator behaviour.
+
+    The CUDA and HIP caching allocators share their design but differ in
+    segment sizing and in how aggressively the surrounding framework fuses
+    operators (which changes how many transient tensors exist at all).  The
+    profile captures the allocator-side half; operator fusion lives in
+    :mod:`repro.dlframework.backend`.
+    """
+
+    name: str = "cuda"
+    small_segment_bytes: int = 2 * MiB
+    large_segment_bytes: int = 20 * MiB
+    round_bytes: int = ROUND_BYTES
+    #: Large requests above this fraction of ``large_segment_bytes`` get a
+    #: dedicated segment sized to the request.
+    oversize_threshold: float = 1.0
+
+
+CUDA_ALLOCATOR_PROFILE = AllocatorProfile(name="cuda")
+#: HIP's allocator uses the same design; modelled with smaller large-pool
+#: segments, which yields more driver segments and more splitting activity.
+HIP_ALLOCATOR_PROFILE = AllocatorProfile(name="hip", large_segment_bytes=10 * MiB)
+
+
+@dataclass
+class Block:
+    """One block inside a pool segment."""
+
+    segment: "Segment"
+    offset: int
+    size: int
+    free: bool = True
+    block_id: int = field(default_factory=lambda: next(_block_ids))
+    requested_size: int = 0
+
+    @property
+    def address(self) -> int:
+        """Device address of the block's first byte."""
+        return self.segment.memory_object.address + self.offset
+
+
+@dataclass
+class Segment:
+    """A driver-level memory object managed by the caching allocator."""
+
+    memory_object: MemoryObject
+    pool: str  # "small" or "large"
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Segment capacity in bytes."""
+        return self.memory_object.size
+
+    def free_bytes(self) -> int:
+        """Bytes currently available inside this segment."""
+        return sum(b.size for b in self.blocks if b.free)
+
+
+@dataclass(frozen=True)
+class MemoryUsageRecord:
+    """One framework memory-usage callback (``c10::reportMemoryUsage`` analogue).
+
+    ``delta_bytes`` is positive for allocations and negative for reclamations —
+    the sign convention PASTA's event processor normalises (Section III-G).
+    """
+
+    event_index: int
+    delta_bytes: int
+    allocated_bytes: int
+    reserved_bytes: int
+    device_index: int
+    tensor_id: int
+    tensor_name: str = ""
+    address: int = 0
+    nbytes: int = 0
+
+
+#: Callback signature for memory-usage observers.
+MemoryUsageCallback = Callable[[MemoryUsageRecord], None]
+
+
+@dataclass
+class AllocatorStats:
+    """Aggregate allocator statistics."""
+
+    allocated_bytes: int = 0
+    reserved_bytes: int = 0
+    peak_allocated_bytes: int = 0
+    peak_reserved_bytes: int = 0
+    allocation_count: int = 0
+    free_count: int = 0
+    segment_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class CachingAllocator:
+    """Pool-based tensor allocator sitting on a simulated runtime.
+
+    Parameters
+    ----------
+    runtime:
+        Runtime whose ``malloc``/``malloc_managed`` provides pool segments.
+    profile:
+        Backend-specific sizing behaviour.
+    use_managed_memory:
+        Allocate segments with ``malloc_managed`` so they participate in UVM
+        paging (the configuration used by the prefetching study).
+    """
+
+    def __init__(
+        self,
+        runtime: AcceleratorRuntime,
+        profile: AllocatorProfile = CUDA_ALLOCATOR_PROFILE,
+        use_managed_memory: bool = False,
+    ) -> None:
+        self.runtime = runtime
+        self.profile = profile
+        self.use_managed_memory = use_managed_memory
+        self.segments: list[Segment] = []
+        self.stats = AllocatorStats()
+        self._callbacks: list[MemoryUsageCallback] = []
+        self._event_index = 0
+        self._blocks_by_id: dict[int, Block] = {}
+        #: Timeline of (event_index, allocated_bytes) pairs for usage plots.
+        self.usage_timeline: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # observer registration
+    # ------------------------------------------------------------------ #
+    def register_callback(self, callback: MemoryUsageCallback) -> None:
+        """Register a memory-usage observer (PASTA's framework adapter)."""
+        if callback not in self._callbacks:
+            self._callbacks.append(callback)
+
+    def unregister_callback(self, callback: MemoryUsageCallback) -> None:
+        """Remove a previously registered observer."""
+        if callback in self._callbacks:
+            self._callbacks.remove(callback)
+
+    def _report(self, delta: int, tensor: Tensor) -> None:
+        self._event_index += 1
+        record = MemoryUsageRecord(
+            event_index=self._event_index,
+            delta_bytes=delta,
+            allocated_bytes=self.stats.allocated_bytes,
+            reserved_bytes=self.stats.reserved_bytes,
+            device_index=self.runtime.device.index,
+            tensor_id=tensor.tensor_id,
+            tensor_name=tensor.name,
+            address=tensor.address,
+            nbytes=tensor.nbytes,
+        )
+        self.usage_timeline.append((self._event_index, self.stats.allocated_bytes))
+        for callback in list(self._callbacks):
+            callback(record)
+
+    # ------------------------------------------------------------------ #
+    # segment management
+    # ------------------------------------------------------------------ #
+    def _new_segment(self, pool: str, min_bytes: int) -> Segment:
+        if pool == "small":
+            segment_bytes = self.profile.small_segment_bytes
+        else:
+            segment_bytes = max(self.profile.large_segment_bytes, round_size(min_bytes))
+        tag = f"{self.profile.name}_pool_{pool}"
+        if self.use_managed_memory:
+            obj = self.runtime.malloc_managed(segment_bytes, tag=tag)
+        else:
+            obj = self.runtime.malloc(segment_bytes, tag=tag)
+        segment = Segment(memory_object=obj, pool=pool)
+        segment.blocks.append(Block(segment=segment, offset=0, size=obj.size, free=True))
+        self.segments.append(segment)
+        self.stats.reserved_bytes += obj.size
+        self.stats.peak_reserved_bytes = max(self.stats.peak_reserved_bytes, self.stats.reserved_bytes)
+        self.stats.segment_count += 1
+        return segment
+
+    def _pool_for(self, nbytes: int) -> str:
+        return "small" if nbytes < SMALL_ALLOCATION_LIMIT else "large"
+
+    def _find_free_block(self, pool: str, nbytes: int) -> Optional[Block]:
+        best: Optional[Block] = None
+        for segment in self.segments:
+            if segment.pool != pool:
+                continue
+            for block in segment.blocks:
+                if block.free and block.size >= nbytes:
+                    if best is None or block.size < best.size:
+                        best = block
+        return best
+
+    def _split_block(self, block: Block, nbytes: int) -> Block:
+        remainder = block.size - nbytes
+        if remainder >= self.profile.round_bytes:
+            tail = Block(
+                segment=block.segment,
+                offset=block.offset + nbytes,
+                size=remainder,
+                free=True,
+            )
+            idx = block.segment.blocks.index(block)
+            block.segment.blocks.insert(idx + 1, tail)
+            block.size = nbytes
+        return block
+
+    def _coalesce(self, block: Block) -> None:
+        blocks = block.segment.blocks
+        idx = blocks.index(block)
+        # Merge with the next block if free.
+        if idx + 1 < len(blocks) and blocks[idx + 1].free:
+            nxt = blocks.pop(idx + 1)
+            block.size += nxt.size
+        # Merge with the previous block if free.
+        if idx > 0 and blocks[idx - 1].free:
+            prev = blocks[idx - 1]
+            prev.size += block.size
+            blocks.pop(idx)
+
+    # ------------------------------------------------------------------ #
+    # allocation API
+    # ------------------------------------------------------------------ #
+    def allocate_tensor(
+        self,
+        shape: tuple[int, ...],
+        dtype: DType = DType.FLOAT32,
+        name: str = "",
+        is_parameter: bool = False,
+        requires_grad: bool = False,
+    ) -> Tensor:
+        """Allocate storage for a tensor and report the allocation."""
+        tensor = Tensor(
+            shape=shape,
+            dtype=dtype,
+            name=name,
+            is_parameter=is_parameter,
+            requires_grad=requires_grad,
+            device_index=self.runtime.device.index,
+        )
+        return self.materialize(tensor)
+
+    def materialize(self, tensor: Tensor) -> Tensor:
+        """Assign storage to an existing (unmaterialised) tensor."""
+        nbytes = round_size(max(1, tensor.nbytes), self.profile.round_bytes)
+        pool = self._pool_for(nbytes)
+        block = self._find_free_block(pool, nbytes)
+        if block is None:
+            self.stats.cache_misses += 1
+            segment = self._new_segment(pool, nbytes)
+            block = segment.blocks[0]
+            if block.size < nbytes:
+                raise AllocatorError(
+                    f"new segment of {block.size} bytes cannot satisfy request of {nbytes} bytes"
+                )
+        else:
+            self.stats.cache_hits += 1
+        block = self._split_block(block, nbytes)
+        block.free = False
+        block.requested_size = tensor.nbytes
+        self._blocks_by_id[block.block_id] = block
+
+        tensor.address = block.address
+        tensor.block_id = block.block_id
+        tensor.segment_object_id = block.segment.memory_object.object_id
+        tensor.freed = False
+
+        self.stats.allocated_bytes += block.size
+        self.stats.peak_allocated_bytes = max(
+            self.stats.peak_allocated_bytes, self.stats.allocated_bytes
+        )
+        self.stats.allocation_count += 1
+        self._report(block.size, tensor)
+        return tensor
+
+    def free_tensor(self, tensor: Tensor) -> None:
+        """Release a tensor's storage back to the pool and report the reclamation."""
+        if tensor.block_id is None:
+            raise AllocatorError(f"tensor {tensor.tensor_id} has no allocated storage")
+        block = self._blocks_by_id.get(tensor.block_id)
+        if block is None or block.free:
+            raise AllocatorError(f"double free of tensor {tensor.tensor_id}")
+        block.free = True
+        freed_bytes = block.size
+        self.stats.allocated_bytes -= freed_bytes
+        self.stats.free_count += 1
+        del self._blocks_by_id[block.block_id]
+        self._coalesce(block)
+        tensor.freed = True
+        self._report(-freed_bytes, tensor)
+        tensor.block_id = None
+
+    def free_tensors(self, tensors: Iterable[Tensor]) -> None:
+        """Free several tensors, skipping ones already freed."""
+        for tensor in tensors:
+            if tensor.block_id is not None and not tensor.freed:
+                self.free_tensor(tensor)
+
+    def empty_cache(self) -> int:
+        """Return fully-free segments to the driver; returns bytes released."""
+        released = 0
+        remaining: list[Segment] = []
+        for segment in self.segments:
+            if all(block.free for block in segment.blocks):
+                self.runtime.free(segment.memory_object)
+                released += segment.size
+                self.stats.reserved_bytes -= segment.size
+                self.stats.segment_count -= 1
+            else:
+                remaining.append(segment)
+        self.segments = remaining
+        return released
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def event_count(self) -> int:
+        """Number of allocation/reclamation events reported so far."""
+        return self._event_index
+
+    def segment_for_address(self, address: int) -> Optional[Segment]:
+        """Return the pool segment containing ``address`` (or None)."""
+        for segment in self.segments:
+            obj = segment.memory_object
+            if obj.address <= address < obj.address + obj.size:
+                return segment
+        return None
+
+    def live_tensor_bytes(self) -> int:
+        """Bytes currently handed out to live tensors."""
+        return self.stats.allocated_bytes
+
+    def reserved_bytes(self) -> int:
+        """Bytes of driver memory reserved by the pool."""
+        return self.stats.reserved_bytes

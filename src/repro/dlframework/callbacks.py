@@ -1,0 +1,115 @@
+"""Framework-level callback registry (operator and tensor events).
+
+DL frameworks expose hooks that tools can register with — PyTorch's
+``at::RecordFunction`` for operator start/end and ``c10::reportMemoryUsage``
+for tensor allocation/reclamation.  PASTA's event handler registers with this
+registry to receive *high-level* framework events alongside the *low-level*
+vendor events (Section III-E of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.dlframework.allocator import MemoryUsageRecord
+
+_op_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class OperatorEvent:
+    """One operator start or end event (``at::RecordFunction`` analogue)."""
+
+    op_id: int
+    name: str
+    phase: str  # "start" or "end"
+    device_index: int
+    #: Logical sequence number within the run.
+    sequence: int
+    #: Optional module / layer scope the operator executed under.
+    scope: str = ""
+    #: Number of kernels the operator launched (filled on the end event).
+    kernel_count: int = 0
+    #: Python-level call stack captured at dispatch time (innermost first).
+    python_stack: tuple[str, ...] = ()
+
+
+#: Callback signatures.
+OperatorCallback = Callable[[OperatorEvent], None]
+MemoryCallback = Callable[[MemoryUsageRecord], None]
+
+
+class FrameworkCallbackRegistry:
+    """Holds operator and memory observers and fans events out to them."""
+
+    def __init__(self) -> None:
+        self._operator_callbacks: list[OperatorCallback] = []
+        self._memory_callbacks: list[MemoryCallback] = []
+        self._sequence = 0
+        self.operator_event_count = 0
+        self.memory_event_count = 0
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def add_operator_callback(self, callback: OperatorCallback) -> None:
+        """Register an ``at::RecordFunction``-style observer."""
+        if callback not in self._operator_callbacks:
+            self._operator_callbacks.append(callback)
+
+    def remove_operator_callback(self, callback: OperatorCallback) -> None:
+        """Remove an operator observer."""
+        if callback in self._operator_callbacks:
+            self._operator_callbacks.remove(callback)
+
+    def add_memory_callback(self, callback: MemoryCallback) -> None:
+        """Register a ``c10::reportMemoryUsage``-style observer."""
+        if callback not in self._memory_callbacks:
+            self._memory_callbacks.append(callback)
+
+    def remove_memory_callback(self, callback: MemoryCallback) -> None:
+        """Remove a memory observer."""
+        if callback in self._memory_callbacks:
+            self._memory_callbacks.remove(callback)
+
+    # ------------------------------------------------------------------ #
+    # emission
+    # ------------------------------------------------------------------ #
+    def new_operator_id(self) -> int:
+        """Allocate a fresh operator id."""
+        return next(_op_ids)
+
+    def emit_operator(
+        self,
+        op_id: int,
+        name: str,
+        phase: str,
+        device_index: int,
+        scope: str = "",
+        kernel_count: int = 0,
+        python_stack: tuple[str, ...] = (),
+    ) -> OperatorEvent:
+        """Emit an operator start/end event to all operator observers."""
+        self._sequence += 1
+        event = OperatorEvent(
+            op_id=op_id,
+            name=name,
+            phase=phase,
+            device_index=device_index,
+            sequence=self._sequence,
+            scope=scope,
+            kernel_count=kernel_count,
+            python_stack=python_stack,
+        )
+        self.operator_event_count += 1
+        for callback in list(self._operator_callbacks):
+            callback(event)
+        return event
+
+    def emit_memory(self, record: MemoryUsageRecord) -> None:
+        """Forward a memory-usage record to all memory observers."""
+        self.memory_event_count += 1
+        for callback in list(self._memory_callbacks):
+            callback(record)

@@ -1,0 +1,66 @@
+"""Model zoo: the six DL models evaluated in the paper (Table IV) plus
+Megatron GPT-2 345M for the multi-GPU parallelism study (Figure 15)."""
+
+from typing import Callable
+
+from repro.errors import ModelError
+from repro.dlframework.models.alexnet import AlexNet
+from repro.dlframework.models.base import ModelBase
+from repro.dlframework.models.bert import Bert
+from repro.dlframework.models.gpt2 import Gpt2
+from repro.dlframework.models.megatron import MegatronConfig, MegatronGpt2
+from repro.dlframework.models.resnet import BasicBlock, ResNet, ResNet18, ResNet34
+from repro.dlframework.models.whisper import Whisper
+
+#: Registry of the paper's evaluation models (Table IV abbreviations map to
+#: these names: AN, RN-18, RN-34, GPT-2, BERT, Whisper).
+MODEL_REGISTRY: dict[str, Callable[[], ModelBase]] = {
+    "alexnet": AlexNet,
+    "resnet18": ResNet18,
+    "resnet34": ResNet34,
+    "bert": Bert,
+    "gpt2": Gpt2,
+    "whisper": Whisper,
+    "megatron_gpt2_345m": MegatronGpt2,
+}
+
+#: Abbreviations used in the paper's tables and figures.
+MODEL_ABBREVIATIONS: dict[str, str] = {
+    "alexnet": "AN",
+    "resnet18": "RN-18",
+    "resnet34": "RN-34",
+    "gpt2": "GPT-2",
+    "bert": "BERT",
+    "whisper": "Whisper",
+}
+
+#: The six models of Table IV, in the paper's presentation order.
+PAPER_MODELS: tuple[str, ...] = ("alexnet", "resnet18", "resnet34", "bert", "gpt2", "whisper")
+
+
+def create_model(name: str) -> ModelBase:
+    """Instantiate a model from the registry by name."""
+    key = name.strip().lower()
+    factory = MODEL_REGISTRY.get(key)
+    if factory is None:
+        raise ModelError(f"unknown model {name!r}; known models: {sorted(MODEL_REGISTRY)}")
+    return factory()
+
+
+__all__ = [
+    "AlexNet",
+    "BasicBlock",
+    "Bert",
+    "Gpt2",
+    "MegatronConfig",
+    "MegatronGpt2",
+    "MODEL_ABBREVIATIONS",
+    "MODEL_REGISTRY",
+    "ModelBase",
+    "PAPER_MODELS",
+    "ResNet",
+    "ResNet18",
+    "ResNet34",
+    "Whisper",
+    "create_model",
+]

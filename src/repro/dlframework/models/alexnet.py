@@ -1,0 +1,88 @@
+"""AlexNet (Krizhevsky et al.) for the simulated framework.
+
+The paper evaluates AlexNet with batch size 128 (Table IV).  The layer
+structure follows torchvision's ``alexnet``: five convolutions with ReLU and
+max-pooling, followed by three fully connected layers.
+"""
+
+from __future__ import annotations
+
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.models.base import ModelBase
+from repro.dlframework.modules import (
+    AdaptiveAvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.dlframework.tensor import DType, Tensor
+
+
+class AlexNet(ModelBase):
+    """AlexNet image classifier."""
+
+    model_name = "alexnet"
+    model_type = "CNN"
+    default_batch_size = 128
+    paper_layer_count = 8
+
+    def __init__(self, num_classes: int = 1000) -> None:
+        super().__init__(name="AlexNet")
+        self.features = self.add_module(
+            "features",
+            Sequential(
+                Conv2d(3, 64, kernel_size=11, stride=4, padding=2, name="conv1"),
+                ReLU(name="relu1"),
+                MaxPool2d(kernel_size=3, stride=2, name="pool1"),
+                Conv2d(64, 192, kernel_size=5, padding=2, name="conv2"),
+                ReLU(name="relu2"),
+                MaxPool2d(kernel_size=3, stride=2, name="pool2"),
+                Conv2d(192, 384, kernel_size=3, padding=1, name="conv3"),
+                ReLU(name="relu3"),
+                Conv2d(384, 256, kernel_size=3, padding=1, name="conv4"),
+                ReLU(name="relu4"),
+                Conv2d(256, 256, kernel_size=3, padding=1, name="conv5"),
+                ReLU(name="relu5"),
+                MaxPool2d(kernel_size=3, stride=2, name="pool3"),
+                name="features",
+            ),
+        )
+        self.avgpool = self.add_module("avgpool", AdaptiveAvgPool2d(6, name="avgpool"))
+        self.classifier = self.add_module(
+            "classifier",
+            Sequential(
+                Dropout(0.5, name="drop1"),
+                Flatten(name="flatten"),
+                Linear(256 * 6 * 6, 4096, name="fc1"),
+                ReLU(name="relu6"),
+                Dropout(0.5, name="drop2"),
+                Linear(4096, 4096, name="fc2"),
+                ReLU(name="relu7"),
+                Linear(4096, num_classes, name="fc3"),
+                name="classifier",
+            ),
+        )
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        x = self.features(ctx, x)
+        x = self.avgpool(ctx, x)
+        x = self.classifier(ctx, x)
+        return x
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        grad = self.classifier.backward(ctx, grad_out)
+        grad = self.avgpool.backward(ctx, grad)
+        grad = self.features.backward(ctx, grad)
+        return grad
+
+    def make_example_inputs(self, ctx: FrameworkContext, batch_size: int | None = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch, 3, 224, 224), dtype=DType.FLOAT32, name="input_images")
+
+    def make_example_targets(self, ctx: FrameworkContext, batch_size: int | None = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch,), dtype=DType.INT64, name="labels")

@@ -1,0 +1,81 @@
+"""BERT-base encoder for the simulated framework.
+
+12 transformer encoder layers, hidden size 768, evaluated with batch size 16
+(Table IV).  The sequence length defaults to 256 tokens, a typical fine-tuning
+configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dlframework import ops
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.models.base import ModelBase
+from repro.dlframework.modules import Dropout, Embedding, LayerNorm, Linear, TransformerLayer
+from repro.dlframework.tensor import DType, Tensor
+
+
+class Bert(ModelBase):
+    """BERT-base encoder with a classification head."""
+
+    model_name = "bert"
+    model_type = "Transformer"
+    default_batch_size = 16
+    paper_layer_count = 12
+
+    def __init__(
+        self,
+        vocab_size: int = 30522,
+        hidden: int = 768,
+        num_layers: int = 12,
+        num_heads: int = 12,
+        seq_length: int = 256,
+        num_classes: int = 2,
+    ) -> None:
+        super().__init__(name="BertModel")
+        self.hidden = hidden
+        self.seq_length = seq_length
+        self.token_embedding = self.add_module("embeddings", Embedding(vocab_size, hidden, name="word_embeddings"))
+        self.position_embedding = self.add_module(
+            "position_embeddings", Embedding(512, hidden, name="position_embeddings")
+        )
+        self.embedding_norm = self.add_module("embedding_norm", LayerNorm(hidden, name="embedding_norm"))
+        self.embedding_dropout = self.add_module("embedding_dropout", Dropout(0.1, name="embedding_dropout"))
+        self.layers: list[TransformerLayer] = []
+        for idx in range(num_layers):
+            layer = TransformerLayer(hidden, num_heads, causal=False, name=f"encoder.layer.{idx}")
+            self.layers.append(self.add_module(f"encoder.layer.{idx}", layer))
+        self.pooler = self.add_module("pooler", Linear(hidden, hidden, name="pooler"))
+        self.classifier = self.add_module("classifier", Linear(hidden, num_classes, name="classifier"))
+
+    def forward(self, ctx: FrameworkContext, input_ids: Tensor) -> Tensor:
+        tokens = self.token_embedding(ctx, input_ids)
+        positions = self.position_embedding(ctx, input_ids)
+        hidden_states = ops.add(ctx, tokens, positions)
+        hidden_states = self.embedding_norm(ctx, hidden_states)
+        hidden_states = self.embedding_dropout(ctx, hidden_states)
+        for layer in self.layers:
+            hidden_states = layer(ctx, hidden_states)
+        pooled = self.pooler(ctx, hidden_states)
+        pooled = ops.tanh(ctx, pooled)
+        logits = self.classifier(ctx, pooled)
+        return logits
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        grad = self.classifier.backward(ctx, grad_out)
+        grad = self.pooler.backward(ctx, grad)
+        for layer in reversed(self.layers):
+            grad = layer.backward(ctx, grad)
+        grad = self.embedding_norm.backward(ctx, grad)
+        self.token_embedding.backward(ctx, grad)
+        self.position_embedding.backward(ctx, grad)
+        return grad
+
+    def make_example_inputs(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch, self.seq_length), dtype=DType.INT64, name="input_ids")
+
+    def make_example_targets(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch,), dtype=DType.INT64, name="labels")

@@ -1,0 +1,89 @@
+"""GPT-2 (small, 124M) decoder for the simulated framework.
+
+12 causal transformer layers, hidden size 768, evaluated with batch size 8
+(Table IV).  The language-model head shares the token-embedding weight, so the
+(large) logits tensor is produced by a GEMM against the embedding table — one
+of the dominant memory consumers in the paper's GPT-2 footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dlframework import ops
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.models.base import ModelBase
+from repro.dlframework.modules import Dropout, Embedding, LayerNorm, TransformerLayer
+from repro.dlframework.tensor import DType, Tensor
+
+
+class Gpt2(ModelBase):
+    """GPT-2 small decoder-only language model."""
+
+    model_name = "gpt2"
+    model_type = "Transformer"
+    default_batch_size = 8
+    paper_layer_count = 12
+
+    def __init__(
+        self,
+        vocab_size: int = 50257,
+        hidden: int = 768,
+        num_layers: int = 12,
+        num_heads: int = 12,
+        seq_length: int = 1024,
+    ) -> None:
+        super().__init__(name="GPT2Model")
+        self.vocab_size = vocab_size
+        self.hidden = hidden
+        self.seq_length = seq_length
+        self.wte = self.add_module("wte", Embedding(vocab_size, hidden, name="wte"))
+        self.wpe = self.add_module("wpe", Embedding(seq_length, hidden, name="wpe"))
+        self.dropout = self.add_module("drop", Dropout(0.1, name="drop"))
+        self.layers: list[TransformerLayer] = []
+        for idx in range(num_layers):
+            layer = TransformerLayer(hidden, num_heads, causal=True, name=f"h.{idx}")
+            self.layers.append(self.add_module(f"h.{idx}", layer))
+        self.final_norm = self.add_module("ln_f", LayerNorm(hidden, name="ln_f"))
+
+    def forward(self, ctx: FrameworkContext, input_ids: Tensor) -> Tensor:
+        tokens = self.wte(ctx, input_ids)
+        positions = self.wpe(ctx, input_ids)
+        hidden_states = ops.add(ctx, tokens, positions)
+        hidden_states = self.dropout(ctx, hidden_states)
+        for layer in self.layers:
+            hidden_states = layer(ctx, hidden_states)
+        hidden_states = self.final_norm(ctx, hidden_states)
+        # Tied LM head: logits = hidden @ wte.T, reusing the embedding table.
+        batch, seq, hidden = hidden_states.shape
+        flat = ops.reshape(ctx, hidden_states, (batch * seq, hidden))
+        if self.training:
+            self._lm_head_input = flat
+        logits = ops.linear(ctx, flat, self.wte.get_parameter("weight"), bias=None)
+        return ops.reshape(ctx, logits, (batch, seq, self.vocab_size))
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        batch, seq, _vocab = grad_out.shape
+        flat_grad = ops.reshape(ctx, grad_out, (batch * seq, self.vocab_size))
+        saved = getattr(self, "_lm_head_input", None)
+        if saved is None:
+            saved = ctx.alloc((batch * seq, self.hidden), name="lm_head_saved_hidden")
+        grad_hidden, grad_wte, _ = ops.linear_backward(
+            ctx, flat_grad, saved, self.wte.get_parameter("weight")
+        )
+        self.param_grads = [(self.wte.get_parameter("weight"), grad_wte)]
+        grad = ops.reshape(ctx, grad_hidden, (batch, seq, self.hidden)) if grad_hidden is not None else grad_out
+        grad = self.final_norm.backward(ctx, grad)
+        for layer in reversed(self.layers):
+            grad = layer.backward(ctx, grad)
+        self.wte.backward(ctx, grad)
+        self.wpe.backward(ctx, grad)
+        return grad
+
+    def make_example_inputs(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch, self.seq_length), dtype=DType.INT64, name="input_ids")
+
+    def make_example_targets(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch, self.seq_length), dtype=DType.INT64, name="labels")

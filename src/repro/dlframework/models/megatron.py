@@ -1,0 +1,148 @@
+"""Megatron GPT-2 345M for the multi-GPU parallelism experiments (Figure 15).
+
+24 transformer layers, hidden size 1024, 16 attention heads, sequence length
+1024.  The model supports construction of *shards*: a tensor-parallel shard
+keeps every layer but divides the attention/MLP widths by the tensor-parallel
+degree; a pipeline-parallel shard keeps full-width layers but only a contiguous
+slice of the layer stack (plus the embedding on the first stage and the LM head
+on the last stage — which is why the last pipeline stage shows the heavier tail
+in Figure 15c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ModelError
+from repro.dlframework import ops
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.models.base import ModelBase
+from repro.dlframework.modules import Dropout, Embedding, LayerNorm, Linear, TransformerLayer
+from repro.dlframework.tensor import DType, Tensor
+
+
+@dataclass(frozen=True)
+class MegatronConfig:
+    """Configuration of the Megatron GPT-2 345M model."""
+
+    vocab_size: int = 50257
+    hidden: int = 1024
+    num_layers: int = 24
+    num_heads: int = 16
+    seq_length: int = 1024
+    batch_size: int = 4
+
+
+class MegatronGpt2(ModelBase):
+    """Megatron GPT-2 345M, optionally sharded for TP or PP execution."""
+
+    model_name = "megatron_gpt2_345m"
+    model_type = "Transformer"
+    default_batch_size = 4
+    paper_layer_count = 24
+
+    def __init__(
+        self,
+        config: Optional[MegatronConfig] = None,
+        tensor_parallel_size: int = 1,
+        pipeline_stage: Optional[tuple[int, int]] = None,
+    ) -> None:
+        """Build the full model or one shard of it.
+
+        Parameters
+        ----------
+        tensor_parallel_size:
+            Divide attention/MLP widths by this factor (each rank holds 1/N of
+            every layer's parameters).
+        pipeline_stage:
+            ``(stage_index, num_stages)``; the shard holds only its contiguous
+            slice of the layer stack.  Stage 0 additionally holds the
+            embeddings; the last stage holds the final norm and LM head.
+        """
+        super().__init__(name="MegatronGPT2")
+        self.config = config or MegatronConfig()
+        cfg = self.config
+        if cfg.hidden % tensor_parallel_size != 0:
+            raise ModelError("hidden size must divide evenly across tensor-parallel ranks")
+        self.tensor_parallel_size = tensor_parallel_size
+        self.pipeline_stage = pipeline_stage
+        self.default_batch_size = cfg.batch_size
+
+        shard_hidden = cfg.hidden
+        shard_heads = cfg.num_heads
+        ffn_hidden = 4 * cfg.hidden // tensor_parallel_size
+        if tensor_parallel_size > 1:
+            shard_heads = max(1, cfg.num_heads // tensor_parallel_size)
+
+        first_layer, last_layer = 0, cfg.num_layers
+        self.is_first_stage, self.is_last_stage = True, True
+        if pipeline_stage is not None:
+            stage, num_stages = pipeline_stage
+            if not 0 <= stage < num_stages:
+                raise ModelError(f"invalid pipeline stage {stage} of {num_stages}")
+            per_stage = cfg.num_layers // num_stages
+            first_layer = stage * per_stage
+            last_layer = cfg.num_layers if stage == num_stages - 1 else first_layer + per_stage
+            self.is_first_stage = stage == 0
+            self.is_last_stage = stage == num_stages - 1
+
+        if self.is_first_stage:
+            self.wte = self.add_module("wte", Embedding(cfg.vocab_size, shard_hidden, name="wte"))
+            self.wpe = self.add_module("wpe", Embedding(cfg.seq_length, shard_hidden, name="wpe"))
+            self.drop = self.add_module("drop", Dropout(0.1, name="drop"))
+        self.layers: list[TransformerLayer] = []
+        for idx in range(first_layer, last_layer):
+            layer = TransformerLayer(
+                shard_hidden, shard_heads, ffn_hidden=ffn_hidden, causal=True, name=f"h.{idx}"
+            )
+            self.layers.append(self.add_module(f"h.{idx}", layer))
+        if self.is_last_stage:
+            self.ln_f = self.add_module("ln_f", LayerNorm(shard_hidden, name="ln_f"))
+            self.lm_head = self.add_module(
+                "lm_head", Linear(shard_hidden, cfg.vocab_size // tensor_parallel_size, bias=False, name="lm_head")
+            )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        """Run this shard.  ``x`` is token ids on the first stage and the
+        previous stage's activations otherwise."""
+        cfg = self.config
+        if self.is_first_stage:
+            tokens = self.wte(ctx, x)
+            positions = self.wpe(ctx, x)
+            hidden_states = ops.add(ctx, tokens, positions)
+            hidden_states = self.drop(ctx, hidden_states)
+        else:
+            hidden_states = x
+        for layer in self.layers:
+            hidden_states = layer(ctx, hidden_states)
+        if self.is_last_stage:
+            hidden_states = self.ln_f(ctx, hidden_states)
+            hidden_states = self.lm_head(ctx, hidden_states)
+        return hidden_states
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        grad = grad_out
+        if self.is_last_stage:
+            grad = self.lm_head.backward(ctx, grad)
+            grad = self.ln_f.backward(ctx, grad)
+        for layer in reversed(self.layers):
+            grad = layer.backward(ctx, grad)
+        if self.is_first_stage:
+            self.wte.backward(ctx, grad)
+            self.wpe.backward(ctx, grad)
+        return grad
+
+    def make_example_inputs(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        cfg = self.config
+        if self.is_first_stage:
+            return ctx.alloc((batch, cfg.seq_length), dtype=DType.INT64, name="input_ids")
+        return ctx.alloc((batch, cfg.seq_length, cfg.hidden), dtype=DType.FLOAT32, name="stage_input")
+
+    def make_example_targets(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch, self.config.seq_length), dtype=DType.INT64, name="labels")

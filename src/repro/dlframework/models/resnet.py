@@ -1,0 +1,157 @@
+"""ResNet-18 and ResNet-34 for the simulated framework.
+
+Residual-block CNNs evaluated with batch size 32 in the paper (Table IV).
+The structure follows torchvision: a stem convolution, four stages of basic
+blocks, global average pooling and a classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dlframework import ops
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.models.base import ModelBase
+from repro.dlframework.modules import (
+    AdaptiveAvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.dlframework.tensor import DType, Tensor
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with batch norm and a residual connection."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1, name: str = "BasicBlock") -> None:
+        super().__init__(name=name)
+        self.conv1 = self.add_module("conv1", Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, name="conv1"))
+        self.bn1 = self.add_module("bn1", BatchNorm2d(out_channels, name="bn1"))
+        self.relu = self.add_module("relu", ReLU(name="relu"))
+        self.conv2 = self.add_module("conv2", Conv2d(out_channels, out_channels, 3, padding=1, bias=False, name="conv2"))
+        self.bn2 = self.add_module("bn2", BatchNorm2d(out_channels, name="bn2"))
+        self.downsample: Optional[Sequential] = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = self.add_module(
+                "downsample",
+                Sequential(
+                    Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, name="conv"),
+                    BatchNorm2d(out_channels, name="bn"),
+                    name="downsample",
+                ),
+            )
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        identity = x
+        h1 = self.conv1(ctx, x)
+        h2 = self.bn1(ctx, h1)
+        h2 = self.relu(ctx, h2)
+        h3 = self.conv2(ctx, h2)
+        h4 = self.bn2(ctx, h3)
+        if self.downsample is not None:
+            identity = self.downsample(ctx, x)
+        out = ops.add(ctx, h4, identity)
+        out = self.relu(ctx, out)
+        if not self.training:
+            ctx.free_all([t for t in (h1, h2, h3, h4) if t is not out])
+            if identity is not x and identity is not out:
+                ctx.free(identity)
+        return out
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        grad = self.relu.backward(ctx, grad_out)
+        grad = self.bn2.backward(ctx, grad)
+        grad = self.conv2.backward(ctx, grad)
+        grad = self.relu.backward(ctx, grad)
+        grad = self.bn1.backward(ctx, grad)
+        grad = self.conv1.backward(ctx, grad)
+        if self.downsample is not None:
+            self.downsample.backward(ctx, grad_out)
+        return grad
+
+
+class ResNet(ModelBase):
+    """Generic ResNet built from basic blocks."""
+
+    model_type = "CNN"
+    default_batch_size = 32
+
+    def __init__(self, stage_blocks: Sequence[int], num_classes: int = 1000, name: str = "ResNet") -> None:
+        super().__init__()
+        self.name = name
+        self.stem = self.add_module(
+            "stem",
+            Sequential(
+                Conv2d(3, 64, kernel_size=7, stride=2, padding=3, bias=False, name="conv1"),
+                BatchNorm2d(64, name="bn1"),
+                ReLU(name="relu"),
+                MaxPool2d(kernel_size=3, stride=2, name="maxpool"),
+                name="stem",
+            ),
+        )
+        channels = [64, 128, 256, 512]
+        self.stages: list[Sequential] = []
+        in_channels = 64
+        for stage_idx, (blocks, out_channels) in enumerate(zip(stage_blocks, channels)):
+            layers: list[Module] = []
+            for block_idx in range(blocks):
+                stride = 2 if block_idx == 0 and stage_idx > 0 else 1
+                layers.append(BasicBlock(in_channels, out_channels, stride=stride, name=f"block{block_idx}"))
+                in_channels = out_channels
+            stage = Sequential(*layers, name=f"layer{stage_idx + 1}")
+            self.stages.append(self.add_module(f"layer{stage_idx + 1}", stage))
+        self.avgpool = self.add_module("avgpool", AdaptiveAvgPool2d(1, name="avgpool"))
+        self.flatten = self.add_module("flatten", Flatten(name="flatten"))
+        self.fc = self.add_module("fc", Linear(512, num_classes, name="fc"))
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        x = self.stem(ctx, x)
+        for stage in self.stages:
+            x = stage(ctx, x)
+        x = self.avgpool(ctx, x)
+        x = self.flatten(ctx, x)
+        x = self.fc(ctx, x)
+        return x
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        grad = self.fc.backward(ctx, grad_out)
+        grad = self.flatten.backward(ctx, grad)
+        grad = self.avgpool.backward(ctx, grad)
+        for stage in reversed(self.stages):
+            grad = stage.backward(ctx, grad)
+        grad = self.stem.backward(ctx, grad)
+        return grad
+
+    def make_example_inputs(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch, 3, 224, 224), dtype=DType.FLOAT32, name="input_images")
+
+    def make_example_targets(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch,), dtype=DType.INT64, name="labels")
+
+
+class ResNet18(ResNet):
+    """ResNet-18 (stages of 2/2/2/2 basic blocks)."""
+
+    model_name = "resnet18"
+    paper_layer_count = 18
+
+    def __init__(self, num_classes: int = 1000) -> None:
+        super().__init__((2, 2, 2, 2), num_classes=num_classes, name="ResNet18")
+
+
+class ResNet34(ResNet):
+    """ResNet-34 (stages of 3/4/6/3 basic blocks)."""
+
+    model_name = "resnet34"
+    paper_layer_count = 34
+
+    def __init__(self, num_classes: int = 1000) -> None:
+        super().__init__((3, 4, 6, 3), num_classes=num_classes, name="ResNet34")

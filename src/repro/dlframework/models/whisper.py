@@ -1,0 +1,101 @@
+"""Whisper (small) encoder-decoder for the simulated framework.
+
+Whisper-small: 12 encoder layers and 12 decoder layers with cross-attention,
+hidden size 768, evaluated with batch size 16 (Table IV).  The audio frontend
+(two strided 1-D convolutions over the mel spectrogram) is modelled as
+convolutions over a (batch, mel, frames) input followed by a projection into
+the encoder hidden size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dlframework import ops
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.models.base import ModelBase
+from repro.dlframework.modules import Embedding, GELU, LayerNorm, Linear, TransformerLayer
+from repro.dlframework.tensor import DType, Tensor
+
+
+class Whisper(ModelBase):
+    """Whisper-small speech-to-text model (encoder + decoder)."""
+
+    model_name = "whisper"
+    model_type = "Transformer"
+    default_batch_size = 16
+    paper_layer_count = 12
+
+    def __init__(
+        self,
+        hidden: int = 768,
+        num_layers: int = 12,
+        num_heads: int = 12,
+        mel_bins: int = 80,
+        audio_frames: int = 600,
+        decoder_seq: int = 224,
+        vocab_size: int = 51865,
+    ) -> None:
+        super().__init__(name="WhisperModel")
+        self.hidden = hidden
+        self.mel_bins = mel_bins
+        self.audio_frames = audio_frames
+        self.decoder_seq = decoder_seq
+        self.vocab_size = vocab_size
+        # Audio frontend: mel features projected into the encoder hidden size.
+        self.frontend = self.add_module("conv_frontend", Linear(mel_bins, hidden, name="conv_frontend"))
+        self.frontend_act = self.add_module("frontend_act", GELU(name="frontend_act"))
+        self.encoder_layers: list[TransformerLayer] = []
+        for idx in range(num_layers):
+            layer = TransformerLayer(hidden, num_heads, name=f"encoder.blocks.{idx}")
+            self.encoder_layers.append(self.add_module(f"encoder.blocks.{idx}", layer))
+        self.encoder_norm = self.add_module("encoder.ln_post", LayerNorm(hidden, name="encoder.ln_post"))
+        self.token_embedding = self.add_module("decoder.token_embedding", Embedding(vocab_size, hidden, name="token_embedding"))
+        self.decoder_layers: list[TransformerLayer] = []
+        for idx in range(num_layers):
+            layer = TransformerLayer(
+                hidden, num_heads, causal=True, cross_attention=True, name=f"decoder.blocks.{idx}"
+            )
+            self.decoder_layers.append(self.add_module(f"decoder.blocks.{idx}", layer))
+        self.decoder_norm = self.add_module("decoder.ln", LayerNorm(hidden, name="decoder.ln"))
+        self.lm_head = self.add_module("proj_out", Linear(hidden, vocab_size, bias=False, name="proj_out"))
+
+    def forward(self, ctx: FrameworkContext, mel: Tensor) -> Tensor:
+        # Encoder over audio features.
+        audio = self.frontend(ctx, mel)
+        audio = self.frontend_act(ctx, audio)
+        for layer in self.encoder_layers:
+            audio = layer(ctx, audio)
+        audio = self.encoder_norm(ctx, audio)
+        # Decoder over text tokens, attending to the encoder output.
+        batch = mel.shape[0]
+        token_ids = ctx.alloc((batch, self.decoder_seq), dtype=DType.INT64, name="decoder_input_ids")
+        tokens = self.token_embedding(ctx, token_ids)
+        hidden_states = tokens
+        for layer in self.decoder_layers:
+            hidden_states = layer(ctx, hidden_states)
+        hidden_states = self.decoder_norm(ctx, hidden_states)
+        logits = self.lm_head(ctx, hidden_states)
+        ctx.free(token_ids)
+        return logits
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        grad = self.lm_head.backward(ctx, grad_out)
+        grad = self.decoder_norm.backward(ctx, grad)
+        for layer in reversed(self.decoder_layers):
+            grad = layer.backward(ctx, grad)
+        self.token_embedding.backward(ctx, grad)
+        grad = self.encoder_norm.backward(ctx, grad)
+        for layer in reversed(self.encoder_layers):
+            grad = layer.backward(ctx, grad)
+        grad = self.frontend_act.backward(ctx, grad)
+        grad = self.frontend.backward(ctx, grad)
+        return grad
+
+    def make_example_inputs(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch, self.audio_frames, self.mel_bins), dtype=DType.FLOAT32, name="mel_features")
+
+    def make_example_targets(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
+        batch = batch_size or self.default_batch_size
+        return ctx.alloc((batch, self.decoder_seq), dtype=DType.INT64, name="labels")

@@ -1,0 +1,532 @@
+"""Neural-network modules for the simulated DL framework.
+
+Modules mirror ``torch.nn``: they own parameters, compose into trees, and their
+``__call__`` pushes a module scope so PASTA's synthesised Python call stacks
+and layer-level annotations see realistic nesting.  Each module implements
+
+* ``materialize(ctx)`` — allocate its parameters through the caching allocator
+  (the equivalent of moving a model to the GPU),
+* ``forward(ctx, x)`` — run the forward pass, launching kernels through the
+  operator layer, and
+* ``backward(ctx, grad_out)`` — run the backward pass using activations saved
+  during a training-mode forward, producing parameter gradients.
+
+The backward implementation is deliberately module-local (no taped autograd
+graph): the simulation needs realistic *kernel and allocation behaviour*, not
+numerical gradients.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import ModelError, ShapeError
+from repro.dlframework import ops
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.tensor import DType, Tensor
+
+
+class Module:
+    """Base class for all network modules."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self.training = False
+        self._modules: dict[str, "Module"] = {}
+        self._parameters: dict[str, Tensor] = {}
+        self._param_shapes: dict[str, tuple[tuple[int, ...], DType]] = {}
+        #: (parameter, gradient) pairs produced by the most recent backward.
+        self.param_grads: list[tuple[Tensor, Tensor]] = []
+        #: Activation saved during a training-mode forward for use in backward.
+        self._saved_input: Optional[Tensor] = None
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def add_module(self, name: str, module: "Module") -> "Module":
+        """Register a child module under ``name``."""
+        module.name = name
+        self._modules[name] = module
+        return module
+
+    def declare_parameter(
+        self, name: str, shape: tuple[int, ...], dtype: DType = DType.FLOAT32
+    ) -> None:
+        """Declare (but do not yet allocate) a parameter."""
+        self._param_shapes[name] = (shape, dtype)
+
+    def get_parameter(self, name: str) -> Tensor:
+        """Return a materialised parameter by name."""
+        try:
+            return self._parameters[name]
+        except KeyError:
+            raise ModelError(
+                f"parameter {name!r} of module {self.name!r} is not materialised; "
+                "call materialize(ctx) first"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def materialize(self, ctx: FrameworkContext, prefix: str = "") -> None:
+        """Allocate this module's parameters (and its children's) on the device."""
+        scope = f"{prefix}.{self.name}" if prefix else self.name
+        for pname, (shape, dtype) in self._param_shapes.items():
+            if pname not in self._parameters:
+                self._parameters[pname] = ctx.alloc(
+                    shape,
+                    dtype=dtype,
+                    name=f"{scope}.{pname}",
+                    is_parameter=True,
+                    requires_grad=True,
+                )
+        for child in self._modules.values():
+            child.materialize(ctx, prefix=scope)
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively."""
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield all materialised parameters in the subtree."""
+        yield from self._parameters.values()
+        for child in self._modules.values():
+            yield from child.parameters()
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield the module and all descendants."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def parameter_bytes(self) -> int:
+        """Total bytes of materialised parameters in the subtree."""
+        return sum(p.nbytes for p in self.parameters())
+
+    def clear_grads(self) -> None:
+        """Drop gradient references collected by the last backward pass."""
+        self.param_grads = []
+        for child in self._modules.values():
+            child.clear_grads()
+
+    def collect_param_grads(self) -> list[tuple[Tensor, Tensor]]:
+        """All (parameter, gradient) pairs produced by the last backward pass."""
+        pairs = list(self.param_grads)
+        for child in self._modules.values():
+            pairs.extend(child.collect_param_grads())
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def __call__(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        with ctx.module_scope(self.name):
+            return self.forward(ctx, x)
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        """Forward computation; must be overridden."""
+        raise NotImplementedError
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        """Backward computation; default is a pass-through."""
+        return grad_out
+
+    def _save_for_backward(self, x: Tensor) -> None:
+        if self.training:
+            self._saved_input = x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, children={len(self._modules)})"
+
+
+class Sequential(Module):
+    """Runs child modules in order; backward runs them in reverse."""
+
+    def __init__(self, *layers: Module, name: str = "Sequential") -> None:
+        super().__init__(name=name)
+        self.layers: list[Module] = []
+        for idx, layer in enumerate(layers):
+            self.layers.append(self.add_module(f"{idx}", layer))
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        original = x
+        for layer in self.layers:
+            y = layer(ctx, x)
+            # In eval mode intermediates are reclaimed as soon as the next
+            # layer has consumed them (reference-count semantics); in training
+            # mode they stay alive for the backward pass.
+            if not self.training and x is not original and y is not x:
+                ctx.free(x)
+            x = y
+        return x
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(ctx, grad)
+        return grad
+
+
+class Linear(Module):
+    """Fully connected layer."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, name: str = "Linear") -> None:
+        super().__init__(name=name)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.has_bias = bias
+        self.declare_parameter("weight", (out_features, in_features))
+        if bias:
+            self.declare_parameter("bias", (out_features,))
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        self._save_for_backward(x)
+        bias = self.get_parameter("bias") if self.has_bias else None
+        return ops.linear(ctx, x, self.get_parameter("weight"), bias)
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        if self._saved_input is None:
+            raise ModelError(f"backward called on {self.name!r} without a training forward")
+        weight = self.get_parameter("weight")
+        grad_in, grad_w, grad_b = ops.linear_backward(ctx, grad_out, self._saved_input, weight)
+        self.param_grads = [(weight, grad_w)]
+        if self.has_bias:
+            self.param_grads.append((self.get_parameter("bias"), grad_b))
+        return grad_in if grad_in is not None else grad_out
+
+
+class Conv2d(Module):
+    """2-D convolution layer."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        name: str = "Conv2d",
+    ) -> None:
+        super().__init__(name=name)
+        self.stride = stride
+        self.padding = padding
+        self.has_bias = bias
+        self.declare_parameter("weight", (out_channels, in_channels, kernel_size, kernel_size))
+        if bias:
+            self.declare_parameter("bias", (out_channels,))
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        self._save_for_backward(x)
+        bias = self.get_parameter("bias") if self.has_bias else None
+        return ops.conv2d(ctx, x, self.get_parameter("weight"), bias, self.stride, self.padding)
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        if self._saved_input is None:
+            raise ModelError(f"backward called on {self.name!r} without a training forward")
+        weight = self.get_parameter("weight")
+        grad_in, grad_w, grad_b = ops.conv2d_backward(ctx, grad_out, self._saved_input, weight)
+        self.param_grads = [(weight, grad_w)]
+        if self.has_bias:
+            self.param_grads.append((self.get_parameter("bias"), grad_b))
+        return grad_in if grad_in is not None else grad_out
+
+
+class ReLU(Module):
+    """ReLU activation."""
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        return ops.relu(ctx, x, inplace=not self.training)
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        return ops.elementwise_backward(ctx, grad_out, "relu")
+
+
+class GELU(Module):
+    """GELU activation."""
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        return ops.gelu(ctx, x)
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        return ops.elementwise_backward(ctx, grad_out, "gelu")
+
+
+class Dropout(Module):
+    """Dropout (identity in eval mode)."""
+
+    def __init__(self, p: float = 0.1, name: str = "Dropout") -> None:
+        super().__init__(name=name)
+        self.p = p
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        return ops.dropout(ctx, x, p=self.p, training=self.training)
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        if self.p <= 0.0:
+            return grad_out
+        return ops.elementwise_backward(ctx, grad_out, "dropout")
+
+
+class MaxPool2d(Module):
+    """Max pooling."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, name: str = "MaxPool2d") -> None:
+        super().__init__(name=name)
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        self._save_for_backward(x)
+        return ops.max_pool2d(ctx, x, self.kernel_size, self.stride)
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        if self._saved_input is None:
+            return grad_out
+        return ops.pool_backward(ctx, grad_out, self._saved_input, kind="max")
+
+
+class AdaptiveAvgPool2d(Module):
+    """Adaptive average pooling to a square output."""
+
+    def __init__(self, output_size: int, name: str = "AdaptiveAvgPool2d") -> None:
+        super().__init__(name=name)
+        self.output_size = output_size
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        self._save_for_backward(x)
+        return ops.adaptive_avg_pool2d(ctx, x, self.output_size)
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        if self._saved_input is None:
+            return grad_out
+        return ops.pool_backward(ctx, grad_out, self._saved_input, kind="avg")
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension (metadata only)."""
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        self._save_for_backward(x)
+        return ops.reshape(ctx, x, (x.shape[0], x.numel // max(1, x.shape[0])))
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        if self._saved_input is None:
+            return grad_out
+        return ops.reshape(ctx, grad_out, self._saved_input.shape)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, hidden: int, name: str = "LayerNorm") -> None:
+        super().__init__(name=name)
+        self.declare_parameter("weight", (hidden,))
+        self.declare_parameter("bias", (hidden,))
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        self._save_for_backward(x)
+        return ops.layer_norm(ctx, x, self.get_parameter("weight"), self.get_parameter("bias"))
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        if self._saved_input is None:
+            return grad_out
+        weight = self.get_parameter("weight")
+        grad_w = ctx.alloc(weight.shape, name=f"{self.name}.grad_weight")
+        grad_b = ctx.alloc(weight.shape, name=f"{self.name}.grad_bias")
+        self.param_grads = [(weight, grad_w), (self.get_parameter("bias"), grad_b)]
+        return ops.norm_backward(ctx, grad_out, self._saved_input, kind="layer")
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over NCHW activations."""
+
+    def __init__(self, channels: int, name: str = "BatchNorm2d") -> None:
+        super().__init__(name=name)
+        self.declare_parameter("weight", (channels,))
+        self.declare_parameter("bias", (channels,))
+        self.declare_parameter("running_mean", (channels,))
+        self.declare_parameter("running_var", (channels,))
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        self._save_for_backward(x)
+        return ops.batch_norm2d(
+            ctx,
+            x,
+            self.get_parameter("weight"),
+            self.get_parameter("bias"),
+            self.get_parameter("running_mean"),
+            self.get_parameter("running_var"),
+            training=self.training,
+        )
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        if self._saved_input is None:
+            return grad_out
+        weight = self.get_parameter("weight")
+        grad_w = ctx.alloc(weight.shape, name=f"{self.name}.grad_weight")
+        grad_b = ctx.alloc(weight.shape, name=f"{self.name}.grad_bias")
+        self.param_grads = [(weight, grad_w), (self.get_parameter("bias"), grad_b)]
+        return ops.norm_backward(ctx, grad_out, self._saved_input, kind="batch")
+
+
+class Embedding(Module):
+    """Token embedding table."""
+
+    def __init__(self, vocab_size: int, hidden: int, name: str = "Embedding") -> None:
+        super().__init__(name=name)
+        self.vocab_size = vocab_size
+        self.hidden = hidden
+        self.declare_parameter("weight", (vocab_size, hidden))
+
+    def forward(self, ctx: FrameworkContext, indices: Tensor) -> Tensor:
+        self._save_for_backward(indices)
+        return ops.embedding(ctx, indices, self.get_parameter("weight"))
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        if self._saved_input is None:
+            return grad_out
+        weight = self.get_parameter("weight")
+        grad_w = ops.embedding_backward(ctx, grad_out, self._saved_input, weight)
+        self.param_grads = [(weight, grad_w)]
+        return grad_out
+
+
+class MultiheadSelfAttention(Module):
+    """Multi-head self-attention block (QKV projection, SDPA, output projection)."""
+
+    def __init__(self, hidden: int, num_heads: int, causal: bool = False, name: str = "SelfAttention") -> None:
+        super().__init__(name=name)
+        if hidden % num_heads != 0:
+            raise ShapeError(f"hidden size {hidden} not divisible by {num_heads} heads")
+        self.hidden = hidden
+        self.num_heads = num_heads
+        self.causal = causal
+        self.qkv = self.add_module("qkv_proj", Linear(hidden, 3 * hidden, name="qkv_proj"))
+        self.out_proj = self.add_module("out_proj", Linear(hidden, hidden, name="out_proj"))
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        self._save_for_backward(x)
+        batch, seq, hidden = x.shape
+        head_dim = hidden // self.num_heads
+        qkv = self.qkv(ctx, x)  # (batch, seq, 3*hidden)
+        # Permute-and-split of the fused QKV projection into head-major Q/K/V
+        # buffers.  PyTorch materialises this with a copy kernel because the
+        # head-major layout is not a contiguous view of the projection output.
+        with ctx.module_scope("qkv_split"):
+            q = ctx.alloc((batch * self.num_heads, seq, head_dim), dtype=x.dtype, name="q_heads")
+            k = ctx.alloc((batch * self.num_heads, seq, head_dim), dtype=x.dtype, name="k_heads")
+            v = ctx.alloc((batch * self.num_heads, seq, head_dim), dtype=x.dtype, name="v_heads")
+            with ctx.op("aten::split_with_sizes"):
+                ctx.launch(
+                    ctx.backend.copy_kernel_name(),
+                    [ops.read(qkv), ops.write(q), ops.write(k), ops.write(v)],
+                    flops=0.0,
+                    grid_elements=qkv.numel,
+                )
+        attn = ops.scaled_dot_product_attention(ctx, q, k, v, causal=self.causal)
+        context = ops.contiguous_copy(
+            ctx, ops.reshape(ctx, attn, (batch, seq, hidden)), name="attn_context"
+        )
+        out = self.out_proj(ctx, context)
+        ctx.free_all([qkv, q, k, v, attn, context])
+        return out
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        batch, seq, hidden = grad_out.shape
+        grad_context = self.out_proj.backward(ctx, grad_out)
+        # Attention backward: two matmuls per head group plus a softmax
+        # backward, mirroring the forward decomposition.
+        head_dim = hidden // self.num_heads
+        probs = ctx.alloc((batch * self.num_heads, seq, seq), dtype=grad_out.dtype, name="attn_probs_grad")
+        grad_scores = ops.softmax_backward(ctx, probs, probs)
+        grad_qkv = ctx.alloc((batch, seq, 3 * hidden), dtype=grad_out.dtype, name="grad_qkv")
+        with ctx.op("aten::_scaled_dot_product_attention_backward"):
+            ctx.launch(
+                ctx.backend.gemm_kernel_name(seq, head_dim, seq),
+                [ops.read(grad_context), ops.read(grad_scores), ops.write(grad_qkv)],
+                flops=4.0 * batch * self.num_heads * seq * seq * head_dim,
+                grid_elements=grad_qkv.numel,
+            )
+        grad_in = self.qkv.backward(ctx, grad_qkv)
+        ctx.free_all([probs, grad_scores, grad_qkv, grad_context])
+        self.param_grads = []
+        return grad_in
+
+
+class TransformerLayer(Module):
+    """One transformer block: self-attention + MLP with residuals and layer norms.
+
+    ``cross_attention=True`` adds a second attention block, turning the layer
+    into a decoder layer attending over encoder state (used by Whisper).
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        num_heads: int,
+        ffn_hidden: Optional[int] = None,
+        causal: bool = False,
+        cross_attention: bool = False,
+        dropout_p: float = 0.1,
+        name: str = "TransformerLayer",
+    ) -> None:
+        super().__init__(name=name)
+        ffn_hidden = ffn_hidden or 4 * hidden
+        self.ln1 = self.add_module("ln1", LayerNorm(hidden, name="ln1"))
+        self.attn = self.add_module("attn", MultiheadSelfAttention(hidden, num_heads, causal=causal, name="attn"))
+        self.cross_attn: Optional[MultiheadSelfAttention] = None
+        if cross_attention:
+            self.ln_cross = self.add_module("ln_cross", LayerNorm(hidden, name="ln_cross"))
+            self.cross_attn = self.add_module(
+                "cross_attn", MultiheadSelfAttention(hidden, num_heads, name="cross_attn")
+            )
+        self.ln2 = self.add_module("ln2", LayerNorm(hidden, name="ln2"))
+        self.fc1 = self.add_module("fc1", Linear(hidden, ffn_hidden, name="fc1"))
+        self.act = self.add_module("act", GELU(name="act"))
+        self.fc2 = self.add_module("fc2", Linear(ffn_hidden, hidden, name="fc2"))
+        self.dropout = self.add_module("dropout", Dropout(dropout_p, name="dropout"))
+
+    def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
+        transient: list[Tensor] = []
+        normed = self.ln1(ctx, x)
+        attn_out = self.attn(ctx, normed)
+        residual = ops.add(ctx, x, attn_out)
+        transient.extend([normed, attn_out])
+        x = residual
+        if self.cross_attn is not None:
+            cross_normed = self.ln_cross(ctx, x)
+            cross_out = self.cross_attn(ctx, cross_normed)
+            x = ops.add(ctx, x, cross_out)
+            transient.extend([cross_normed, cross_out, residual])
+        normed2 = self.ln2(ctx, x)
+        h1 = self.fc1(ctx, normed2)
+        h2 = self.act(ctx, h1)
+        h3 = self.dropout(ctx, h2)
+        h4 = self.fc2(ctx, h3)
+        out = ops.add(ctx, x, h4)
+        transient.extend([normed2, h1, h2, h3, h4, x])
+        if not self.training:
+            # Reference-count reclamation of intermediates in eval mode.
+            ctx.free_all([t for t in transient if t is not out])
+        return out
+
+    def backward(self, ctx: FrameworkContext, grad_out: Tensor) -> Tensor:
+        grad = self.fc2.backward(ctx, grad_out)
+        grad = self.act.backward(ctx, grad)
+        grad = self.fc1.backward(ctx, grad)
+        grad = self.ln2.backward(ctx, grad)
+        if self.cross_attn is not None:
+            grad = self.cross_attn.backward(ctx, grad)
+            grad = self.ln_cross.backward(ctx, grad)
+        grad = self.attn.backward(ctx, grad)
+        grad = self.ln1.backward(ctx, grad)
+        return grad

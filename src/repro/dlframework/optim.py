@@ -1,0 +1,88 @@
+"""Optimizers for the simulated framework: SGD and Adam.
+
+Optimizer state follows the real frameworks' behaviour that matters for memory
+analysis: Adam keeps two float32 moment buffers per parameter (allocated
+lazily on the first step and persistent afterwards), which is a large part of
+why training footprints in Table V exceed inference footprints.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import FrameworkError
+from repro.dlframework import ops
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: Sequence[Tensor]) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise FrameworkError("optimizer requires at least one parameter")
+
+    def step(self, ctx: FrameworkContext, grads_by_param: dict[int, Tensor]) -> None:
+        """Apply one update given a map from parameter tensor_id to gradient."""
+        raise NotImplementedError
+
+    def _ordered_grads(self, grads_by_param: dict[int, Tensor]) -> tuple[list[Tensor], list[Tensor]]:
+        params, grads = [], []
+        for param in self.params:
+            grad = grads_by_param.get(param.tensor_id)
+            if grad is not None:
+                params.append(param)
+                grads.append(grad)
+        return params, grads
+
+
+class SGD(Optimizer):
+    """Plain SGD (no momentum buffers)."""
+
+    def __init__(self, params: Sequence[Tensor], lr: float = 0.01) -> None:
+        super().__init__(params)
+        self.lr = lr
+
+    def step(self, ctx: FrameworkContext, grads_by_param: dict[int, Tensor]) -> None:
+        params, grads = self._ordered_grads(grads_by_param)
+        if params:
+            ops.sgd_step(ctx, params, grads)
+
+
+class Adam(Optimizer):
+    """Adam with persistent first/second moment state per parameter."""
+
+    def __init__(self, params: Sequence[Tensor], lr: float = 1e-4) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self._exp_avg: dict[int, Tensor] = {}
+        self._exp_avg_sq: dict[int, Tensor] = {}
+
+    def state_bytes(self) -> int:
+        """Bytes of optimizer state currently allocated."""
+        return sum(t.nbytes for t in self._exp_avg.values()) + sum(
+            t.nbytes for t in self._exp_avg_sq.values()
+        )
+
+    def _ensure_state(self, ctx: FrameworkContext, params: Sequence[Tensor]) -> None:
+        for param in params:
+            if param.tensor_id not in self._exp_avg:
+                self._exp_avg[param.tensor_id] = ctx.alloc(
+                    param.shape, dtype=param.dtype,
+                    name=f"{param.name}.exp_avg", is_parameter=True,
+                )
+                self._exp_avg_sq[param.tensor_id] = ctx.alloc(
+                    param.shape, dtype=param.dtype,
+                    name=f"{param.name}.exp_avg_sq", is_parameter=True,
+                )
+
+    def step(self, ctx: FrameworkContext, grads_by_param: dict[int, Tensor]) -> None:
+        params, grads = self._ordered_grads(grads_by_param)
+        if not params:
+            return
+        self._ensure_state(ctx, params)
+        exp_avg = [self._exp_avg[p.tensor_id] for p in params]
+        exp_avg_sq = [self._exp_avg_sq[p.tensor_id] for p in params]
+        ops.adam_step(ctx, params, grads, exp_avg, exp_avg_sq)

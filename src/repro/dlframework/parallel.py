@@ -1,0 +1,247 @@
+"""Multi-GPU parallelism strategies: data, tensor and pipeline parallelism.
+
+Section V-D2 of the paper profiles one training iteration of Megatron GPT-2
+345M on two A100s under three parallelism strategies and shows that:
+
+* **Data parallelism (DP)** — each rank holds a full replica and the two GPUs'
+  memory timelines are identical;
+* **Tensor parallelism (TP)** — every layer is split across ranks, the
+  timelines are again symmetric but the peak is roughly half of DP's;
+* **Pipeline parallelism (PP)** — the layer stack is split at the midpoint, so
+  the last stage (which also owns the final norm and the LM head that produces
+  the large logits tensor) shows a heavier tail than the first stage.
+
+The runners here reproduce those semantics over a simulated
+:class:`~repro.gpusim.multigpu.DeviceSet`: one :class:`FrameworkContext` per
+rank, gradient all-reduce for DP, activation all-reduce for TP, and activation
+send/recv for PP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import FrameworkError
+from repro.dlframework import ops
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.engine import ExecutionEngine
+from repro.dlframework.models.base import ModelBase
+from repro.dlframework.models.megatron import MegatronConfig, MegatronGpt2
+from repro.dlframework.optim import Adam
+from repro.gpusim.multigpu import DeviceSet
+from repro.gpusim.runtime import MemcpyKind
+
+
+@dataclass
+class ParallelRunResult:
+    """Per-rank outcome of one parallel training iteration."""
+
+    strategy: str
+    contexts: list[FrameworkContext]
+
+    def usage_timelines(self) -> list[list[tuple[int, int]]]:
+        """Per-rank (event_index, allocated_bytes) timelines (Figure 15's y-axis)."""
+        return [list(ctx.allocator.usage_timeline) for ctx in self.contexts]
+
+    def peak_bytes(self) -> list[int]:
+        """Per-rank peak allocated bytes."""
+        return [ctx.allocator.stats.peak_allocated_bytes for ctx in self.contexts]
+
+    def allocation_event_counts(self) -> list[int]:
+        """Per-rank number of allocation/reclamation events."""
+        return [ctx.allocator.event_count for ctx in self.contexts]
+
+
+class ParallelRunner:
+    """Base class for multi-GPU training runners."""
+
+    strategy = "none"
+
+    def __init__(self, device_set: DeviceSet, config: Optional[MegatronConfig] = None) -> None:
+        if len(device_set) < 2:
+            raise FrameworkError("parallel runners require at least two devices")
+        self.device_set = device_set
+        self.config = config or MegatronConfig()
+        self.contexts = [FrameworkContext(rt) for rt in device_set]
+        self.models: list[MegatronGpt2] = []
+        self._build_models()
+        for ctx, model in zip(self.contexts, self.models):
+            model.materialize(ctx)
+        self.optimizers = [
+            Adam(list(model.parameters())) for model in self.models
+        ]
+
+    def _build_models(self) -> None:
+        raise NotImplementedError
+
+    def run_iteration(self) -> ParallelRunResult:
+        """Run one training iteration across all ranks."""
+        raise NotImplementedError
+
+    @property
+    def world_size(self) -> int:
+        """Number of ranks."""
+        return len(self.device_set)
+
+    def _train_step_local(self, rank: int) -> None:
+        """Forward + loss + backward on one rank (no cross-rank communication)."""
+        ctx, model = self.contexts[rank], self.models[rank]
+        model.train()
+        model.clear_grads()
+        inputs = model.make_example_inputs(ctx)
+        targets = model.make_example_targets(ctx)
+        ctx.copy_to_device(inputs)
+        ctx.copy_to_device(targets)
+        logits = model(ctx, inputs)
+        ops.cross_entropy(ctx, logits, targets)
+        grad_logits = ctx.alloc(logits.shape, dtype=logits.dtype, name="grad_logits")
+        model.backward(ctx, grad_logits)
+
+    def _optimizer_step(self, rank: int) -> None:
+        ctx, model = self.contexts[rank], self.models[rank]
+        grads = {p.tensor_id: g for p, g in model.collect_param_grads()}
+        self.optimizers[rank].step(ctx, grads)
+        ctx.synchronize()
+        ctx.release_transients()
+
+
+class DataParallelRunner(ParallelRunner):
+    """Each rank holds a full model replica; gradients are all-reduced."""
+
+    strategy = "data_parallel"
+
+    def _build_models(self) -> None:
+        self.models = [MegatronGpt2(self.config) for _ in range(self.world_size)]
+
+    def run_iteration(self) -> ParallelRunResult:
+        for rank in range(self.world_size):
+            self._train_step_local(rank)
+        # Gradient all-reduce across replicas (one collective per rank).
+        for rank in range(self.world_size):
+            ctx, model = self.contexts[rank], self.models[rank]
+            for _param, grad in model.collect_param_grads():
+                ops.all_reduce(ctx, grad, world_size=self.world_size)
+        for rank in range(self.world_size):
+            self._optimizer_step(rank)
+        return ParallelRunResult(self.strategy, self.contexts)
+
+
+class TensorParallelRunner(ParallelRunner):
+    """Every layer is sharded across ranks; activations are all-reduced."""
+
+    strategy = "tensor_parallel"
+
+    def _build_models(self) -> None:
+        self.models = [
+            MegatronGpt2(self.config, tensor_parallel_size=self.world_size)
+            for _ in range(self.world_size)
+        ]
+
+    def run_iteration(self) -> ParallelRunResult:
+        for rank in range(self.world_size):
+            ctx, model = self.contexts[rank], self.models[rank]
+            model.train()
+            model.clear_grads()
+            inputs = model.make_example_inputs(ctx)
+            targets = model.make_example_targets(ctx)
+            ctx.copy_to_device(inputs)
+            ctx.copy_to_device(targets)
+            logits = model(ctx, inputs)
+            # Row-parallel output layers all-reduce their partial activations.
+            ops.all_reduce(ctx, logits, world_size=self.world_size)
+            ops.cross_entropy(ctx, logits, targets)
+            grad_logits = ctx.alloc(logits.shape, dtype=logits.dtype, name="grad_logits")
+            model.backward(ctx, grad_logits)
+            # Backward all-reduce of input gradients.
+            ops.all_reduce(ctx, grad_logits, world_size=self.world_size)
+        for rank in range(self.world_size):
+            self._optimizer_step(rank)
+        return ParallelRunResult(self.strategy, self.contexts)
+
+
+class PipelineParallelRunner(ParallelRunner):
+    """The layer stack is split across ranks; activations flow stage to stage."""
+
+    strategy = "pipeline_parallel"
+
+    def __init__(
+        self,
+        device_set: DeviceSet,
+        config: Optional[MegatronConfig] = None,
+        num_microbatches: int = 2,
+    ) -> None:
+        self.num_microbatches = num_microbatches
+        super().__init__(device_set, config)
+
+    def _build_models(self) -> None:
+        self.models = [
+            MegatronGpt2(self.config, pipeline_stage=(rank, self.world_size))
+            for rank in range(self.world_size)
+        ]
+
+    def run_iteration(self) -> ParallelRunResult:
+        cfg = self.config
+        micro_batch = max(1, cfg.batch_size // self.num_microbatches)
+        for _micro in range(self.num_microbatches):
+            stage_activation = None
+            # Forward through the pipeline stages.
+            for rank in range(self.world_size):
+                ctx, model = self.contexts[rank], self.models[rank]
+                model.train()
+                if rank == 0:
+                    model.clear_grads()
+                    inputs = model.make_example_inputs(ctx, micro_batch)
+                    ctx.copy_to_device(inputs)
+                else:
+                    inputs = ctx.alloc(
+                        (micro_batch, cfg.seq_length, cfg.hidden), name="recv_activation"
+                    )
+                    ops.send_recv(ctx, inputs, direction="recv")
+                stage_activation = model(ctx, inputs)
+                if rank < self.world_size - 1:
+                    ops.send_recv(ctx, stage_activation, direction="send")
+                    self.contexts[rank].runtime.memcpy(
+                        stage_activation.nbytes, MemcpyKind.DEVICE_TO_DEVICE,
+                        src_address=stage_activation.address,
+                    )
+            # Loss and backward on the last stage, then grads flow backwards.
+            last = self.world_size - 1
+            ctx_last, model_last = self.contexts[last], self.models[last]
+            targets = model_last.make_example_targets(ctx_last, micro_batch)
+            ops.cross_entropy(ctx_last, stage_activation, targets)
+            grad = ctx_last.alloc(stage_activation.shape, name="grad_stage_out")
+            for rank in range(self.world_size - 1, -1, -1):
+                ctx, model = self.contexts[rank], self.models[rank]
+                if rank != self.world_size - 1:
+                    grad = ctx.alloc(
+                        (micro_batch, cfg.seq_length, cfg.hidden), name="recv_grad"
+                    )
+                    ops.send_recv(ctx, grad, direction="recv")
+                grad = model.backward(ctx, grad)
+                if rank > 0:
+                    ops.send_recv(ctx, grad, direction="send")
+        for rank in range(self.world_size):
+            self._optimizer_step(rank)
+        return ParallelRunResult(self.strategy, self.contexts)
+
+
+#: Registry of parallelism strategies for the experiment harness.
+PARALLEL_RUNNERS: dict[str, type[ParallelRunner]] = {
+    "data_parallel": DataParallelRunner,
+    "tensor_parallel": TensorParallelRunner,
+    "pipeline_parallel": PipelineParallelRunner,
+}
+
+
+def create_parallel_runner(
+    strategy: str, device_set: DeviceSet, config: Optional[MegatronConfig] = None
+) -> ParallelRunner:
+    """Instantiate a parallel training runner by strategy name."""
+    key = strategy.strip().lower()
+    runner_cls = PARALLEL_RUNNERS.get(key)
+    if runner_cls is None:
+        raise FrameworkError(
+            f"unknown parallelism strategy {strategy!r}; known: {sorted(PARALLEL_RUNNERS)}"
+        )
+    return runner_cls(device_set, config)

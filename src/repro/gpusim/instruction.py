@@ -1,0 +1,117 @@
+"""Instruction-level records produced by simulated kernels.
+
+PASTA's fine-grained analyses (Table II: global/shared memory accesses, barrier
+instructions, device function calls, ...) consume per-thread instruction
+records.  Real hardware produces these through binary instrumentation (Compute
+Sanitizer patches or NVBit SASS injection); the simulator produces them
+directly from the kernel's declared memory behaviour.
+
+Only the fields that PASTA's analyses need are modelled: the instruction kind,
+the issuing thread coordinates, the referenced address/size for memory
+operations, and a flag for whether the access is a read or a write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class InstructionKind(str, Enum):
+    """Device-side operation categories (mirrors the fine-grained rows of Table II)."""
+
+    GLOBAL_LOAD = "global_load"
+    GLOBAL_STORE = "global_store"
+    SHARED_LOAD = "shared_load"
+    SHARED_STORE = "shared_store"
+    BARRIER = "barrier"
+    BLOCK_ENTRY = "block_entry"
+    BLOCK_EXIT = "block_exit"
+    DEVICE_CALL = "device_call"
+    DEVICE_RETURN = "device_return"
+    DEVICE_MALLOC = "device_malloc"
+    DEVICE_FREE = "device_free"
+    GLOBAL_TO_SHARED_COPY = "global_to_shared_copy"
+    PIPELINE_COMMIT = "pipeline_commit"
+    PIPELINE_WAIT = "pipeline_wait"
+    REMOTE_SHARED_ACCESS = "remote_shared_access"
+    CLUSTER_BARRIER = "cluster_barrier"
+    OTHER = "other"
+
+    @property
+    def is_memory_access(self) -> bool:
+        """True for instructions that reference global memory addresses."""
+        return self in _MEMORY_KINDS
+
+    @property
+    def is_write(self) -> bool:
+        """True for instructions that write memory."""
+        return self in (InstructionKind.GLOBAL_STORE, InstructionKind.SHARED_STORE)
+
+
+_MEMORY_KINDS = frozenset(
+    {
+        InstructionKind.GLOBAL_LOAD,
+        InstructionKind.GLOBAL_STORE,
+        InstructionKind.GLOBAL_TO_SHARED_COPY,
+    }
+)
+
+
+@dataclass(frozen=True)
+class MemoryAccessRecord:
+    """One global-memory access observed during kernel execution.
+
+    Attributes
+    ----------
+    address:
+        Virtual address referenced by the access.
+    size:
+        Access width in bytes (4/8/16 for typical loads, up to 128 for vector
+        and asynchronous copy instructions).
+    is_write:
+        True for stores.
+    thread_index:
+        Flattened thread index within the grid that issued the access.
+    block_index:
+        Flattened thread-block index.
+    kernel_launch_id:
+        Launch that produced the access; filled in by the trace collector.
+    """
+
+    address: int
+    size: int
+    is_write: bool
+    thread_index: int = 0
+    block_index: int = 0
+    kernel_launch_id: int = 0
+
+
+@dataclass(frozen=True)
+class InstructionRecord:
+    """A generic device-side instruction event (non-memory or memory).
+
+    ``address``/``size`` are ``None`` for non-memory instructions such as
+    barriers and block entry/exit markers.
+    """
+
+    kind: InstructionKind
+    thread_index: int = 0
+    block_index: int = 0
+    address: Optional[int] = None
+    size: Optional[int] = None
+    kernel_launch_id: int = 0
+
+    def to_memory_access(self) -> MemoryAccessRecord:
+        """Convert to a :class:`MemoryAccessRecord`; only valid for memory kinds."""
+        if not self.kind.is_memory_access or self.address is None or self.size is None:
+            raise ValueError(f"instruction {self.kind} is not a memory access")
+        return MemoryAccessRecord(
+            address=self.address,
+            size=self.size,
+            is_write=self.kind.is_write,
+            thread_index=self.thread_index,
+            block_index=self.block_index,
+            kernel_launch_id=self.kernel_launch_id,
+        )

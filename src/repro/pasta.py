@@ -1,0 +1,17 @@
+"""The user-facing ``pasta`` annotation package (Listing 1 of the paper).
+
+Users bracket regions of interest with::
+
+    from repro import pasta
+    ...
+    pasta.start()
+    self.transformer_layer(x)   # targeted region
+    pasta.stop()
+
+Both calls are no-ops when no PASTA session is active, so annotated code runs
+unmodified without the profiler attached.
+"""
+
+from repro.core.annotations import start, stop
+
+__all__ = ["start", "stop"]

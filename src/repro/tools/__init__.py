@@ -1,0 +1,65 @@
+"""Analysis tools built with PASTA — the paper's case studies.
+
+Importing this package registers every tool with the PASTA tool registry, so
+they can be selected by name (``PASTA_TOOL=kernel_frequency`` or an explicit
+``create_tool("kernel_frequency")``), mirroring the artifact's
+``accelprof -t <tool>`` interface.
+"""
+
+from repro.core.registry import register_tool, registered_tools
+from repro.tools.hotness import BlockClassification, TimeSeriesHotnessTool
+from repro.tools.inefficiency import InefficiencyFinding, InefficiencyLocatorTool
+from repro.tools.kernel_frequency import KernelFrequencyEntry, KernelFrequencyTool
+from repro.tools.memory_characteristics import MemoryCharacteristicsTool, WorkingSetSummary
+from repro.tools.memory_timeline import DeviceTimeline, MemoryTimelineTool
+from repro.tools.overhead_analysis import (
+    ANALYSIS_VARIANTS,
+    OverheadComparison,
+    OverheadComparisonRow,
+    WorkloadProfile,
+)
+from repro.tools.uvm_prefetch import (
+    AddressRange,
+    KernelScheduleEntry,
+    PrefetchPolicy,
+    UvmPrefetchAdvisor,
+    UvmPrefetchExecutor,
+    UvmRunResult,
+)
+
+_BUILTIN_TOOLS = {
+    KernelFrequencyTool.tool_name: KernelFrequencyTool,
+    MemoryCharacteristicsTool.tool_name: MemoryCharacteristicsTool,
+    MemoryTimelineTool.tool_name: MemoryTimelineTool,
+    TimeSeriesHotnessTool.tool_name: TimeSeriesHotnessTool,
+    InefficiencyLocatorTool.tool_name: InefficiencyLocatorTool,
+    UvmPrefetchAdvisor.tool_name: UvmPrefetchAdvisor,
+    WorkloadProfile.tool_name: WorkloadProfile,
+}
+
+for _name, _factory in _BUILTIN_TOOLS.items():
+    if _name not in registered_tools():
+        register_tool(_name, _factory)
+
+__all__ = [
+    "ANALYSIS_VARIANTS",
+    "AddressRange",
+    "BlockClassification",
+    "DeviceTimeline",
+    "InefficiencyFinding",
+    "InefficiencyLocatorTool",
+    "KernelFrequencyEntry",
+    "KernelFrequencyTool",
+    "KernelScheduleEntry",
+    "MemoryCharacteristicsTool",
+    "MemoryTimelineTool",
+    "OverheadComparison",
+    "OverheadComparisonRow",
+    "PrefetchPolicy",
+    "TimeSeriesHotnessTool",
+    "UvmPrefetchAdvisor",
+    "UvmPrefetchExecutor",
+    "UvmRunResult",
+    "WorkingSetSummary",
+    "WorkloadProfile",
+]

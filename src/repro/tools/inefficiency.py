@@ -1,0 +1,113 @@
+"""Inefficiency-location tool: knob-selected cross-layer call stacks (Figure 4).
+
+Combines the per-kernel statistics PASTA accumulates with the knob mechanism of
+Section III-F2: after a run, asking for ``MAX_MEM_REFERENCED_KERNEL`` (or any
+other knob) returns the selected kernel together with its cross-layer call
+stack — C/C++ frames for the ATen/cuBLAS launch path and Python frames for the
+model code that triggered it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.callstack import CrossLayerStack, build_cross_layer_stack
+from repro.core.events import EventCategory, KernelLaunchEvent, OperatorStartEvent
+from repro.core.knobs import KernelStats, KnobRegistry
+from repro.core.tool import PastaTool
+
+
+@dataclass(frozen=True)
+class InefficiencyFinding:
+    """The kernel selected by a knob, with its cross-layer context."""
+
+    knob: str
+    kernel_name: str
+    invocation_count: int
+    total_memory_accesses: int
+    total_duration_ns: int
+    stack: CrossLayerStack
+
+    def render(self) -> str:
+        """Human-readable rendering of the finding."""
+        header = (
+            f"[{self.knob}] {self.kernel_name}: "
+            f"{self.invocation_count} invocations, "
+            f"{self.total_memory_accesses} memory references, "
+            f"{self.total_duration_ns} ns total"
+        )
+        return header + "\n" + self.stack.render()
+
+
+class InefficiencyLocatorTool(PastaTool):
+    """Accumulates per-kernel statistics and answers knob queries."""
+
+    tool_name = "inefficiency_locator"
+    subscribed_categories = frozenset(
+        {EventCategory.KERNEL_LAUNCH, EventCategory.OPERATOR_START}
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.kernel_stats: dict[str, KernelStats] = {}
+        self.knobs = KnobRegistry()
+        self._current_python_stack: tuple[str, ...] = ()
+        self._current_op: str = ""
+
+    # ------------------------------------------------------------------ #
+    # event hooks
+    # ------------------------------------------------------------------ #
+    def on_operator_start(self, event: OperatorStartEvent) -> None:
+        self._current_python_stack = event.python_stack
+        self._current_op = event.name
+
+    def on_kernel_launch(self, event: KernelLaunchEvent) -> None:
+        stats = self.kernel_stats.get(event.kernel_name)
+        if stats is None:
+            stats = KernelStats(
+                kernel_name=event.kernel_name,
+                representative_python_stack=self._current_python_stack,
+                representative_op=self._current_op or event.op_context,
+            )
+            self.kernel_stats[event.kernel_name] = stats
+        stats.invocation_count += 1
+        stats.total_memory_accesses += event.total_memory_accesses
+        stats.total_duration_ns += event.duration_ns
+        stats.max_working_set_bytes = max(stats.max_working_set_bytes, event.working_set_bytes)
+
+    # ------------------------------------------------------------------ #
+    # knob queries
+    # ------------------------------------------------------------------ #
+    def locate(self, knob: str = "MAX_MEM_REFERENCED_KERNEL") -> Optional[InefficiencyFinding]:
+        """Apply a knob and return the selected kernel with its cross-layer stack."""
+        selected = self.knobs.select(knob, self.kernel_stats)
+        if selected is None:
+            return None
+        stack = build_cross_layer_stack(
+            selected.kernel_name, selected.representative_python_stack
+        )
+        return InefficiencyFinding(
+            knob=knob.upper(),
+            kernel_name=selected.kernel_name,
+            invocation_count=selected.invocation_count,
+            total_memory_accesses=selected.total_memory_accesses,
+            total_duration_ns=selected.total_duration_ns,
+            stack=stack,
+        )
+
+    def report(self) -> dict[str, object]:
+        findings = {}
+        for knob in ("MAX_MEM_REFERENCED_KERNEL", "MAX_CALLED_KERNEL"):
+            finding = self.locate(knob)
+            if finding is not None:
+                findings[knob] = {
+                    "kernel": finding.kernel_name,
+                    "invocations": finding.invocation_count,
+                    "memory_references": finding.total_memory_accesses,
+                }
+        return {
+            "tool": self.tool_name,
+            "distinct_kernels": len(self.kernel_stats),
+            "findings": findings,
+        }

@@ -1,0 +1,91 @@
+"""Kernel invocation frequency analysis tool (Section V-B1, Figure 7).
+
+The paper's first case study: count how often each kernel is invoked during a
+workload.  The tool only needs the kernel-launch events PASTA already
+preprocesses — the user-side code is literally a map update, which is the
+point of the case study (a useful analysis in a few lines on top of the
+framework).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.events import EventCategory, KernelLaunchEvent
+from repro.core.tool import PastaTool
+
+
+@dataclass(frozen=True)
+class KernelFrequencyEntry:
+    """One row of the kernel-frequency report."""
+
+    kernel_name: str
+    invocations: int
+    total_duration_ns: int
+
+
+class KernelFrequencyTool(PastaTool):
+    """Counts kernel invocations per kernel name."""
+
+    tool_name = "kernel_frequency"
+    subscribed_categories = frozenset({EventCategory.KERNEL_LAUNCH})
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counts: Counter[str] = Counter()
+        self._durations: Counter[str] = Counter()
+
+    # The paper's TOOL::record_kernel_freq — the single override users write.
+    def on_kernel_launch(self, event: KernelLaunchEvent) -> None:
+        self._counts[event.kernel_name] += 1
+        self._durations[event.kernel_name] += event.duration_ns
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def total_launches(self) -> int:
+        """Total kernel launches observed."""
+        return sum(self._counts.values())
+
+    @property
+    def distinct_kernels(self) -> int:
+        """Number of distinct kernel names observed."""
+        return len(self._counts)
+
+    def frequencies(self) -> dict[str, int]:
+        """Invocation count per kernel name."""
+        return dict(self._counts)
+
+    def top_kernels(self, k: int = 10) -> list[KernelFrequencyEntry]:
+        """The ``k`` most frequently invoked kernels, most frequent first."""
+        return [
+            KernelFrequencyEntry(name, count, self._durations[name])
+            for name, count in self._counts.most_common(k)
+        ]
+
+    def concentration(self, k: int = 5) -> float:
+        """Fraction of all launches contributed by the top-``k`` kernels.
+
+        Figure 7's headline observation is that a small subset of kernels is
+        invoked heavily; this is that observation as a single number.
+        """
+        total = self.total_launches
+        if total == 0:
+            return 0.0
+        top = sum(count for _name, count in self._counts.most_common(k))
+        return top / total
+
+    def report(self) -> dict[str, object]:
+        return {
+            "tool": self.tool_name,
+            "total_launches": self.total_launches,
+            "distinct_kernels": self.distinct_kernels,
+            "top_kernels": [
+                {"kernel": e.kernel_name, "invocations": e.invocations,
+                 "total_duration_ns": e.total_duration_ns}
+                for e in self.top_kernels(10)
+            ],
+            "top5_concentration": self.concentration(5),
+        }

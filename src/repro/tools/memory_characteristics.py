@@ -1,0 +1,183 @@
+"""Memory characteristics / working-set analysis tool (Section V-B2, Table V).
+
+The working set of a workload is defined (following the paper) as the maximum
+memory footprint *actually referenced* by any single kernel launch.  The tool
+consumes the GPU-preprocessed :class:`~repro.core.events.KernelMemoryProfile`
+events — per-kernel maps from memory object to access count — so it never has
+to touch raw access records, and derives:
+
+* the per-kernel working-set distribution (min / average / median / p90 / max),
+* the workload's overall memory footprint (peak driver-level reservation), and
+* per-kernel-name statistics used by the inefficiency-location knobs.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.core.events import (
+    EventCategory,
+    KernelLaunchEvent,
+    KernelMemoryProfile,
+    MemoryAllocEvent,
+    MemoryFreeEvent,
+    OperatorStartEvent,
+)
+from repro.core.knobs import KernelStats
+from repro.core.tool import PastaTool
+
+
+@dataclass
+class WorkingSetSummary:
+    """The Table V row for one workload."""
+
+    kernel_count: int
+    memory_footprint_bytes: int
+    working_set_bytes: int
+    min_working_set_bytes: int
+    avg_working_set_bytes: float
+    median_working_set_bytes: float
+    p90_working_set_bytes: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (bytes)."""
+        return {
+            "kernel_count": self.kernel_count,
+            "memory_footprint_bytes": self.memory_footprint_bytes,
+            "working_set_bytes": self.working_set_bytes,
+            "min_working_set_bytes": self.min_working_set_bytes,
+            "avg_working_set_bytes": self.avg_working_set_bytes,
+            "median_working_set_bytes": self.median_working_set_bytes,
+            "p90_working_set_bytes": self.p90_working_set_bytes,
+        }
+
+
+def _percentile(values: list[int], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return float(ordered[index])
+
+
+class MemoryCharacteristicsTool(PastaTool):
+    """Computes per-kernel working sets and the workload memory footprint."""
+
+    tool_name = "memory_characteristics"
+    subscribed_categories = frozenset(
+        {
+            EventCategory.KERNEL_LAUNCH,
+            EventCategory.KERNEL_MEMORY_PROFILE,
+            EventCategory.MEMORY_ALLOC,
+            EventCategory.MEMORY_FREE,
+            EventCategory.OPERATOR_START,
+        }
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Working set (referenced bytes) of every analysed kernel launch.
+        self.kernel_working_sets: list[int] = []
+        #: Footprint (passed bytes) of every analysed kernel launch.
+        self.kernel_footprints: list[int] = []
+        #: Driver-level live/peak allocation tracking.
+        self._live_driver_bytes = 0
+        self._peak_driver_bytes = 0
+        self._total_driver_bytes = 0
+        #: Per-kernel-name aggregated statistics (for knobs / Figure 4).
+        self.kernel_stats: dict[str, KernelStats] = {}
+        self._current_python_stack: tuple[str, ...] = ()
+        self._current_op: str = ""
+        #: object_id -> accessed bytes across the whole run (for
+        #: underutilised-memory analysis).
+        self.object_referenced_bytes: dict[int, int] = {}
+        self.object_sizes: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # event hooks
+    # ------------------------------------------------------------------ #
+    def on_memory_alloc(self, event: MemoryAllocEvent) -> None:
+        self._live_driver_bytes += event.size
+        self._total_driver_bytes += event.size
+        self._peak_driver_bytes = max(self._peak_driver_bytes, self._live_driver_bytes)
+        self.object_sizes[event.object_id] = event.size
+
+    def on_memory_free(self, event: MemoryFreeEvent) -> None:
+        self._live_driver_bytes -= event.size
+
+    def on_operator_start(self, event: OperatorStartEvent) -> None:
+        self._current_python_stack = event.python_stack
+        self._current_op = event.name
+
+    def on_kernel_launch(self, event: KernelLaunchEvent) -> None:
+        stats = self.kernel_stats.get(event.kernel_name)
+        if stats is None:
+            stats = KernelStats(
+                kernel_name=event.kernel_name,
+                representative_python_stack=self._current_python_stack,
+                representative_op=self._current_op or event.op_context,
+            )
+            self.kernel_stats[event.kernel_name] = stats
+        stats.invocation_count += 1
+        stats.total_memory_accesses += event.total_memory_accesses
+        stats.total_duration_ns += event.duration_ns
+        stats.max_working_set_bytes = max(stats.max_working_set_bytes, event.working_set_bytes)
+
+    def on_kernel_memory_profile(self, event: KernelMemoryProfile) -> None:
+        self.kernel_working_sets.append(event.working_set_bytes)
+        self.kernel_footprints.append(event.footprint_bytes)
+        for object_id, nbytes in event.object_referenced_bytes.items():
+            current = self.object_referenced_bytes.get(object_id, 0)
+            self.object_referenced_bytes[object_id] = max(current, nbytes)
+
+    # ------------------------------------------------------------------ #
+    # derived results
+    # ------------------------------------------------------------------ #
+    @property
+    def memory_footprint_bytes(self) -> int:
+        """The workload's overall memory footprint (peak driver-level bytes)."""
+        return self._peak_driver_bytes
+
+    @property
+    def working_set_bytes(self) -> int:
+        """The workload working set: the largest single-kernel referenced footprint."""
+        return max(self.kernel_working_sets, default=0)
+
+    def summary(self) -> WorkingSetSummary:
+        """Produce the Table V row for the profiled workload."""
+        ws = self.kernel_working_sets
+        return WorkingSetSummary(
+            kernel_count=len(ws),
+            memory_footprint_bytes=self.memory_footprint_bytes,
+            working_set_bytes=self.working_set_bytes,
+            min_working_set_bytes=min(ws, default=0),
+            avg_working_set_bytes=float(statistics.fmean(ws)) if ws else 0.0,
+            median_working_set_bytes=float(statistics.median(ws)) if ws else 0.0,
+            p90_working_set_bytes=_percentile(ws, 0.9),
+        )
+
+    def underutilized_bytes(self) -> int:
+        """Bytes of driver memory never referenced by any analysed kernel.
+
+        This is the "underutilized memory regions" insight of Section V-B2:
+        a substantial fraction of allocated memory is never part of any
+        kernel's working set.
+        """
+        unused = 0
+        for object_id, size in self.object_sizes.items():
+            referenced = self.object_referenced_bytes.get(object_id, 0)
+            unused += max(0, size - referenced)
+        return unused
+
+    def report(self) -> dict[str, object]:
+        summary = self.summary()
+        footprint = summary.memory_footprint_bytes
+        working = summary.working_set_bytes
+        return {
+            "tool": self.tool_name,
+            **summary.as_dict(),
+            "footprint_to_working_set_ratio": (footprint / working) if working else 0.0,
+            "underutilized_bytes": self.underutilized_bytes(),
+            "distinct_kernels": len(self.kernel_stats),
+        }

@@ -1,0 +1,123 @@
+"""Memory-usage-over-time tool (Figures 14 and 15).
+
+Tracks the framework's tensor allocation/reclamation events and reconstructs
+the memory-usage timeline over *logical timestamps* (the allocation event
+index) — exactly the x-axis used in Figures 14 and 15.  The same tool serves
+the single-GPU NVIDIA-vs-AMD comparison and the per-GPU multi-GPU comparison:
+events carry their device index, so one instance can track several GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import EventCategory, TensorAllocEvent, TensorFreeEvent
+from repro.core.tool import PastaTool
+
+
+@dataclass
+class DeviceTimeline:
+    """Memory-usage timeline of one device."""
+
+    device_index: int
+    #: (logical timestamp, allocated bytes) samples, one per alloc/free event.
+    samples: list[tuple[int, int]] = field(default_factory=list)
+    peak_bytes: int = 0
+    alloc_events: int = 0
+    free_events: int = 0
+
+    @property
+    def event_count(self) -> int:
+        """Total allocation + reclamation events."""
+        return self.alloc_events + self.free_events
+
+    def usage_at(self, fraction: float) -> int:
+        """Allocated bytes at a fractional position through the timeline."""
+        if not self.samples:
+            return 0
+        index = min(len(self.samples) - 1, int(fraction * (len(self.samples) - 1)))
+        return self.samples[index][1]
+
+    def final_bytes(self) -> int:
+        """Allocated bytes after the last event."""
+        return self.samples[-1][1] if self.samples else 0
+
+
+class MemoryTimelineTool(PastaTool):
+    """Reconstructs per-device memory-usage timelines from tensor events."""
+
+    tool_name = "memory_timeline"
+    subscribed_categories = frozenset(
+        {EventCategory.TENSOR_ALLOC, EventCategory.TENSOR_FREE}
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._timelines: dict[int, DeviceTimeline] = {}
+        self._logical_time = 0
+
+    def _timeline(self, device_index: int) -> DeviceTimeline:
+        timeline = self._timelines.get(device_index)
+        if timeline is None:
+            timeline = DeviceTimeline(device_index=device_index)
+            self._timelines[device_index] = timeline
+        return timeline
+
+    # ------------------------------------------------------------------ #
+    # event hooks
+    # ------------------------------------------------------------------ #
+    def on_tensor_alloc(self, event: TensorAllocEvent) -> None:
+        timeline = self._timeline(event.device_index)
+        self._logical_time += 1
+        timeline.alloc_events += 1
+        timeline.samples.append((self._logical_time, event.pool_allocated_bytes))
+        timeline.peak_bytes = max(timeline.peak_bytes, event.pool_allocated_bytes)
+
+    def on_tensor_free(self, event: TensorFreeEvent) -> None:
+        timeline = self._timeline(event.device_index)
+        self._logical_time += 1
+        timeline.free_events += 1
+        timeline.samples.append((self._logical_time, event.pool_allocated_bytes))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def devices(self) -> list[int]:
+        """Device indices with at least one event."""
+        return sorted(self._timelines)
+
+    def timeline(self, device_index: int) -> DeviceTimeline:
+        """Timeline for one device (empty if the device produced no events)."""
+        return self._timelines.get(device_index, DeviceTimeline(device_index=device_index))
+
+    def timelines(self) -> dict[int, DeviceTimeline]:
+        """All device timelines."""
+        return dict(self._timelines)
+
+    def usage_difference(self, device_a: int, device_b: int, points: int = 100) -> list[float]:
+        """Sampled difference (bytes) between two devices' usage curves.
+
+        This is the bottom sub-plot of Figures 14 and 15: usage(a) - usage(b)
+        sampled at ``points`` positions through each timeline.
+        """
+        ta, tb = self.timeline(device_a), self.timeline(device_b)
+        diffs = []
+        for i in range(points):
+            fraction = i / max(1, points - 1)
+            diffs.append(float(ta.usage_at(fraction) - tb.usage_at(fraction)))
+        return diffs
+
+    def report(self) -> dict[str, object]:
+        return {
+            "tool": self.tool_name,
+            "devices": {
+                str(idx): {
+                    "peak_bytes": t.peak_bytes,
+                    "events": t.event_count,
+                    "alloc_events": t.alloc_events,
+                    "free_events": t.free_events,
+                    "final_bytes": t.final_bytes(),
+                }
+                for idx, t in self._timelines.items()
+            },
+        }

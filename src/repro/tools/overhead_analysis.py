@@ -1,0 +1,122 @@
+"""Profiling-overhead comparison tool (Section V-B3, Figures 9 and 10).
+
+Implements the paper's three variants of the memory-characterisation analysis:
+
+* ``CS-GPU``  — Compute Sanitizer instrumentation, GPU-resident analysis,
+* ``CS-CPU``  — Compute Sanitizer instrumentation, CPU-side analysis, and
+* ``NVBIT-CPU`` — NVBit instrumentation, CPU-side analysis,
+
+and evaluates them over the same recorded workload (a list of kernel launches
+with durations and access counts) on a chosen device, using the analytical
+overhead model.  The result rows are the normalised overheads of Figure 9 and
+the execution/collection/transfer/analysis fractions of Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import EventCategory, KernelLaunchEvent
+from repro.core.tool import PastaTool
+from repro.gpusim.costmodel import (
+    CostModelConfig,
+    InstrumentationBackend,
+    OverheadModel,
+    ProfilingCost,
+)
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.trace import AnalysisModel
+
+#: The three analysis variants of Figures 9/10, in presentation order.
+ANALYSIS_VARIANTS: tuple[tuple[str, AnalysisModel, InstrumentationBackend], ...] = (
+    ("CS-GPU", AnalysisModel.GPU_RESIDENT, InstrumentationBackend.COMPUTE_SANITIZER),
+    ("CS-CPU", AnalysisModel.CPU_SIDE, InstrumentationBackend.COMPUTE_SANITIZER),
+    ("NVBIT-CPU", AnalysisModel.CPU_SIDE, InstrumentationBackend.NVBIT),
+)
+
+
+@dataclass
+class WorkloadProfile(PastaTool):
+    """PASTA tool that records per-kernel (duration, access-count) pairs.
+
+    The recorded list is the workload description the overhead comparison
+    replays under each analysis variant.
+    """
+
+    tool_name = "workload_profile"
+    subscribed_categories = frozenset({EventCategory.KERNEL_LAUNCH})
+
+    launches: list[tuple[float, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        PastaTool.__init__(self)
+
+    def on_kernel_launch(self, event: KernelLaunchEvent) -> None:
+        self.launches.append((float(event.duration_ns), event.total_memory_accesses))
+
+    def total_accesses(self) -> int:
+        """Total memory accesses across the recorded workload."""
+        return sum(accesses for _duration, accesses in self.launches)
+
+    def total_execution_ns(self) -> float:
+        """Total uninstrumented kernel time."""
+        return sum(duration for duration, _accesses in self.launches)
+
+    def report(self) -> dict[str, object]:
+        return {
+            "tool": self.tool_name,
+            "kernels": len(self.launches),
+            "total_accesses": self.total_accesses(),
+            "total_execution_ns": self.total_execution_ns(),
+        }
+
+
+@dataclass(frozen=True)
+class OverheadComparisonRow:
+    """One (device, variant) cell of Figure 9 / Figure 10."""
+
+    variant: str
+    device: str
+    cost: ProfilingCost
+
+    @property
+    def normalized_overhead(self) -> float:
+        """Overhead relative to uninstrumented execution (Figure 9)."""
+        return self.cost.normalized_overhead()
+
+    @property
+    def fractions(self) -> dict[str, float]:
+        """Time breakdown fractions (Figure 10)."""
+        return self.cost.fractions()
+
+
+class OverheadComparison:
+    """Evaluates the three analysis variants over one recorded workload."""
+
+    def __init__(self, config: CostModelConfig | None = None) -> None:
+        self.config = config
+
+    def evaluate(
+        self, launches: list[tuple[float, int]], device_spec: DeviceSpec
+    ) -> dict[str, OverheadComparisonRow]:
+        """Produce one row per analysis variant for ``device_spec``."""
+        rows: dict[str, OverheadComparisonRow] = {}
+        model = OverheadModel(device_spec, self.config)
+        for name, analysis_model, backend in ANALYSIS_VARIANTS:
+            cost = model.workload_cost(launches, analysis_model, backend)
+            rows[name] = OverheadComparisonRow(variant=name, device=device_spec.name, cost=cost)
+        return rows
+
+    def speedup_of_gpu_analysis(
+        self, launches: list[tuple[float, int]], device_spec: DeviceSpec
+    ) -> dict[str, float]:
+        """How much faster CS-GPU's overhead is than each CPU-side variant."""
+        rows = self.evaluate(launches, device_spec)
+        gpu_overhead = rows["CS-GPU"].cost.overhead_ns
+        out: dict[str, float] = {}
+        for name in ("CS-CPU", "NVBIT-CPU"):
+            if gpu_overhead <= 0:
+                out[name] = float("inf")
+            else:
+                out[name] = rows[name].cost.overhead_ns / gpu_overhead
+        return out

@@ -1,0 +1,41 @@
+"""Simulated vendor profiling backends (Compute Sanitizer, NVBit, ROCProfiler).
+
+These stand in for the low-level vendor profiling libraries PASTA builds on:
+NVIDIA Compute Sanitizer APIs, NVIDIA NVBit, and AMD ROCProfiler-SDK.  Each
+backend subscribes to a simulated runtime and re-emits runtime activity as
+vendor-style callbacks that PASTA's event handler consumes.
+"""
+
+from repro.vendors.base import ProfilingBackend, VendorCallback, VendorCallbackFn
+from repro.vendors.compute_sanitizer import SANITIZER_INSTRUMENTABLE, ComputeSanitizerBackend
+from repro.vendors.nvbit import NvbitBackend
+from repro.vendors.rocprofiler import ROCPROFILER_INSTRUMENTABLE, RocprofilerBackend
+
+from repro.errors import VendorError
+from repro.gpusim.device import Vendor
+
+
+def default_backend_for_vendor(vendor: Vendor) -> ProfilingBackend:
+    """Return the default profiling backend for a device vendor.
+
+    NVIDIA devices default to Compute Sanitizer (the paper's recommended
+    lightweight path); AMD devices use ROCProfiler-SDK.
+    """
+    if vendor is Vendor.NVIDIA:
+        return ComputeSanitizerBackend()
+    if vendor is Vendor.AMD:
+        return RocprofilerBackend()
+    raise VendorError(f"no profiling backend available for vendor {vendor!r}")
+
+
+__all__ = [
+    "ComputeSanitizerBackend",
+    "NvbitBackend",
+    "ProfilingBackend",
+    "ROCPROFILER_INSTRUMENTABLE",
+    "RocprofilerBackend",
+    "SANITIZER_INSTRUMENTABLE",
+    "VendorCallback",
+    "VendorCallbackFn",
+    "default_backend_for_vendor",
+]

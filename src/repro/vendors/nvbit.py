@@ -1,0 +1,97 @@
+"""Simulated NVIDIA NVBit dynamic binary instrumentation backend.
+
+NVBit intercepts CUDA driver events (``nvbit_at_cuda_event``) and can inject
+instrumentation into *every* SASS instruction of a kernel.  That flexibility
+comes at a price the paper quantifies in Figure 9: before a kernel can be
+instrumented NVBit must dump and parse its SASS, and tracing all instructions
+(then filtering the interesting ones) inflates the raw record volume.
+
+The simulated backend models both effects: it tracks which kernels have been
+"SASS-parsed" (a per-kernel cost the overhead model charges), and it exposes
+the full :class:`~repro.gpusim.instruction.InstructionKind` set for device-side
+tracing.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.costmodel import InstrumentationBackend
+from repro.gpusim.device import Vendor
+from repro.gpusim.instruction import InstructionKind, InstructionRecord
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.memory import MemoryObject
+from repro.gpusim.runtime import AcceleratorRuntime, MemcpyRecord, MemsetRecord, SyncRecord
+from repro.vendors.base import ProfilingBackend
+
+
+class NvbitBackend(ProfilingBackend):
+    """NVBit-style callbacks and all-instruction instrumentation for NVIDIA devices."""
+
+    name = "nvbit"
+    supported_vendor = Vendor.NVIDIA
+    instrumentation = InstrumentationBackend.NVBIT
+    instrumentable_kinds = frozenset(InstructionKind)
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Kernels whose SASS has been dumped and parsed (each costs time once).
+        self.sass_parsed_kernels: set[str] = set()
+        #: Optional filter applied after parsing; NVBit tools typically select
+        #: only memory instructions even though everything was instrumented.
+        self._instruction_filter: frozenset[InstructionKind] | None = None
+
+    # ------------------------------------------------------------------ #
+    # NVBit-flavoured configuration API
+    # ------------------------------------------------------------------ #
+    def set_instruction_filter(self, kinds: frozenset[InstructionKind] | None) -> None:
+        """Restrict forwarded device records to ``kinds`` (None = everything)."""
+        self._instruction_filter = kinds
+
+    def sass_parse_count(self) -> int:
+        """Number of distinct kernels that required a SASS dump/parse."""
+        return len(self.sass_parsed_kernels)
+
+    # ------------------------------------------------------------------ #
+    # runtime callbacks (adds SASS bookkeeping on top of the base class)
+    # ------------------------------------------------------------------ #
+    def on_kernel_launch_begin(self, runtime: AcceleratorRuntime, launch: KernelLaunch) -> None:
+        if self.instruction_tracing_enabled:
+            self.sass_parsed_kernels.add(launch.kernel_name)
+        super().on_kernel_launch_begin(runtime, launch)
+
+    def _emit_instructions(self, launch: KernelLaunch) -> None:
+        if not self.instruction_tracing_enabled:
+            return
+        records = launch.generate_instructions(
+            max_records=self.max_instruction_records_per_kernel
+        )
+        for record in records:
+            if self._instruction_filter is not None and record.kind not in self._instruction_filter:
+                continue
+            self._emit(self._cbid_instruction(record), record, launch.device_index)
+
+    # ------------------------------------------------------------------ #
+    # callback ids
+    # ------------------------------------------------------------------ #
+    def _cbid_memory_alloc(self, obj: MemoryObject) -> str:
+        return "NVBIT_CUDA_EVENT_cuMemAlloc"
+
+    def _cbid_memory_free(self, obj: MemoryObject) -> str:
+        return "NVBIT_CUDA_EVENT_cuMemFree"
+
+    def _cbid_memcpy(self, record: MemcpyRecord) -> str:
+        return "NVBIT_CUDA_EVENT_cuMemcpy"
+
+    def _cbid_memset(self, record: MemsetRecord) -> str:
+        return "NVBIT_CUDA_EVENT_cuMemset"
+
+    def _cbid_launch_begin(self, launch: KernelLaunch) -> str:
+        return "NVBIT_CUDA_EVENT_cuLaunchKernel_entry"
+
+    def _cbid_launch_end(self, launch: KernelLaunch) -> str:
+        return "NVBIT_CUDA_EVENT_cuLaunchKernel_exit"
+
+    def _cbid_synchronize(self, record: SyncRecord) -> str:
+        return "NVBIT_CUDA_EVENT_cuCtxSynchronize"
+
+    def _cbid_instruction(self, record: InstructionRecord) -> str:
+        return f"NVBIT_INSTR_{record.kind.name}"

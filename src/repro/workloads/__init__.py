@@ -1,0 +1,5 @@
+"""Workload runner helpers used by examples, tests and benchmarks."""
+
+from repro.workloads.runner import WorkloadResult, record_uvm_schedule, run_workload
+
+__all__ = ["WorkloadResult", "record_uvm_schedule", "run_workload"]

@@ -1,0 +1,131 @@
+"""Workload runner: glue for profiling a model on a simulated device.
+
+Wraps the common experiment recipe — create a runtime, a framework context and
+an execution engine, attach a PASTA session with a set of tools, run inference
+or training, and return everything the caller needs to inspect — so examples,
+tests and benchmarks do not repeat the wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.core.session import PastaSession
+from repro.core.tool import PastaTool
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.engine import ExecutionEngine, RunSummary
+from repro.dlframework.models import create_model
+from repro.dlframework.models.base import ModelBase
+from repro.gpusim.device import DeviceSpec, get_device_spec
+from repro.gpusim.runtime import AcceleratorRuntime, create_runtime
+from repro.tools.uvm_prefetch import KernelScheduleEntry, UvmPrefetchAdvisor
+
+
+@dataclass
+class WorkloadResult:
+    """Everything produced by one profiled workload run."""
+
+    model: ModelBase
+    runtime: AcceleratorRuntime
+    ctx: FrameworkContext
+    session: PastaSession
+    summary: RunSummary
+
+    def reports(self) -> dict[str, dict[str, object]]:
+        """Tool reports collected by the session."""
+        return self.session.reports()
+
+    def tool(self, name: str) -> PastaTool:
+        """Fetch one of the session's tools by its registry name."""
+        for tool in self.session.tools:
+            if tool.tool_name == name:
+                return tool
+        raise ReproError(f"tool {name!r} was not attached to this session")
+
+
+def _resolve_device(device: Union[str, DeviceSpec]) -> DeviceSpec:
+    if isinstance(device, DeviceSpec):
+        return device
+    return get_device_spec(device)
+
+
+def run_workload(
+    model_name: str,
+    device: Union[str, DeviceSpec] = "a100",
+    mode: str = "inference",
+    iterations: int = 1,
+    tools: Optional[Sequence[PastaTool]] = None,
+    vendor_backend: Optional[str] = None,
+    enable_fine_grained: bool = False,
+    batch_size: Optional[int] = None,
+) -> WorkloadResult:
+    """Profile one model on one device with the given PASTA tools.
+
+    Parameters
+    ----------
+    model_name:
+        A name from the model registry (``"alexnet"``, ``"bert"``, ...).
+    device:
+        Device short name (``"a100"``, ``"rtx3060"``, ``"mi300x"``) or a spec.
+    mode:
+        ``"inference"`` or ``"train"``.
+    iterations:
+        Number of inference passes / training steps.
+    tools:
+        PASTA tools to attach (may be empty — the session still records
+        overhead statistics).
+    vendor_backend:
+        Profiling backend name; defaults to the vendor's recommended backend.
+    enable_fine_grained:
+        Enable device-side (instruction-level) instrumentation.
+    batch_size:
+        Override the model's paper batch size.
+    """
+    if mode not in ("inference", "train"):
+        raise ReproError(f"mode must be 'inference' or 'train', got {mode!r}")
+    spec = _resolve_device(device)
+    runtime = create_runtime(spec)
+    ctx = FrameworkContext(runtime)
+    engine = ExecutionEngine(ctx)
+    model = create_model(model_name)
+    session = PastaSession(
+        runtime,
+        tools=tools,
+        vendor_backend=vendor_backend,
+        enable_fine_grained=enable_fine_grained,
+    )
+    session.attach_framework(ctx)
+    with session:
+        engine.prepare(model)
+        if mode == "inference":
+            summary = engine.run_inference(model, iterations=iterations, batch_size=batch_size)
+        else:
+            summary = engine.run_training(model, iterations=iterations, batch_size=batch_size)
+    return WorkloadResult(model=model, runtime=runtime, ctx=ctx, session=session, summary=summary)
+
+
+def record_uvm_schedule(
+    model_name: str,
+    device: Union[str, DeviceSpec] = "rtx3060",
+    mode: str = "inference",
+    iterations: int = 1,
+    batch_size: Optional[int] = None,
+) -> tuple[list[KernelScheduleEntry], UvmPrefetchAdvisor, WorkloadResult]:
+    """Profile a model with the UVM prefetch advisor and return its schedule.
+
+    The schedule (kernel launches with their object- and tensor-level address
+    ranges) is what the :class:`~repro.tools.uvm_prefetch.UvmPrefetchExecutor`
+    replays under different prefetch policies for Figures 11 and 12.
+    """
+    advisor = UvmPrefetchAdvisor()
+    result = run_workload(
+        model_name,
+        device=device,
+        mode=mode,
+        iterations=iterations,
+        tools=[advisor],
+        batch_size=batch_size,
+    )
+    return advisor.schedule, advisor, result

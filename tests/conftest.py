@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.engine import ExecutionEngine
+from repro.gpusim.device import A100, MI300X, RTX3060
+from repro.gpusim.runtime import AcceleratorRuntime, create_runtime
+
+
+@pytest.fixture
+def a100_runtime() -> AcceleratorRuntime:
+    """A fresh A100 runtime."""
+    return create_runtime(A100)
+
+
+@pytest.fixture
+def rtx3060_runtime() -> AcceleratorRuntime:
+    """A fresh RTX 3060 runtime."""
+    return create_runtime(RTX3060)
+
+
+@pytest.fixture
+def mi300x_runtime() -> AcceleratorRuntime:
+    """A fresh MI300X (AMD) runtime."""
+    return create_runtime(MI300X)
+
+
+@pytest.fixture
+def a100_ctx(a100_runtime: AcceleratorRuntime) -> FrameworkContext:
+    """A framework context bound to an A100 runtime."""
+    return FrameworkContext(a100_runtime)
+
+
+@pytest.fixture
+def a100_engine(a100_ctx: FrameworkContext) -> ExecutionEngine:
+    """An execution engine over the A100 context."""
+    return ExecutionEngine(a100_ctx)

@@ -1,0 +1,78 @@
+"""Tests for the ``pasta-profile`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list_tools(self, capsys):
+        assert main(["--list-tools"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel_frequency" in out
+        assert "memory_characteristics" in out
+
+    def test_requires_model_and_tool(self):
+        with pytest.raises(SystemExit):
+            main([])
+        with pytest.raises(SystemExit):
+            main(["resnet18"])
+
+    def test_basic_profiling_run_text_output(self, capsys):
+        code = main(["alexnet", "--tool", "kernel_frequency",
+                     "--device", "rtx3060", "--batch-size", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[kernel_frequency]" in out
+        assert "total_launches" in out
+        assert "[run]" in out
+
+    def test_json_output_with_multiple_tools(self, capsys):
+        code = main(["resnet18", "-t", "kernel_frequency", "-t", "memory_characteristics",
+                     "--batch-size", "2", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel_frequency"]["total_launches"] > 10
+        assert data["memory_characteristics"]["working_set_bytes"] > 0
+        assert data["run"]["model"] == "resnet18"
+        assert "overhead" in data
+
+    def test_grid_window_limits_analysis(self, capsys):
+        code = main(["alexnet", "-t", "kernel_frequency", "--batch-size", "2",
+                     "--start-grid-id", "0", "--end-grid-id", "4", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel_frequency"]["total_launches"] == 5
+
+    def test_train_mode_and_backend_selection(self, capsys):
+        code = main(["resnet18", "-t", "memory_timeline", "--mode", "train",
+                     "--backend", "nvbit", "--batch-size", "2", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["overhead"]["backend"] == "nvbit"
+        assert data["run"]["mode"] == "train"
+
+    def test_unknown_tool_is_a_clean_error(self, capsys):
+        code = main(["alexnet", "-t", "not_a_tool", "--batch-size", "2"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_device_is_a_clean_error(self, capsys):
+        code = main(["alexnet", "-t", "kernel_frequency", "--device", "h100"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_model_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["vgg16"])
+
+    def test_amd_device_uses_rocprofiler_by_default(self, capsys):
+        code = main(["bert", "-t", "kernel_frequency", "--device", "mi300x",
+                     "--batch-size", "2", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["overhead"]["backend"] == "rocprofiler"

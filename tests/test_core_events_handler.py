@@ -1,0 +1,202 @@
+"""Tests for the unified event model and the PASTA event handler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HandlerError
+from repro.core.events import (
+    COARSE_CATEGORIES,
+    EventCategory,
+    FINE_GRAINED_CATEGORIES,
+    FRAMEWORK_CATEGORIES,
+    KernelLaunchEvent,
+    MemcpyEvent,
+    MemoryAllocEvent,
+    MemoryFreeEvent,
+    OperatorEndEvent,
+    OperatorStartEvent,
+    RuntimeApiEvent,
+    SynchronizationEvent,
+    TensorAllocEvent,
+    TensorFreeEvent,
+)
+from repro.core.handler import PastaEventHandler
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework import ops
+from repro.gpusim.device import A100, MiB
+from repro.gpusim.kernel import GridConfig, KernelArgument
+from repro.gpusim.runtime import MemcpyKind, create_runtime
+from repro.vendors import ComputeSanitizerBackend, RocprofilerBackend
+
+
+def make_handler_with_sink():
+    events = []
+    handler = PastaEventHandler(sink=events.append)
+    return handler, events
+
+
+class TestEventTaxonomy:
+    def test_categories_are_partitioned(self):
+        # Coarse, fine-grained and framework categories do not overlap.
+        assert not (COARSE_CATEGORIES & FINE_GRAINED_CATEGORIES)
+        assert not (COARSE_CATEGORIES & FRAMEWORK_CATEGORIES)
+        assert not (FINE_GRAINED_CATEGORIES & FRAMEWORK_CATEGORIES)
+
+    def test_every_event_class_sets_its_category(self):
+        assert RuntimeApiEvent().category is EventCategory.RUNTIME_API
+        assert KernelLaunchEvent().category is EventCategory.KERNEL_LAUNCH
+        assert MemoryAllocEvent().category is EventCategory.MEMORY_ALLOC
+        assert MemoryFreeEvent().category is EventCategory.MEMORY_FREE
+        assert MemcpyEvent().category is EventCategory.MEMCPY
+        assert SynchronizationEvent().category is EventCategory.SYNCHRONIZATION
+        assert OperatorStartEvent().category is EventCategory.OPERATOR_START
+        assert OperatorEndEvent().category is EventCategory.OPERATOR_END
+        assert TensorAllocEvent().category is EventCategory.TENSOR_ALLOC
+        assert TensorFreeEvent().category is EventCategory.TENSOR_FREE
+
+    def test_event_ids_are_unique(self):
+        a, b = RuntimeApiEvent(), RuntimeApiEvent()
+        assert a.event_id != b.event_id
+
+    def test_kernel_launch_total_threads(self):
+        event = KernelLaunchEvent(grid=(4, 2, 1), block=(128, 1, 1))
+        assert event.total_threads == 1024
+
+
+class TestVendorTranslation:
+    def test_runtime_activity_becomes_normalised_events(self):
+        runtime = create_runtime(A100)
+        backend = ComputeSanitizerBackend()
+        backend.attach(runtime)
+        handler, events = make_handler_with_sink()
+        handler.attach_vendor_backend(backend)
+
+        obj = runtime.malloc(1 * MiB)
+        runtime.memcpy(4096, MemcpyKind.HOST_TO_DEVICE)
+        runtime.launch_kernel(
+            "k", GridConfig.for_elements(256),
+            arguments=[KernelArgument(address=obj.address, size=obj.size, accesses_per_byte=0.01)],
+        )
+        runtime.synchronize()
+        runtime.free(obj)
+
+        categories = [e.category for e in events]
+        assert EventCategory.MEMORY_ALLOC in categories
+        assert EventCategory.MEMORY_FREE in categories
+        assert EventCategory.MEMCPY in categories
+        assert EventCategory.KERNEL_LAUNCH in categories
+        assert EventCategory.SYNCHRONIZATION in categories
+        assert EventCategory.RUNTIME_API in categories
+
+    def test_kernel_launch_metadata_extraction(self):
+        runtime = create_runtime(A100)
+        backend = ComputeSanitizerBackend()
+        backend.attach(runtime)
+        handler, events = make_handler_with_sink()
+        handler.attach_vendor_backend(backend)
+        obj = runtime.malloc(1 * MiB)
+        runtime.launch_kernel(
+            "my_kernel", GridConfig.for_elements(1024),
+            arguments=[KernelArgument(address=obj.address, size=obj.size,
+                                      accessed_fraction=0.5, accesses_per_byte=1.0)],
+        )
+        launches = [e for e in events if isinstance(e, KernelLaunchEvent)]
+        assert len(launches) == 1
+        event = launches[0]
+        assert event.kernel_name == "my_kernel"
+        assert event.grid[0] == 4
+        assert event.working_set_bytes == obj.size // 2
+        assert event.memory_footprint_bytes == obj.size
+        assert len(event.arguments) == 1
+        assert event.grid_index == 0
+
+    def test_grid_index_increments_per_device(self):
+        runtime = create_runtime(A100)
+        backend = ComputeSanitizerBackend()
+        backend.attach(runtime)
+        handler, events = make_handler_with_sink()
+        handler.attach_vendor_backend(backend)
+        for _ in range(3):
+            runtime.launch_kernel("k", GridConfig.for_elements(64))
+        launches = [e for e in events if isinstance(e, KernelLaunchEvent)]
+        assert [e.grid_index for e in launches] == [0, 1, 2]
+
+    def test_cross_vendor_events_are_uniform(self, mi300x_runtime):
+        """AMD callbacks normalise into the same event classes as NVIDIA ones."""
+        backend = RocprofilerBackend()
+        backend.attach(mi300x_runtime)
+        handler, events = make_handler_with_sink()
+        handler.attach_vendor_backend(backend)
+        obj = mi300x_runtime.malloc(1 * MiB)
+        mi300x_runtime.launch_kernel("k", GridConfig.for_elements(64))
+        mi300x_runtime.free(obj)
+        categories = {e.category for e in events}
+        assert EventCategory.MEMORY_ALLOC in categories
+        assert EventCategory.MEMORY_FREE in categories
+        assert EventCategory.KERNEL_LAUNCH in categories
+        assert all(e.source == "rocprofiler" for e in events)
+
+    def test_detach_stops_translation(self):
+        runtime = create_runtime(A100)
+        backend = ComputeSanitizerBackend()
+        backend.attach(runtime)
+        handler, events = make_handler_with_sink()
+        handler.attach_vendor_backend(backend)
+        runtime.malloc(4096)
+        count = len(events)
+        handler.detach_vendor_backend(backend)
+        runtime.malloc(4096)
+        assert len(events) == count
+
+
+class TestFrameworkTranslation:
+    def test_tensor_events_normalise_sign_convention(self, a100_ctx):
+        handler, events = make_handler_with_sink()
+        handler.attach_framework(a100_ctx.callbacks)
+        t = a100_ctx.alloc((1024,), name="x")
+        a100_ctx.free(t)
+        allocs = [e for e in events if isinstance(e, TensorAllocEvent)]
+        frees = [e for e in events if isinstance(e, TensorFreeEvent)]
+        assert len(allocs) == 1 and len(frees) == 1
+        # Reclamations are reported with a positive size and an explicit type.
+        assert frees[0].nbytes > 0
+        assert frees[0].nbytes == allocs[0].nbytes
+
+    def test_operator_events_carry_scope_and_python_stack(self, a100_ctx):
+        handler, events = make_handler_with_sink()
+        handler.attach_framework(a100_ctx.callbacks)
+        x = a100_ctx.alloc((4, 16))
+        w = a100_ctx.alloc((8, 16))
+        with a100_ctx.module_scope("encoder.layer.0"):
+            ops.linear(a100_ctx, x, w, None)
+        starts = [e for e in events if isinstance(e, OperatorStartEvent)]
+        ends = [e for e in events if isinstance(e, OperatorEndEvent)]
+        assert starts and ends
+        assert starts[0].name == "aten::linear"
+        assert starts[0].scope == "encoder.layer.0"
+        assert any("forward" in frame for frame in starts[0].python_stack)
+        assert ends[0].kernel_count >= 1
+
+
+class TestHandlerConfiguration:
+    def test_missing_sink_raises(self):
+        handler = PastaEventHandler()
+        with pytest.raises(HandlerError):
+            handler.emit(RuntimeApiEvent(api_name="cudaMalloc"))
+
+    def test_category_filtering(self):
+        handler, events = make_handler_with_sink()
+        handler.enable_category(EventCategory.RUNTIME_API, enabled=False)
+        handler.emit(RuntimeApiEvent(api_name="cudaMalloc"))
+        handler.emit(SynchronizationEvent())
+        assert len(events) == 1
+        assert handler.events_dropped == 1
+        assert EventCategory.RUNTIME_API not in handler.enabled_categories()
+
+    def test_region_emission(self):
+        handler, events = make_handler_with_sink()
+        handler.emit_region("layer0", starting=True)
+        handler.emit_region("layer0", starting=False)
+        assert events[0].category is EventCategory.REGION_START
+        assert events[1].category is EventCategory.REGION_STOP

@@ -1,0 +1,199 @@
+"""Tests for the model zoo, the execution engine, optimizers and backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FrameworkError, ModelError
+from repro.dlframework.backend import CUDA_BACKEND, HIP_BACKEND, backend_for_device
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.engine import ExecutionEngine
+from repro.dlframework.models import (
+    MODEL_ABBREVIATIONS,
+    MODEL_REGISTRY,
+    PAPER_MODELS,
+    create_model,
+)
+from repro.dlframework.models.megatron import MegatronConfig, MegatronGpt2
+from repro.dlframework.optim import Adam, SGD
+from repro.gpusim.device import A100, MI300X
+from repro.gpusim.runtime import create_runtime
+
+
+class TestModelRegistry:
+    def test_registry_contains_the_six_paper_models(self):
+        for name in PAPER_MODELS:
+            assert name in MODEL_REGISTRY
+            assert name in MODEL_ABBREVIATIONS
+
+    def test_create_model_unknown_name(self):
+        with pytest.raises(ModelError):
+            create_model("resnet50")
+
+    @pytest.mark.parametrize("name", PAPER_MODELS)
+    def test_model_metadata_matches_table_iv(self, name):
+        model = create_model(name)
+        assert model.model_name == name
+        assert model.default_batch_size >= 1
+        expected_type = "Transformer" if name in ("bert", "gpt2", "whisper") else "CNN"
+        assert model.model_type == expected_type
+
+    def test_paper_batch_sizes(self):
+        assert create_model("alexnet").default_batch_size == 128
+        assert create_model("resnet18").default_batch_size == 32
+        assert create_model("gpt2").default_batch_size == 8
+        assert create_model("bert").default_batch_size == 16
+        assert create_model("whisper").default_batch_size == 16
+
+
+@pytest.mark.parametrize("name", PAPER_MODELS)
+class TestModelExecution:
+    def test_inference_runs_and_launches_kernels(self, name, a100_ctx, a100_engine):
+        model = create_model(name)
+        a100_engine.prepare(model)
+        summary = a100_engine.run_inference(model, iterations=1, batch_size=2)
+        assert summary.kernel_launches > 10
+        assert summary.peak_allocated_bytes > 0
+        assert summary.mode == "inference"
+
+    def test_training_is_heavier_than_inference(self, name, a100_runtime):
+        infer_ctx = FrameworkContext(create_runtime(A100))
+        train_ctx = FrameworkContext(create_runtime(A100))
+        infer_model, train_model = create_model(name), create_model(name)
+        infer_engine, train_engine = ExecutionEngine(infer_ctx), ExecutionEngine(train_ctx)
+        infer_engine.prepare(infer_model)
+        train_engine.prepare(train_model)
+        infer = infer_engine.run_inference(infer_model, batch_size=2)
+        train = train_engine.run_training(train_model, batch_size=2)
+        assert train.kernel_launches > infer.kernel_launches
+        assert train.peak_allocated_bytes > infer.peak_allocated_bytes
+
+
+class TestEngineBehaviour:
+    def test_transients_released_between_iterations(self, a100_ctx, a100_engine):
+        model = create_model("resnet18")
+        a100_engine.prepare(model)
+        a100_engine.run_inference(model, iterations=2, batch_size=2)
+        # After the run, only parameters remain allocated.
+        assert a100_ctx.allocator.stats.allocated_bytes <= model.parameter_bytes() * 1.05
+
+    def test_keep_transients_flag(self, a100_ctx, a100_engine):
+        model = create_model("resnet18")
+        a100_engine.prepare(model)
+        a100_engine.run_inference(model, iterations=1, batch_size=2, keep_transients=True)
+        assert a100_ctx.allocator.stats.allocated_bytes > model.parameter_bytes()
+
+    def test_run_summary_fields(self, a100_engine):
+        model = create_model("alexnet")
+        a100_engine.prepare(model)
+        summary = a100_engine.run_inference(model, batch_size=4)
+        data = summary.as_dict()
+        assert data["model"] == "alexnet"
+        assert data["iterations"] == 1
+        assert data["total_kernel_time_ns"] > 0
+
+
+class TestOptimizers:
+    def test_adam_allocates_two_state_buffers_per_param(self, a100_ctx):
+        model = create_model("alexnet")
+        model.materialize(a100_ctx)
+        params = list(model.parameters())
+        optimizer = Adam(params)
+        engine = ExecutionEngine(a100_ctx)
+        engine.run_training_step(model, optimizer, batch_size=2)
+        assert optimizer.state_bytes() == 2 * sum(p.nbytes for p in params)
+
+    def test_adam_state_is_persistent_across_steps(self, a100_ctx):
+        model = create_model("resnet18")
+        model.materialize(a100_ctx)
+        optimizer = Adam(list(model.parameters()))
+        engine = ExecutionEngine(a100_ctx)
+        engine.run_training_step(model, optimizer, batch_size=2)
+        first = optimizer.state_bytes()
+        engine.run_training_step(model, optimizer, batch_size=2)
+        assert optimizer.state_bytes() == first
+
+    def test_sgd_has_no_state(self, a100_ctx):
+        model = create_model("resnet18")
+        model.materialize(a100_ctx)
+        optimizer = SGD(list(model.parameters()))
+        engine = ExecutionEngine(a100_ctx)
+        engine.run_training_step(model, optimizer, batch_size=2)
+        assert not hasattr(optimizer, "state_bytes") or optimizer.__class__ is SGD
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(FrameworkError):
+            SGD([])
+
+
+class TestBackendDifferences:
+    def test_backend_selection_by_vendor(self):
+        assert backend_for_device(A100) is CUDA_BACKEND
+        assert backend_for_device(MI300X) is HIP_BACKEND
+
+    def test_kernel_names_differ_across_vendors(self):
+        assert "ampere" in CUDA_BACKEND.gemm_kernel_name(512, 512, 512)
+        assert "Cijk" in HIP_BACKEND.gemm_kernel_name(512, 512, 512)
+        assert CUDA_BACKEND.conv_kernel_names() != HIP_BACKEND.conv_kernel_names()
+
+    def test_figure14_shape_nvidia_fewer_events_higher_peak(self):
+        """One GPT-2 training iteration: CUDA issues fewer alloc events than HIP."""
+        results = {}
+        for spec, backend in ((A100, CUDA_BACKEND), (MI300X, HIP_BACKEND)):
+            ctx = FrameworkContext(create_runtime(spec), backend=backend)
+            engine = ExecutionEngine(ctx)
+            model = create_model("gpt2")
+            engine.prepare(model)
+            engine.run_training(model, iterations=1, batch_size=2)
+            results[backend.name] = (ctx.allocator.event_count,
+                                     ctx.allocator.stats.peak_allocated_bytes)
+        cuda_events, cuda_peak = results["cuda"]
+        hip_events, hip_peak = results["hip"]
+        assert cuda_events < hip_events
+        assert cuda_peak >= hip_peak * 0.95  # NVIDIA peak is slightly higher (or equal)
+
+    def test_both_backends_show_ramp_up_peak_ramp_down(self):
+        """The three-phase allocator pattern of Figure 14 holds on both backends."""
+        for spec, backend in ((A100, CUDA_BACKEND), (MI300X, HIP_BACKEND)):
+            ctx = FrameworkContext(create_runtime(spec), backend=backend)
+            engine = ExecutionEngine(ctx)
+            model = create_model("gpt2")
+            engine.prepare(model)
+            engine.run_training(model, iterations=1, batch_size=2)
+            timeline = [usage for _idx, usage in ctx.allocator.usage_timeline]
+            peak = max(timeline)
+            peak_index = timeline.index(peak)
+            assert timeline[0] < peak           # ramp up
+            assert timeline[-1] < peak          # ramp down
+            assert 0 < peak_index < len(timeline) - 1
+
+
+class TestMegatron:
+    def test_full_model_configuration(self):
+        model = MegatronGpt2()
+        assert model.paper_layer_count == 24
+        assert len(model.layers) == 24
+        assert model.is_first_stage and model.is_last_stage
+
+    def test_tensor_parallel_shard_has_fewer_parameters(self, a100_ctx):
+        full = MegatronGpt2()
+        shard = MegatronGpt2(tensor_parallel_size=2)
+        ctx2 = FrameworkContext(create_runtime(A100))
+        full.materialize(a100_ctx)
+        shard.materialize(ctx2)
+        assert shard.parameter_bytes() < full.parameter_bytes()
+
+    def test_pipeline_stages_split_layers(self):
+        first = MegatronGpt2(pipeline_stage=(0, 2))
+        last = MegatronGpt2(pipeline_stage=(1, 2))
+        assert len(first.layers) == 12 and len(last.layers) == 12
+        assert first.is_first_stage and not first.is_last_stage
+        assert last.is_last_stage and not last.is_first_stage
+        # Only the last stage owns the LM head.
+        assert hasattr(last, "lm_head") and not hasattr(first, "lm_head")
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ModelError):
+            MegatronGpt2(pipeline_stage=(3, 2))
+        with pytest.raises(ModelError):
+            MegatronGpt2(MegatronConfig(hidden=1023), tensor_parallel_size=2)

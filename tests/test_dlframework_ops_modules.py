@@ -1,0 +1,295 @@
+"""Tests for the operator layer and the module system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError, ShapeError
+from repro.dlframework import ops
+from repro.dlframework.backend import CUDA_BACKEND, HIP_BACKEND
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.modules import (
+    Conv2d,
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    MultiheadSelfAttention,
+    ReLU,
+    Sequential,
+    TransformerLayer,
+)
+from repro.dlframework.tensor import DType
+from repro.gpusim.device import A100, MI300X
+from repro.gpusim.runtime import create_runtime
+
+
+@pytest.fixture
+def ctx(a100_runtime) -> FrameworkContext:
+    return FrameworkContext(a100_runtime)
+
+
+def kernel_names(ctx: FrameworkContext) -> list[str]:
+    return [launch.kernel_name for launch in ctx.runtime.kernel_launches]
+
+
+class TestShapeHelpers:
+    def test_conv2d_output_shape(self):
+        assert ops.conv2d_output_shape((8, 3, 224, 224), 64, 11, stride=4, padding=2) == (8, 64, 55, 55)
+
+    def test_conv2d_output_shape_validation(self):
+        with pytest.raises(ShapeError):
+            ops.conv2d_output_shape((8, 3, 224), 64, 3)
+        with pytest.raises(ShapeError):
+            ops.conv2d_output_shape((8, 3, 2, 2), 64, 5)
+
+    def test_pool2d_output_shape(self):
+        assert ops.pool2d_output_shape((8, 64, 55, 55), 3, 2) == (8, 64, 27, 27)
+
+
+class TestDenseOps:
+    def test_linear_shapes_and_gemm_kernel(self, ctx):
+        x = ctx.alloc((16, 128))
+        w = ctx.alloc((256, 128))
+        b = ctx.alloc((256,))
+        out = ops.linear(ctx, x, w, b)
+        assert out.shape == (16, 256)
+        assert any("gemm" in name for name in kernel_names(ctx))
+
+    def test_linear_shape_mismatch(self, ctx):
+        x = ctx.alloc((16, 100))
+        w = ctx.alloc((256, 128))
+        with pytest.raises(ShapeError):
+            ops.linear(ctx, x, w, None)
+
+    def test_linear_bias_fusion_differs_per_backend(self):
+        cuda_ctx = FrameworkContext(create_runtime(A100), backend=CUDA_BACKEND)
+        hip_ctx = FrameworkContext(create_runtime(MI300X), backend=HIP_BACKEND)
+        for context in (cuda_ctx, hip_ctx):
+            x = context.alloc((8, 64))
+            w = context.alloc((32, 64))
+            b = context.alloc((32,))
+            ops.linear(context, x, w, b)
+        # HIP lowers bias separately -> one extra elementwise kernel.
+        assert len(hip_ctx.runtime.kernel_launches) == len(cuda_ctx.runtime.kernel_launches) + 1
+
+    def test_matmul_and_bmm(self, ctx):
+        a = ctx.alloc((4, 8, 16))
+        b = ctx.alloc((4, 16, 32))
+        out = ops.bmm(ctx, a, b)
+        assert out.shape == (4, 8, 32)
+        with pytest.raises(ShapeError):
+            ops.bmm(ctx, ctx.alloc((8, 16)), ctx.alloc((16, 4)))
+
+
+class TestConvAndPool:
+    def test_conv2d_lowering_uses_im2col_and_frees_buffer(self, ctx):
+        x = ctx.alloc((4, 3, 32, 32))
+        w = ctx.alloc((16, 3, 3, 3))
+        out = ops.conv2d(ctx, x, w, None, stride=1, padding=1)
+        assert out.shape == (4, 16, 32, 32)
+        names = kernel_names(ctx)
+        assert any("im2col" in n for n in names)
+        # The im2col scratch buffer is transient: freed before the op returns.
+        live_names = {o.tag for o in ctx.runtime.allocator.live_objects()}
+        assert all("im2col" not in n for n in live_names)
+
+    def test_conv2d_channel_mismatch(self, ctx):
+        with pytest.raises(ShapeError):
+            ops.conv2d(ctx, ctx.alloc((4, 3, 8, 8)), ctx.alloc((8, 4, 3, 3)))
+
+    def test_max_pool_shapes(self, ctx):
+        out = ops.max_pool2d(ctx, ctx.alloc((4, 8, 16, 16)), kernel_size=2)
+        assert out.shape == (4, 8, 8, 8)
+
+
+class TestElementwiseAndNorm:
+    def test_relu_inplace_reuses_storage(self, ctx):
+        x = ctx.alloc((1024,))
+        out = ops.relu(ctx, x, inplace=True)
+        assert out is x
+
+    def test_gelu_allocates_output(self, ctx):
+        x = ctx.alloc((1024,))
+        out = ops.gelu(ctx, x)
+        assert out is not x and out.shape == x.shape
+
+    def test_dropout_eval_mode_is_identity(self, ctx):
+        x = ctx.alloc((1024,))
+        launches_before = len(ctx.runtime.kernel_launches)
+        out = ops.dropout(ctx, x, p=0.5, training=False)
+        assert out is x
+        assert len(ctx.runtime.kernel_launches) == launches_before
+
+    def test_dropout_training_allocates_mask(self, ctx):
+        x = ctx.alloc((1024,))
+        out = ops.dropout(ctx, x, p=0.5, training=True)
+        assert out is not x
+
+    def test_softmax_and_layernorm_kernels(self, ctx):
+        x = ctx.alloc((8, 128, 768))
+        w = ctx.alloc((768,))
+        b = ctx.alloc((768,))
+        ops.softmax(ctx, x)
+        ops.layer_norm(ctx, x, w, b)
+        names = kernel_names(ctx)
+        assert any("softmax" in n for n in names)
+        assert any("layer_norm" in n for n in names)
+
+    def test_embedding_accesses_only_gathered_rows(self, ctx):
+        indices = ctx.alloc((4, 16), dtype=DType.INT64)
+        table = ctx.alloc((50_000, 768))
+        out = ops.embedding(ctx, indices, table)
+        assert out.shape == (4, 16, 768)
+        launch = ctx.runtime.kernel_launches[-1]
+        # The table is passed whole but only a tiny fraction is referenced.
+        assert launch.working_set_bytes < launch.memory_footprint_bytes / 10
+
+    def test_reshape_is_metadata_only(self, ctx):
+        x = ctx.alloc((4, 8))
+        launches_before = len(ctx.runtime.kernel_launches)
+        view = ops.reshape(ctx, x, (8, 4))
+        assert view.address == x.address
+        assert len(ctx.runtime.kernel_launches) == launches_before
+        with pytest.raises(ShapeError):
+            ops.reshape(ctx, x, (5, 5))
+
+    def test_cat_concatenates_along_dim(self, ctx):
+        a = ctx.alloc((2, 8))
+        b = ctx.alloc((3, 8))
+        out = ops.cat(ctx, [a, b], dim=0)
+        assert out.shape == (5, 8)
+        with pytest.raises(ShapeError):
+            ops.cat(ctx, [], dim=0)
+
+
+class TestBackwardAndOptim:
+    def test_linear_backward_produces_all_grads(self, ctx):
+        x = ctx.alloc((16, 128))
+        w = ctx.alloc((64, 128))
+        grad_out = ctx.alloc((16, 64))
+        grad_in, grad_w, grad_b = ops.linear_backward(ctx, grad_out, x, w)
+        assert grad_in.shape == x.shape
+        assert grad_w.shape == w.shape
+        assert grad_b.shape == (64,)
+
+    def test_conv2d_backward_produces_all_grads(self, ctx):
+        x = ctx.alloc((2, 3, 16, 16))
+        w = ctx.alloc((8, 3, 3, 3))
+        grad_out = ctx.alloc((2, 8, 14, 14))
+        grad_in, grad_w, grad_b = ops.conv2d_backward(ctx, grad_out, x, w)
+        assert grad_in.shape == x.shape
+        assert grad_w.shape == w.shape
+
+    def test_optimizer_step_chunks_parameters(self, ctx):
+        params = [ctx.alloc((128,), is_parameter=True) for _ in range(70)]
+        grads = [ctx.alloc((128,)) for _ in range(70)]
+        launches_before = len(ctx.runtime.kernel_launches)
+        ops.sgd_step(ctx, params, grads)
+        # 70 parameters in chunks of 32 -> 3 multi-tensor-apply kernels.
+        assert len(ctx.runtime.kernel_launches) - launches_before == 3
+
+    def test_optimizer_step_length_mismatch(self, ctx):
+        with pytest.raises(ShapeError):
+            ops.sgd_step(ctx, [ctx.alloc((8,))], [])
+
+    def test_collectives_use_nccl_kernels(self, ctx):
+        t = ctx.alloc((1024,))
+        ops.all_reduce(ctx, t, world_size=2)
+        assert any("nccl" in n for n in kernel_names(ctx))
+
+
+class TestModules:
+    def test_parameters_require_materialization(self, ctx):
+        layer = Linear(16, 8)
+        with pytest.raises(ModelError):
+            layer.get_parameter("weight")
+        layer.materialize(ctx)
+        assert layer.get_parameter("weight").shape == (8, 16)
+        assert layer.get_parameter("weight").is_parameter
+
+    def test_sequential_forward_and_scopes(self, ctx):
+        model = Sequential(Linear(32, 64, name="fc1"), ReLU(name="relu"), Linear(64, 8, name="fc2"))
+        model.materialize(ctx)
+        out = model(ctx, ctx.alloc((4, 32)))
+        assert out.shape == (4, 8)
+
+    def test_parameter_bytes_counts_subtree(self, ctx):
+        model = Sequential(Linear(32, 64), Linear(64, 8))
+        model.materialize(ctx)
+        expected = (64 * 32 + 64 + 8 * 64 + 8) * 4
+        assert model.parameter_bytes() == expected
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(8, 8), Dropout(0.1))
+        model.train()
+        assert all(m.training for m in model.modules())
+        model.eval()
+        assert not any(m.training for m in model.modules())
+
+    def test_training_backward_collects_param_grads(self, ctx):
+        layer = Linear(16, 8)
+        layer.materialize(ctx)
+        layer.train()
+        out = layer(ctx, ctx.alloc((4, 16)))
+        grad = ctx.alloc(out.shape)
+        layer.backward(ctx, grad)
+        grads = layer.collect_param_grads()
+        assert len(grads) == 2  # weight and bias
+        layer.clear_grads()
+        assert layer.collect_param_grads() == []
+
+    def test_backward_without_forward_raises(self, ctx):
+        layer = Linear(16, 8)
+        layer.materialize(ctx)
+        layer.train()
+        with pytest.raises(ModelError):
+            layer.backward(ctx, ctx.alloc((4, 8)))
+
+    def test_attention_head_divisibility(self):
+        with pytest.raises(ShapeError):
+            MultiheadSelfAttention(hidden=100, num_heads=7)
+
+    def test_attention_forward_shape(self, ctx):
+        attn = MultiheadSelfAttention(hidden=64, num_heads=4)
+        attn.materialize(ctx)
+        out = attn(ctx, ctx.alloc((2, 16, 64)))
+        assert out.shape == (2, 16, 64)
+
+    def test_transformer_layer_roundtrip(self, ctx):
+        layer = TransformerLayer(hidden=64, num_heads=4)
+        layer.materialize(ctx)
+        layer.train()
+        x = ctx.alloc((2, 16, 64))
+        out = layer(ctx, x)
+        assert out.shape == x.shape
+        grad = layer.backward(ctx, ctx.alloc(out.shape))
+        assert grad.shape[-1] == 64
+
+    def test_transformer_layer_with_cross_attention_has_more_params(self, ctx):
+        plain = TransformerLayer(hidden=64, num_heads=4)
+        cross = TransformerLayer(hidden=64, num_heads=4, cross_attention=True)
+        plain.materialize(ctx)
+        cross.materialize(ctx)
+        assert cross.parameter_bytes() > plain.parameter_bytes()
+
+    def test_embedding_module(self, ctx):
+        emb = Embedding(1000, 64)
+        emb.materialize(ctx)
+        out = emb(ctx, ctx.alloc((2, 10), dtype=DType.INT64))
+        assert out.shape == (2, 10, 64)
+
+    def test_eval_mode_frees_intermediates(self, ctx):
+        layer = TransformerLayer(hidden=64, num_heads=4)
+        layer.materialize(ctx)
+        layer.eval()
+        allocated_before = ctx.allocator.stats.allocated_bytes
+        x = ctx.alloc((2, 16, 64))
+        out = layer(ctx, x)
+        # Only the input, the output and the persistent BLAS workspace remain
+        # live (plus parameters that were live before).
+        live_now = ctx.allocator.stats.allocated_bytes
+        budget = allocated_before + x.nbytes + out.nbytes + ctx.backend.gemm_workspace_bytes + 4096
+        assert live_now <= budget

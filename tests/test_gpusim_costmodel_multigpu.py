@@ -1,0 +1,144 @@
+"""Tests for the profiling-overhead cost model and the multi-GPU process model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim.costmodel import (
+    CostModelConfig,
+    InstrumentationBackend,
+    OverheadModel,
+    ProfilingCost,
+)
+from repro.gpusim.device import A100, MI300X, RTX3060
+from repro.gpusim.multigpu import DeviceSet, InjectionMethod, ProcessModel
+from repro.gpusim.trace import AnalysisModel
+
+WORKLOAD = [(1_000_000.0, 5_000_000), (2_000_000.0, 20_000_000), (500_000.0, 1_000_000)]
+
+
+class TestProfilingCost:
+    def test_totals_and_overhead(self):
+        cost = ProfilingCost(execution_ns=100, collection_ns=50, transfer_ns=25, analysis_ns=25)
+        assert cost.total_ns == 200
+        assert cost.overhead_ns == 100
+        assert cost.normalized_overhead() == pytest.approx(1.0)
+
+    def test_fractions_sum_to_one(self):
+        cost = ProfilingCost(execution_ns=10, collection_ns=20, transfer_ns=30, analysis_ns=40)
+        fractions = cost.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_zero_execution_gives_infinite_overhead(self):
+        assert ProfilingCost(collection_ns=10).normalized_overhead() == float("inf")
+
+    def test_addition(self):
+        a = ProfilingCost(execution_ns=1, collection_ns=2, transfer_ns=3, analysis_ns=4)
+        b = ProfilingCost(execution_ns=10, collection_ns=20, transfer_ns=30, analysis_ns=40)
+        c = a + b
+        assert (c.execution_ns, c.collection_ns, c.transfer_ns, c.analysis_ns) == (11, 22, 33, 44)
+
+
+class TestOverheadModel:
+    def test_gpu_resident_is_much_cheaper_than_cpu_side(self):
+        model = OverheadModel(A100)
+        gpu = model.workload_cost(WORKLOAD, AnalysisModel.GPU_RESIDENT)
+        cpu = model.workload_cost(WORKLOAD, AnalysisModel.CPU_SIDE)
+        assert cpu.overhead_ns / gpu.overhead_ns > 50
+
+    def test_nvbit_is_costlier_than_sanitizer(self):
+        model = OverheadModel(A100)
+        sanitizer = model.workload_cost(WORKLOAD, AnalysisModel.CPU_SIDE,
+                                        InstrumentationBackend.COMPUTE_SANITIZER)
+        nvbit = model.workload_cost(WORKLOAD, AnalysisModel.CPU_SIDE,
+                                    InstrumentationBackend.NVBIT)
+        assert nvbit.overhead_ns > 5 * sanitizer.overhead_ns
+
+    def test_larger_gpu_benefits_more_from_gpu_analysis(self):
+        a100_model, r3060_model = OverheadModel(A100), OverheadModel(RTX3060)
+        a100_ratio = (
+            a100_model.workload_cost(WORKLOAD, AnalysisModel.CPU_SIDE).overhead_ns
+            / a100_model.workload_cost(WORKLOAD, AnalysisModel.GPU_RESIDENT).overhead_ns
+        )
+        r3060_ratio = (
+            r3060_model.workload_cost(WORKLOAD, AnalysisModel.CPU_SIDE).overhead_ns
+            / r3060_model.workload_cost(WORKLOAD, AnalysisModel.GPU_RESIDENT).overhead_ns
+        )
+        assert a100_ratio > r3060_ratio
+
+    def test_cpu_side_breakdown_dominated_by_analysis(self):
+        cost = OverheadModel(A100).workload_cost(WORKLOAD, AnalysisModel.CPU_SIDE)
+        fractions = cost.fractions()
+        assert fractions["analysis"] > 0.5
+
+    def test_gpu_resident_breakdown_dominated_by_collection(self):
+        cost = OverheadModel(A100).workload_cost(WORKLOAD, AnalysisModel.GPU_RESIDENT)
+        fractions = cost.fractions()
+        assert fractions["collection"] > fractions["analysis"]
+        assert fractions["analysis"] == 0.0
+
+    def test_empty_workload_has_zero_cost(self):
+        cost = OverheadModel(A100).workload_cost([], AnalysisModel.GPU_RESIDENT)
+        assert cost.total_ns == 0.0
+
+    def test_custom_config_is_respected(self):
+        config = CostModelConfig(cpu_analysis_ns_per_record=1.0)
+        default = OverheadModel(A100).workload_cost(WORKLOAD, AnalysisModel.CPU_SIDE)
+        cheap = OverheadModel(A100, config).workload_cost(WORKLOAD, AnalysisModel.CPU_SIDE)
+        assert cheap.analysis_ns < default.analysis_ns
+
+    def test_analysis_lanes_scale_with_sm_count(self):
+        assert OverheadModel(A100).analysis_lanes > OverheadModel(RTX3060).analysis_lanes
+
+
+class TestProcessModel:
+    def test_ld_preload_instruments_every_process(self):
+        pm = ProcessModel(InjectionMethod.LD_PRELOAD)
+        pm.spawn("trainer_rank0", creates_gpu_context=True)
+        pm.spawn("jit_helper", creates_gpu_context=False)
+        assert len(pm.instrumented_processes()) == 2
+        assert len(pm.spurious_instrumentations()) == 1
+
+    def test_cuda_injection_path_skips_helper_processes(self):
+        pm = ProcessModel(InjectionMethod.CUDA_INJECTION64_PATH)
+        pm.spawn("trainer_rank0", creates_gpu_context=True)
+        pm.spawn("trainer_rank1", creates_gpu_context=True)
+        pm.spawn("jit_helper", creates_gpu_context=False)
+        pm.spawn("dataloader", creates_gpu_context=False)
+        assert len(pm.instrumented_processes()) == 2
+        assert pm.spurious_instrumentations() == []
+
+
+class TestDeviceSet:
+    def test_basic_construction(self):
+        ds = DeviceSet([A100, A100])
+        assert len(ds) == 2
+        assert len(set(ds.device_indices)) == 2
+
+    def test_rank_lookup(self):
+        ds = DeviceSet([A100, RTX3060])
+        for rank, runtime in enumerate(ds):
+            assert ds.rank_of_device_index(runtime.device.index) == rank
+
+    def test_rank_lookup_unknown_device(self):
+        ds = DeviceSet([A100])
+        with pytest.raises(DeviceError):
+            ds.rank_of_device_index(10_000)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSet([])
+
+    def test_mixed_vendor_set(self):
+        ds = DeviceSet([A100, MI300X])
+        assert ds[0].api_prefix == "cuda"
+        assert ds[1].api_prefix == "hip"
+
+    def test_synchronize_all(self):
+        ds = DeviceSet([A100, A100])
+        from repro.gpusim.kernel import GridConfig
+
+        ds[0].launch_kernel("k", GridConfig.for_elements(64), duration_ns=5_000)
+        ds.synchronize_all()
+        assert ds[0].device.now() >= 5_000

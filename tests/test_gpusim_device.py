@@ -1,0 +1,95 @@
+"""Tests for the simulated device specifications and device instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim.device import (
+    A100,
+    DeviceSpec,
+    GiB,
+    GpuDevice,
+    MI300X,
+    RTX3060,
+    Vendor,
+    get_device_spec,
+)
+
+
+class TestDeviceSpec:
+    def test_builtin_specs_match_table_iii(self):
+        assert A100.memory_bytes == 80 * GiB
+        assert A100.vendor is Vendor.NVIDIA
+        assert RTX3060.memory_bytes == 12 * GiB
+        assert RTX3060.vendor is Vendor.NVIDIA
+        assert MI300X.vendor is Vendor.AMD
+
+    def test_vendor_runtime_name(self):
+        assert Vendor.NVIDIA.runtime_name == "cuda"
+        assert Vendor.AMD.runtime_name == "hip"
+
+    def test_max_resident_threads(self):
+        assert A100.max_resident_threads == A100.sm_count * A100.threads_per_sm
+
+    def test_lookup_by_name(self):
+        assert get_device_spec("a100") is A100
+        assert get_device_spec("RTX3060") is RTX3060
+        assert get_device_spec("3060") is RTX3060
+        assert get_device_spec("mi300x") is MI300X
+
+    def test_lookup_unknown_name_raises(self):
+        with pytest.raises(DeviceError, match="unknown device"):
+            get_device_spec("h100")
+
+    def test_with_memory_limit(self):
+        limited = A100.with_memory_limit(4 * GiB)
+        assert limited.memory_bytes == 4 * GiB
+        assert limited.name == A100.name
+        # The original spec is unchanged (frozen dataclass).
+        assert A100.memory_bytes == 80 * GiB
+
+    def test_with_memory_limit_rejects_invalid(self):
+        with pytest.raises(DeviceError):
+            A100.with_memory_limit(0)
+        with pytest.raises(DeviceError):
+            A100.with_memory_limit(200 * GiB)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(
+                name="bad", vendor=Vendor.NVIDIA, memory_bytes=0, sm_count=1,
+                threads_per_sm=1, core_clock_mhz=1000, memory_bandwidth_gbs=1.0,
+                pcie_bandwidth_gbs=1.0, compute_capability="sm_00",
+            )
+
+
+class TestGpuDevice:
+    def test_clock_advances_monotonically(self):
+        device = GpuDevice(spec=A100)
+        assert device.now() == 0
+        device.advance(100)
+        device.advance(50)
+        assert device.now() == 150
+
+    def test_clock_cannot_go_backwards(self):
+        device = GpuDevice(spec=A100)
+        with pytest.raises(DeviceError):
+            device.advance(-1)
+
+    def test_device_indices_are_unique(self):
+        d1, d2 = GpuDevice(spec=A100), GpuDevice(spec=RTX3060)
+        assert d1.index != d2.index
+
+    def test_profiler_reservation_reduces_usable_memory(self):
+        device = GpuDevice(spec=RTX3060)
+        full = device.usable_memory_bytes
+        device.reserve_profiler_memory(4 * 1024 * 1024)
+        assert device.usable_memory_bytes == full - 4 * 1024 * 1024
+
+    def test_profiler_reservation_validation(self):
+        device = GpuDevice(spec=RTX3060)
+        with pytest.raises(DeviceError):
+            device.reserve_profiler_memory(-1)
+        with pytest.raises(DeviceError):
+            device.reserve_profiler_memory(RTX3060.memory_bytes + 1)

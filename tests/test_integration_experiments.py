@@ -1,0 +1,153 @@
+"""End-to-end integration tests asserting the paper's qualitative result shapes.
+
+Each test mirrors one of the paper's evaluation artefacts (Figure 7, Table V,
+Figures 13-15) at reduced scale, checking the *shape* of the result rather
+than absolute numbers — the same criterion the benchmark harness reports on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dlframework.models import PAPER_MODELS
+from repro.dlframework.models.megatron import MegatronConfig
+from repro.dlframework.parallel import (
+    DataParallelRunner,
+    PipelineParallelRunner,
+    TensorParallelRunner,
+)
+from repro.gpusim.device import A100
+from repro.gpusim.multigpu import DeviceSet
+from repro.tools import (
+    KernelFrequencyTool,
+    MemoryCharacteristicsTool,
+    MemoryTimelineTool,
+    TimeSeriesHotnessTool,
+)
+from repro.workloads import run_workload
+
+SMALL_CONFIG = MegatronConfig(
+    vocab_size=2048, hidden=256, num_layers=4, num_heads=8, seq_length=128, batch_size=2
+)
+
+
+class TestFigure7Shape:
+    """Kernel invocation frequency: a small subset of kernels dominates."""
+
+    @pytest.mark.parametrize("model_name", ["alexnet", "bert", "gpt2"])
+    def test_top_kernels_dominate(self, model_name):
+        freq = KernelFrequencyTool()
+        run_workload(model_name, device="a100", tools=[freq], batch_size=2)
+        assert freq.total_launches > 20
+        # The top-5 kernels account for the majority of launches even though
+        # many distinct kernels exist.
+        assert freq.concentration(5) > 0.5
+        assert freq.distinct_kernels >= 5
+
+    def test_alexnet_hot_kernels_include_im2col_and_gemm(self):
+        freq = KernelFrequencyTool()
+        run_workload("alexnet", device="a100", tools=[freq], batch_size=2)
+        top_names = " ".join(entry.kernel_name for entry in freq.top_kernels(5))
+        assert "im2col" in top_names or "gemm" in top_names
+
+
+class TestTableVShape:
+    """Working sets are much smaller than overall footprints."""
+
+    @pytest.mark.parametrize("model_name", PAPER_MODELS)
+    def test_footprint_exceeds_working_set(self, model_name):
+        mem = MemoryCharacteristicsTool()
+        run_workload(model_name, device="a100", tools=[mem], batch_size=2)
+        summary = mem.summary()
+        assert summary.kernel_count > 20
+        assert summary.memory_footprint_bytes > summary.working_set_bytes > 0
+        # Most kernels use far less memory than the maximum working set.
+        assert summary.median_working_set_bytes <= summary.working_set_bytes
+        assert summary.p90_working_set_bytes <= summary.working_set_bytes
+        assert summary.min_working_set_bytes <= summary.median_working_set_bytes
+
+    def test_training_footprint_exceeds_inference_footprint(self):
+        inference = MemoryCharacteristicsTool()
+        training = MemoryCharacteristicsTool()
+        run_workload("resnet18", device="a100", mode="inference", tools=[inference], batch_size=2)
+        run_workload("resnet18", device="a100", mode="train", tools=[training], batch_size=2)
+        assert training.memory_footprint_bytes > inference.memory_footprint_bytes
+        assert training.summary().kernel_count > inference.summary().kernel_count
+
+    def test_underutilized_memory_exists(self):
+        mem = MemoryCharacteristicsTool()
+        run_workload("bert", device="a100", tools=[mem], batch_size=2)
+        # A substantial fraction of allocated memory is never referenced by any
+        # kernel (the swapping/offloading insight of Section V-B2).
+        assert mem.underutilized_bytes() > 0
+
+
+class TestFigure13Shape:
+    """BERT inference hotness: long-lived hot blocks plus bursty blocks."""
+
+    def test_bert_hotness_classification(self):
+        hotness = TimeSeriesHotnessTool(kernels_per_window=10)
+        run_workload("bert", device="a100", tools=[hotness], batch_size=2)
+        blocks, matrix = hotness.hotness_matrix()
+        assert len(blocks) > 10
+        assert matrix.shape == (len(blocks), hotness.window_count)
+        classes = hotness.classify_blocks()
+        kinds = {c.kind for c in classes}
+        # Both long-lived (parameter-like) and transient (activation-like)
+        # blocks appear.
+        assert "long_lived_hot" in kinds
+        assert kinds & {"bursty", "intermittent"}
+        assert hotness.prefetch_candidates()
+
+
+class TestFigure14Shape:
+    """Single-GPU memory timeline has the ramp-up / peak / ramp-down shape."""
+
+    def test_timeline_tool_reconstructs_allocator_curve(self):
+        timeline = MemoryTimelineTool()
+        result = run_workload("gpt2", device="a100", mode="train", tools=[timeline], batch_size=2)
+        device_timeline = timeline.timeline(result.runtime.device.index)
+        assert device_timeline.event_count > 500
+        usages = [usage for _t, usage in device_timeline.samples]
+        peak_index = usages.index(max(usages))
+        assert 0 < peak_index < len(usages) - 1
+        assert usages[-1] < max(usages)
+        assert device_timeline.peak_bytes == result.ctx.allocator.stats.peak_allocated_bytes
+
+
+class TestFigure15Shape:
+    """Megatron GPT-2 two-GPU parallelism: DP/TP symmetric, TP peak lower, PP asymmetric."""
+
+    def test_dp_tp_pp_memory_relationships(self):
+        dp = DataParallelRunner(DeviceSet([A100, A100]), SMALL_CONFIG).run_iteration()
+        tp = TensorParallelRunner(DeviceSet([A100, A100]), SMALL_CONFIG).run_iteration()
+        pp = PipelineParallelRunner(DeviceSet([A100, A100]), SMALL_CONFIG).run_iteration()
+
+        dp_peaks, tp_peaks, pp_peaks = dp.peak_bytes(), tp.peak_bytes(), pp.peak_bytes()
+        # DP and TP are symmetric across the two GPUs.
+        assert dp_peaks[0] == pytest.approx(dp_peaks[1], rel=0.02)
+        assert tp_peaks[0] == pytest.approx(tp_peaks[1], rel=0.02)
+        # TP's peak is clearly below DP's (model sharding).
+        assert max(tp_peaks) < max(dp_peaks)
+        # PP is asymmetric: the last stage (LM head + logits) is heavier.
+        assert pp_peaks[1] > pp_peaks[0]
+
+    def test_megatron_tensors_are_longer_lived_than_single_gpu(self):
+        """Megatron-style training keeps more memory live at the end of the
+        iteration than it started with (persistent grads/communication buffers),
+        matching the paper's observation about tensor persistence."""
+        dp = DataParallelRunner(DeviceSet([A100, A100]), SMALL_CONFIG).run_iteration()
+        timeline = dp.usage_timelines()[0]
+        assert timeline[-1][1] >= timeline[0][1]
+
+
+class TestGpuPreprocessingConsistency:
+    """The GPU-resident result map agrees with the kernels' declared behaviour."""
+
+    def test_profiles_match_launch_metadata(self):
+        mem = MemoryCharacteristicsTool()
+        result = run_workload("resnet18", device="a100", tools=[mem], batch_size=2)
+        launches = result.runtime.kernel_launches
+        assert len(mem.kernel_working_sets) == len(launches)
+        assert sum(mem.kernel_working_sets) == sum(l.working_set_bytes for l in launches)
+        assert sum(mem.kernel_footprints) == sum(l.memory_footprint_bytes for l in launches)

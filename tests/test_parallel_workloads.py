@@ -1,0 +1,102 @@
+"""Tests for multi-GPU parallelism runners and the workload runner glue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FrameworkError, ReproError
+from repro.dlframework.models.megatron import MegatronConfig
+from repro.dlframework.parallel import (
+    DataParallelRunner,
+    PipelineParallelRunner,
+    TensorParallelRunner,
+    create_parallel_runner,
+)
+from repro.gpusim.device import A100
+from repro.gpusim.multigpu import DeviceSet
+from repro.tools import KernelFrequencyTool
+from repro.workloads import run_workload
+
+#: A deliberately small Megatron configuration so parallelism tests stay fast.
+SMALL_CONFIG = MegatronConfig(
+    vocab_size=2048, hidden=256, num_layers=4, num_heads=8, seq_length=128, batch_size=2
+)
+
+
+def two_a100s() -> DeviceSet:
+    return DeviceSet([A100, A100])
+
+
+class TestParallelRunners:
+    def test_requires_at_least_two_devices(self):
+        with pytest.raises(FrameworkError):
+            DataParallelRunner(DeviceSet([A100]), SMALL_CONFIG)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(FrameworkError):
+            create_parallel_runner("expert_parallel", two_a100s(), SMALL_CONFIG)
+
+    def test_factory_returns_the_right_runner(self):
+        assert isinstance(create_parallel_runner("data_parallel", two_a100s(), SMALL_CONFIG),
+                          DataParallelRunner)
+        assert isinstance(create_parallel_runner("tensor_parallel", two_a100s(), SMALL_CONFIG),
+                          TensorParallelRunner)
+        assert isinstance(create_parallel_runner("pipeline_parallel", two_a100s(), SMALL_CONFIG),
+                          PipelineParallelRunner)
+
+    def test_data_parallel_is_symmetric(self):
+        runner = DataParallelRunner(two_a100s(), SMALL_CONFIG)
+        result = runner.run_iteration()
+        peaks = result.peak_bytes()
+        events = result.allocation_event_counts()
+        assert len(peaks) == 2
+        assert peaks[0] == pytest.approx(peaks[1], rel=0.02)
+        assert events[0] == events[1]
+
+    def test_tensor_parallel_is_symmetric_with_half_the_peak_of_dp(self):
+        dp = DataParallelRunner(two_a100s(), SMALL_CONFIG).run_iteration()
+        tp = TensorParallelRunner(two_a100s(), SMALL_CONFIG).run_iteration()
+        tp_peaks, dp_peaks = tp.peak_bytes(), dp.peak_bytes()
+        assert tp_peaks[0] == pytest.approx(tp_peaks[1], rel=0.02)
+        # TP shards every layer, so its peak is well below DP's full replica.
+        assert tp_peaks[0] < 0.8 * dp_peaks[0]
+
+    def test_pipeline_parallel_is_asymmetric_with_heavier_last_stage(self):
+        pp = PipelineParallelRunner(two_a100s(), SMALL_CONFIG).run_iteration()
+        first_peak, last_peak = pp.peak_bytes()
+        # The last stage owns the final norm + LM head and produces the logits,
+        # so it carries the heavier tail (Figure 15c).
+        assert last_peak > first_peak
+
+    def test_usage_timelines_are_recorded_per_rank(self):
+        result = DataParallelRunner(two_a100s(), SMALL_CONFIG).run_iteration()
+        timelines = result.usage_timelines()
+        assert len(timelines) == 2
+        assert all(len(t) > 100 for t in timelines)
+
+
+class TestWorkloadRunner:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ReproError):
+            run_workload("alexnet", mode="finetune")
+
+    def test_returns_summary_tools_and_reports(self):
+        freq = KernelFrequencyTool()
+        result = run_workload("alexnet", device="rtx3060", tools=[freq], batch_size=2)
+        assert result.summary.kernel_launches == freq.total_launches
+        assert result.tool("kernel_frequency") is freq
+        assert "overhead" in result.reports()
+
+    def test_missing_tool_lookup_raises(self):
+        result = run_workload("alexnet", device="rtx3060", batch_size=2)
+        with pytest.raises(ReproError):
+            result.tool("kernel_frequency")
+
+    def test_train_mode_runs(self):
+        result = run_workload("resnet18", mode="train", batch_size=2)
+        assert result.summary.mode == "train"
+        assert result.summary.kernel_launches > 100
+
+    def test_device_can_be_a_spec(self):
+        result = run_workload("alexnet", device=A100, batch_size=2)
+        assert result.runtime.device.spec is A100

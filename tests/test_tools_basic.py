@@ -1,0 +1,216 @@
+"""Tests for the case-study tools: kernel frequency, memory characteristics,
+memory timeline, hotness and the inefficiency locator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import (
+    KernelArgumentInfo,
+    KernelLaunchEvent,
+    KernelMemoryProfile,
+    MemoryAllocEvent,
+    OperatorStartEvent,
+    TensorAllocEvent,
+    TensorFreeEvent,
+)
+from repro.tools import (
+    InefficiencyLocatorTool,
+    KernelFrequencyTool,
+    MemoryCharacteristicsTool,
+    MemoryTimelineTool,
+    TimeSeriesHotnessTool,
+)
+from repro.workloads import run_workload
+
+
+def launch(name="k", accesses=0, working=0, footprint=0, grid_index=0, args=(), duration=1000):
+    return KernelLaunchEvent(
+        kernel_name=name,
+        duration_ns=duration,
+        total_memory_accesses=accesses,
+        working_set_bytes=working,
+        memory_footprint_bytes=footprint,
+        grid_index=grid_index,
+        arguments=tuple(args),
+    )
+
+
+class TestKernelFrequencyTool:
+    def test_counts_and_top_kernels(self):
+        tool = KernelFrequencyTool()
+        for _ in range(5):
+            tool.handle_event(launch("gemm"))
+        for _ in range(2):
+            tool.handle_event(launch("copy"))
+        tool.handle_event(launch("softmax"))
+        assert tool.total_launches == 8
+        assert tool.distinct_kernels == 3
+        top = tool.top_kernels(2)
+        assert top[0].kernel_name == "gemm" and top[0].invocations == 5
+        assert tool.frequencies()["copy"] == 2
+
+    def test_concentration(self):
+        tool = KernelFrequencyTool()
+        for _ in range(90):
+            tool.handle_event(launch("hot"))
+        for i in range(10):
+            tool.handle_event(launch(f"cold{i}"))
+        assert tool.concentration(1) == pytest.approx(0.9)
+        assert tool.concentration(5) > 0.9
+
+    def test_empty_tool(self):
+        tool = KernelFrequencyTool()
+        assert tool.concentration() == 0.0
+        assert tool.top_kernels() == []
+        assert tool.report()["total_launches"] == 0
+
+
+class TestMemoryCharacteristicsTool:
+    def test_working_set_statistics(self):
+        tool = MemoryCharacteristicsTool()
+        tool.handle_event(MemoryAllocEvent(address=0x1000, size=10_000, object_id=1))
+        for ws in (100, 200, 300, 400):
+            tool.handle_event(KernelMemoryProfile(
+                kernel_name="k", working_set_bytes=ws, footprint_bytes=ws * 2,
+                object_referenced_bytes={1: ws}, object_access_counts={1: 10},
+            ))
+        summary = tool.summary()
+        assert summary.kernel_count == 4
+        assert summary.working_set_bytes == 400
+        assert summary.min_working_set_bytes == 100
+        assert summary.avg_working_set_bytes == pytest.approx(250.0)
+        assert summary.median_working_set_bytes == pytest.approx(250.0)
+        assert summary.p90_working_set_bytes >= 300
+
+    def test_footprint_tracks_peak_driver_bytes(self):
+        tool = MemoryCharacteristicsTool()
+        tool.handle_event(MemoryAllocEvent(address=0x1000, size=1000, object_id=1))
+        tool.handle_event(MemoryAllocEvent(address=0x2000, size=2000, object_id=2))
+        assert tool.memory_footprint_bytes == 3000
+
+    def test_underutilized_bytes(self):
+        tool = MemoryCharacteristicsTool()
+        tool.handle_event(MemoryAllocEvent(address=0x1000, size=1000, object_id=1))
+        tool.handle_event(KernelMemoryProfile(
+            kernel_name="k", working_set_bytes=250, footprint_bytes=1000,
+            object_referenced_bytes={1: 250}, object_access_counts={1: 5},
+        ))
+        assert tool.underutilized_bytes() == 750
+
+    def test_kernel_stats_capture_operator_context(self):
+        tool = MemoryCharacteristicsTool()
+        tool.handle_event(OperatorStartEvent(name="aten::linear",
+                                             python_stack=("model.py:1 def forward()",)))
+        tool.handle_event(launch("gemm", accesses=100))
+        stats = tool.kernel_stats["gemm"]
+        assert stats.representative_op == "aten::linear"
+        assert stats.representative_python_stack
+
+    def test_empty_summary(self):
+        summary = MemoryCharacteristicsTool().summary()
+        assert summary.kernel_count == 0
+        assert summary.working_set_bytes == 0
+
+
+class TestMemoryTimelineTool:
+    def test_per_device_timelines(self):
+        tool = MemoryTimelineTool()
+        tool.handle_event(TensorAllocEvent(device_index=0, nbytes=100, pool_allocated_bytes=100))
+        tool.handle_event(TensorAllocEvent(device_index=0, nbytes=200, pool_allocated_bytes=300))
+        tool.handle_event(TensorFreeEvent(device_index=0, nbytes=100, pool_allocated_bytes=200))
+        tool.handle_event(TensorAllocEvent(device_index=1, nbytes=50, pool_allocated_bytes=50))
+        assert tool.devices() == [0, 1]
+        t0 = tool.timeline(0)
+        assert t0.peak_bytes == 300
+        assert t0.alloc_events == 2 and t0.free_events == 1
+        assert t0.final_bytes() == 200
+        assert tool.timeline(1).peak_bytes == 50
+
+    def test_usage_difference(self):
+        tool = MemoryTimelineTool()
+        for usage in (100, 200, 300):
+            tool.handle_event(TensorAllocEvent(device_index=0, pool_allocated_bytes=usage))
+            tool.handle_event(TensorAllocEvent(device_index=1, pool_allocated_bytes=usage // 2))
+        diffs = tool.usage_difference(0, 1, points=10)
+        assert len(diffs) == 10
+        assert all(d >= 0 for d in diffs)
+
+    def test_unknown_device_timeline_is_empty(self):
+        tool = MemoryTimelineTool()
+        assert tool.timeline(7).event_count == 0
+        assert tool.timeline(7).usage_at(0.5) == 0
+
+
+class TestHotnessTool:
+    def _arg(self, address, size, accesses):
+        return KernelArgumentInfo(address=address, size=size, referenced_bytes=size,
+                                  access_count=accesses)
+
+    def test_matrix_dimensions(self):
+        tool = TimeSeriesHotnessTool(kernels_per_window=2)
+        block = 2 * 1024 * 1024
+        for i in range(6):
+            tool.handle_event(launch("k", grid_index=i, args=[self._arg(0, block, 10)]))
+        blocks, matrix = tool.hotness_matrix()
+        assert matrix.shape == (len(blocks), 3)
+        assert tool.window_count == 3
+
+    def test_long_lived_vs_bursty_classification(self):
+        tool = TimeSeriesHotnessTool(kernels_per_window=1)
+        block = 2 * 1024 * 1024
+        hot_addr, bursty_addr = 0, 100 * block
+        for i in range(10):
+            args = [self._arg(hot_addr, block, 50)]
+            if i == 4:
+                args.append(self._arg(bursty_addr, block, 500))
+            tool.handle_event(launch("k", args=args))
+        kinds = {c.block_id: c.kind for c in tool.classify_blocks()}
+        assert kinds[0] == "long_lived_hot"
+        assert kinds[100] == "bursty"
+        assert 0 in tool.prefetch_candidates()
+        assert 100 in tool.eviction_candidates()
+
+    def test_empty_tool(self):
+        tool = TimeSeriesHotnessTool()
+        assert tool.window_count == 0
+        assert tool.classify_blocks() == []
+        assert tool.report()["blocks"] == 0
+
+
+class TestInefficiencyLocator:
+    def test_locates_most_memory_referenced_kernel_with_stack(self):
+        tool = InefficiencyLocatorTool()
+        tool.handle_event(OperatorStartEvent(
+            name="aten::linear",
+            python_stack=("torch/nn/modules/linear.py:114 def forward()",),
+        ))
+        tool.handle_event(launch("at::cuda::blas::gemm_and_bias", accesses=10_000))
+        tool.handle_event(launch("copy_kernel", accesses=10))
+        finding = tool.locate("MAX_MEM_REFERENCED_KERNEL")
+        assert finding.kernel_name == "at::cuda::blas::gemm_and_bias"
+        text = finding.render()
+        assert "linear.py" in text
+        assert "CUDABlas.cpp" in text
+
+    def test_max_called_knob(self):
+        tool = InefficiencyLocatorTool()
+        for _ in range(5):
+            tool.handle_event(launch("frequent", accesses=1))
+        tool.handle_event(launch("rare", accesses=100))
+        assert tool.locate("MAX_CALLED_KERNEL").kernel_name == "frequent"
+
+    def test_empty_tool_returns_none(self):
+        assert InefficiencyLocatorTool().locate() is None
+
+
+class TestFigure4Scenario:
+    def test_bert_inference_hot_kernel_is_the_gemm(self):
+        """Figure 4: the most memory-referenced kernel during BERT inference is
+        the cuBLAS GEMM-with-bias, and its cross-layer stack spans Python and C++."""
+        locator = InefficiencyLocatorTool()
+        run_workload("bert", device="a100", mode="inference", tools=[locator], batch_size=4)
+        finding = locator.locate("MAX_MEM_REFERENCED_KERNEL")
+        assert "gemm" in finding.kernel_name.lower()
+        languages = {frame.language for frame in finding.stack.frames}
+        assert languages == {"python", "c++"}
