@@ -1,0 +1,49 @@
+"""Campaign engine: batched, cached, parallel profiling sweeps.
+
+The paper's evaluation is a grid — models x devices x tools x knobs — and
+this package turns the repo's one-shot ``run_workload`` into a throughput
+service over such grids:
+
+* :mod:`repro.campaign.spec` — declarative campaign/job specs + grid expansion;
+* :mod:`repro.campaign.scheduler` — worker-pool execution with per-job
+  retries, timeouts and failure isolation;
+* :mod:`repro.campaign.cache` — content-addressed result cache (identical
+  specs never re-simulate);
+* :mod:`repro.campaign.store` — append-only JSONL record store;
+* :mod:`repro.campaign.aggregate` — roll-ups, analysis-model comparisons and
+  baseline-vs-current regression diffs;
+* :mod:`repro.campaign.cli` — the ``pasta-campaign`` command.
+"""
+
+from repro.campaign.aggregate import (
+    diff_records,
+    overhead_model_comparison,
+    render_table,
+    rollup,
+)
+from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.scheduler import (
+    CampaignRunResult,
+    CampaignScheduler,
+    JobOutcome,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignSpec, JobSpec, expand_jobs
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CacheStats",
+    "CampaignRunResult",
+    "CampaignScheduler",
+    "CampaignSpec",
+    "JobOutcome",
+    "JobSpec",
+    "ResultCache",
+    "ResultStore",
+    "diff_records",
+    "expand_jobs",
+    "overhead_model_comparison",
+    "render_table",
+    "rollup",
+    "run_campaign",
+]

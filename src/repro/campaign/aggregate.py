@@ -1,0 +1,226 @@
+"""Roll-ups and regression diffs over campaign result records.
+
+Turns the flat JSONL record stream into the tables the paper's evaluation
+actually presents: per-model / per-device summaries (Figures 7, 9, Table 5),
+overhead-ratio comparisons between the GPU-resident and CPU-side analysis
+models (Figures 9/10), and baseline-vs-current regression diffs so a campaign
+can gate a change the way CI gates a test suite.
+"""
+
+from __future__ import annotations
+
+from statistics import fmean
+from typing import Iterable, Optional, Sequence
+
+from repro.core.serialization import json_sanitize
+from repro.errors import ReproError
+
+#: Numeric metrics extracted from each record for roll-ups and diffs.
+_METRIC_PATHS: dict[str, tuple[str, ...]] = {
+    "kernel_launches": ("summary", "kernel_launches"),
+    "total_kernel_time_ns": ("summary", "total_kernel_time_ns"),
+    "peak_allocated_bytes": ("summary", "peak_allocated_bytes"),
+    "normalized_overhead": ("reports", "overhead", "normalized_overhead"),
+    "profiled_total_ns": ("reports", "overhead", "total_ns"),
+}
+
+#: Job axes a roll-up can group by.
+GROUP_FIELDS = ("model", "device", "mode", "analysis_model", "backend", "tools")
+
+
+def _dig(record: dict, path: tuple[str, ...]) -> Optional[float]:
+    node: object = record
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def successful_records(records: Iterable[dict]) -> list[dict]:
+    """Records that carry results (``status == "ok"``)."""
+    return [r for r in records if r.get("status") == "ok"]
+
+
+def metric_values(record: dict) -> dict[str, float]:
+    """All known metrics present in one record."""
+    out = {}
+    for metric, path in _METRIC_PATHS.items():
+        value = _dig(record, path)
+        if value is not None:
+            out[metric] = value
+    return out
+
+
+def _group_key(record: dict, by: str) -> str:
+    job = record.get("job") or {}
+    value = job.get(by) if isinstance(job, dict) else None
+    if by == "tools":
+        value = "+".join(value) if isinstance(value, list) and value else "overhead-only"
+    return str(value)
+
+
+def rollup(records: Iterable[dict], by: str = "model") -> list[dict[str, object]]:
+    """Aggregate records along one job axis.
+
+    Returns one row per group with the job count and, for each metric, the
+    mean / min / max across the group — the shape of the paper's per-model
+    and per-device tables.
+    """
+    if by not in GROUP_FIELDS:
+        raise ReproError(f"cannot group by {by!r}; choose one of {GROUP_FIELDS}")
+    groups: dict[str, list[dict[str, float]]] = {}
+    for record in successful_records(records):
+        groups.setdefault(_group_key(record, by), []).append(metric_values(record))
+    rows = []
+    for key in sorted(groups):
+        values = groups[key]
+        row: dict[str, object] = {by: key, "jobs": len(values)}
+        for metric in _METRIC_PATHS:
+            series = [v[metric] for v in values if metric in v]
+            if not series:
+                continue
+            row[f"{metric}_mean"] = fmean(series)
+            row[f"{metric}_min"] = min(series)
+            row[f"{metric}_max"] = max(series)
+        rows.append(row)
+    return rows
+
+
+def overhead_model_comparison(records: Iterable[dict]) -> list[dict[str, object]]:
+    """Per-device overhead ratio between the two analysis models.
+
+    For every device that ran jobs under both ``gpu_resident`` and
+    ``cpu_side`` analysis, reports the mean normalized overhead of each and
+    the CPU/GPU ratio — Figure 9's headline "how much does the GPU-resident
+    reducer save" number, recovered from campaign records.
+    """
+    per_device: dict[str, dict[str, list[float]]] = {}
+    for record in successful_records(records):
+        job = record.get("job") or {}
+        if not isinstance(job, dict):
+            continue
+        overhead = _dig(record, _METRIC_PATHS["normalized_overhead"])
+        if overhead is None:
+            continue
+        device = str(job.get("device"))
+        model = str(job.get("analysis_model", "gpu_resident"))
+        per_device.setdefault(device, {}).setdefault(model, []).append(overhead)
+    rows = []
+    for device in sorted(per_device):
+        by_model = per_device[device]
+        row: dict[str, object] = {"device": device}
+        for model, series in sorted(by_model.items()):
+            row[f"{model}_overhead_mean"] = fmean(series)
+        gpu = by_model.get("gpu_resident")
+        cpu = by_model.get("cpu_side")
+        if gpu and cpu and fmean(gpu) > 0:
+            row["cpu_to_gpu_ratio"] = fmean(cpu) / fmean(gpu)
+        rows.append(row)
+    return rows
+
+
+def _job_identity(record: dict) -> Optional[str]:
+    """Version-independent identity of a record's job (for cross-run diffs)."""
+    from repro.core.serialization import content_digest
+
+    job = record.get("job")
+    if not isinstance(job, dict):
+        return None
+    return content_digest(job)
+
+
+def diff_records(
+    baseline: Iterable[dict],
+    current: Iterable[dict],
+    threshold: float = 0.05,
+    metrics: Sequence[str] = ("total_kernel_time_ns", "normalized_overhead", "peak_allocated_bytes"),
+) -> dict[str, object]:
+    """Compare two record sets job-by-job and flag regressions.
+
+    Jobs are matched by their version-independent spec identity (the latest
+    record per job on each side wins).  A metric regresses when
+    ``current > baseline * (1 + threshold)``.  Returns matched per-job rows
+    plus the jobs that exist on only one side.
+    """
+    for metric in metrics:
+        if metric not in _METRIC_PATHS:
+            raise ReproError(f"unknown diff metric {metric!r}; known: {sorted(_METRIC_PATHS)}")
+    base_by_id: dict[str, dict] = {}
+    for record in successful_records(baseline):
+        identity = _job_identity(record)
+        if identity:
+            base_by_id[identity] = record
+    cur_by_id: dict[str, dict] = {}
+    for record in successful_records(current):
+        identity = _job_identity(record)
+        if identity:
+            cur_by_id[identity] = record
+
+    matched_rows = []
+    regressions = 0
+    for identity in sorted(base_by_id.keys() & cur_by_id.keys()):
+        base, cur = base_by_id[identity], cur_by_id[identity]
+        base_metrics, cur_metrics = metric_values(base), metric_values(cur)
+        job = base.get("job") or {}
+        row: dict[str, object] = {
+            "job": job.get("model"),
+            "device": job.get("device"),
+            "mode": job.get("mode"),
+            "tools": job.get("tools"),
+            "metrics": {},
+            "regressed": False,
+        }
+        for metric in metrics:
+            if metric not in base_metrics or metric not in cur_metrics:
+                continue
+            base_value, cur_value = base_metrics[metric], cur_metrics[metric]
+            ratio = (cur_value / base_value) if base_value else (1.0 if cur_value == 0 else float("inf"))
+            regressed = ratio > 1.0 + threshold
+            row["metrics"][metric] = {  # type: ignore[index]
+                "baseline": base_value,
+                "current": cur_value,
+                "ratio": ratio,
+                "regressed": regressed,
+            }
+            if regressed:
+                row["regressed"] = True
+        if row["regressed"]:
+            regressions += 1
+        matched_rows.append(row)
+
+    return json_sanitize({
+        "matched": len(matched_rows),
+        "regressions": regressions,
+        "threshold": threshold,
+        "only_in_baseline": len(base_by_id.keys() - cur_by_id.keys()),
+        "only_in_current": len(cur_by_id.keys() - base_by_id.keys()),
+        "rows": matched_rows,
+    })
+
+
+def render_table(rows: Sequence[dict[str, object]], float_digits: int = 4) -> str:
+    """Render roll-up rows as an aligned plain-text table."""
+    if not rows:
+        return "(no data)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}g}"
+        if value is None:
+            return "-"
+        return str(value)
+
+    table = [[fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in table)) for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in table)
+    return f"{header}\n{rule}\n{body}"

@@ -1,0 +1,119 @@
+"""Content-addressed on-disk result cache.
+
+Campaign jobs are deterministic functions of their spec: the simulator has no
+hidden state, so a (job spec, package version) pair fully determines the
+result.  The cache exploits that — each record lives at
+``<root>/<digest[:2]>/<digest>.json`` where the digest is the stable hash of
+the canonical job dict salted with ``repro.__version__`` (see
+:meth:`~repro.campaign.spec.JobSpec.digest`).  Re-running an identical
+campaign therefore simulates nothing; bumping the package version invalidates
+everything automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.serialization import stable_json_dumps
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+@dataclass
+class ResultCache:
+    """Sharded directory of cached job records, keyed by content digest."""
+
+    root: Union[str, Path]
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, digest: str) -> Path:
+        """Location of the record for ``digest`` (whether or not it exists)."""
+        return Path(self.root) / digest[:2] / f"{digest}.json"
+
+    def contains(self, digest: str) -> bool:
+        """True if a record is cached under ``digest``."""
+        return self.path_for(digest).exists()
+
+    def get(self, digest: str) -> Optional[dict[str, object]]:
+        """Cached record for ``digest``, or None.  Corrupt entries are misses."""
+        path = self.path_for(digest)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(record, dict):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, digest: str, record: dict[str, object]) -> Path:
+        """Atomically store ``record`` under ``digest``."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-to-temp + rename so concurrent workers never observe partial
+        # JSON, even when two jobs race to fill the same entry.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(stable_json_dumps(record))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def evict(self, digest: str) -> bool:
+        """Remove one entry; returns True if it existed."""
+        path = self.path_for(digest)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def entries(self) -> list[str]:
+        """All cached digests."""
+        root = Path(self.root)
+        if not root.exists():
+            return []
+        return sorted(p.stem for p in root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        root = Path(self.root)
+        if not root.exists():
+            return 0
+        for path in root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        for shard in root.glob("*"):
+            if shard.is_dir() and not any(shard.iterdir()):
+                shard.rmdir()
+        return removed

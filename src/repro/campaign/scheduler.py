@@ -1,0 +1,426 @@
+"""Parallel campaign scheduler: worker pool, retries, timeouts, cache reuse.
+
+The scheduler is the throughput engine of the campaign subsystem.  It expands
+a :class:`~repro.campaign.spec.CampaignSpec` into jobs, serves any job whose
+digest is already in the :class:`~repro.campaign.cache.ResultCache` without
+re-simulating, and fans the rest out over a ``concurrent.futures`` worker
+pool.  Jobs are isolated: one job crashing (or timing out) is recorded as a
+failed outcome and never takes down the campaign.  Fresh results are written
+to the cache and appended to the :class:`~repro.campaign.store.ResultStore`
+as they complete.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Union
+
+import repro
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import CampaignSpec, JobSpec, expand_jobs
+from repro.campaign.store import ResultStore
+from repro.core.serialization import json_sanitize
+from repro.errors import ReproError
+from repro.workloads.runner import execute_job_payload
+
+#: Signature of a job runner: canonical job dict in, JSON-native record out.
+JobRunner = Callable[[dict[str, object]], dict[str, object]]
+
+_EXECUTORS = ("serial", "thread", "process")
+
+#: Outcome statuses that carry a usable record.
+_OK_STATUSES = ("ok", "cached")
+
+
+def _run_with_retries(payload: dict[str, object], retries: int, runner: JobRunner) -> dict[str, object]:
+    """Invoke ``runner`` with up to ``retries`` re-attempts on exception.
+
+    Returns the record augmented with the attempt count; raises the last
+    error (annotated the same way) once attempts are exhausted.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            record = runner(payload)
+        except Exception:
+            if attempts > retries:
+                raise
+        else:
+            if not isinstance(record, dict):
+                raise ReproError(
+                    f"job runner must return a dict record, got {type(record).__name__}"
+                )
+            record.setdefault("attempts", attempts)
+            return record
+
+
+def _run_default_with_retries(payload: dict[str, object], retries: int) -> dict[str, object]:
+    """Module-level (picklable) wrapper used by the process-pool executor."""
+    return _run_with_retries(payload, retries, execute_job_payload)
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job in one campaign run."""
+
+    job: JobSpec
+    digest: str
+    status: str  # "ok" | "cached" | "failed" | "timeout"
+    record: Optional[dict[str, object]] = None
+    error: Optional[str] = None
+    attempts: int = 1
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True if the job produced a usable record."""
+        return self.status in _OK_STATUSES
+
+    @property
+    def cached(self) -> bool:
+        """True if the record came from the result cache."""
+        return self.status == "cached"
+
+
+@dataclass
+class CampaignRunResult:
+    """Aggregate outcome of one scheduler run."""
+
+    name: str
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def executed(self) -> int:
+        """Jobs that were actually simulated (cache misses that ran)."""
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    def records(self) -> list[dict[str, object]]:
+        """Usable records from all successful outcomes."""
+        return [o.record for o in self.outcomes if o.ok and o.record is not None]
+
+    def failures(self) -> list[JobOutcome]:
+        """Outcomes that did not produce a record."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def summary(self) -> dict[str, object]:
+        """JSON-native roll-up for CLI output."""
+        return json_sanitize({
+            "campaign": self.name,
+            "total": self.total,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "duration_s": round(self.duration_s, 3),
+            "failures": [
+                {"job": o.job.label(), "status": o.status, "error": o.error}
+                for o in self.failures()
+            ],
+        })
+
+
+class CampaignScheduler:
+    """Runs campaign jobs over a worker pool with caching and isolation.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-pool width (``--jobs N``); 1 with ``executor="serial"`` runs
+        everything inline.
+    executor:
+        ``"thread"`` (default), ``"process"`` (true parallelism, requires the
+        default picklable runner), or ``"serial"``.
+    timeout_s:
+        Per-job wall-clock budget.  A job exceeding it is recorded as
+        ``"timeout"`` and the campaign moves on.
+    retries:
+        Re-attempts per job before recording a failure.
+    cache / store:
+        Optional result cache (digest-keyed reuse) and JSONL store (append
+        per completed job).
+    job_runner:
+        Override the job execution function (tests inject stubs here).
+        Ignored by the process executor, which always uses the default
+        picklable runner.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        executor: str = "thread",
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        cache: Optional[ResultCache] = None,
+        store: Optional[ResultStore] = None,
+        job_runner: Optional[JobRunner] = None,
+        version: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {jobs}")
+        if executor not in _EXECUTORS:
+            raise ReproError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        if retries < 0:
+            raise ReproError(f"retries must be >= 0, got {retries}")
+        if executor == "process" and job_runner is not None:
+            raise ReproError("custom job runners are not picklable; use the thread executor")
+        self.jobs = jobs
+        self.executor = executor
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.cache = cache
+        self.store = store
+        self.job_runner: JobRunner = job_runner or execute_job_payload
+        self.version = version if version is not None else repro.__version__
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        spec: Union[CampaignSpec, Iterable[JobSpec]],
+        name: Optional[str] = None,
+    ) -> CampaignRunResult:
+        """Run every job of ``spec`` and return per-job outcomes.
+
+        Cached jobs are answered immediately; the rest execute on the worker
+        pool.  Completed records are cached and appended to the store.
+        """
+        started = time.monotonic()
+        campaign_name = name or (spec.name if isinstance(spec, CampaignSpec) else "adhoc")
+        job_list = expand_jobs(spec)
+        outcomes: dict[int, JobOutcome] = {}
+        pending: list[tuple[int, JobSpec, str]] = []
+
+        for index, job in enumerate(job_list):
+            digest = job.digest(self.version)
+            cached_record = self.cache.get(digest) if self.cache is not None else None
+            if cached_record is not None:
+                self._record_outcome(outcomes, index, JobOutcome(
+                    job=job, digest=digest, status="cached", record=cached_record
+                ), campaign_name)
+            else:
+                pending.append((index, job, digest))
+
+        if pending:
+            # The inline path cannot interrupt a job, so any timeout budget
+            # forces a (possibly single-worker) pool.
+            inline = self.timeout_s is None and (
+                self.executor == "serial" or (self.executor == "thread" and self.jobs == 1)
+            )
+            if inline:
+                for index, job, digest in pending:
+                    self._record_outcome(
+                        outcomes, index, self._run_one_inline(job, digest), campaign_name
+                    )
+            else:
+                self._run_pool(pending, outcomes, campaign_name)
+
+        return CampaignRunResult(
+            name=campaign_name,
+            outcomes=[outcomes[i] for i in range(len(job_list))],
+            duration_s=time.monotonic() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution strategies
+    # ------------------------------------------------------------------ #
+    def _run_one_inline(self, job: JobSpec, digest: str) -> JobOutcome:
+        job_started = time.monotonic()
+        try:
+            record = _run_with_retries(job.to_dict(), self.retries, self.job_runner)
+        except Exception as error:
+            return JobOutcome(
+                job=job,
+                digest=digest,
+                status="failed",
+                error=f"{type(error).__name__}: {error}",
+                attempts=self.retries + 1,
+                duration_s=time.monotonic() - job_started,
+            )
+        return self._ok_outcome(job, digest, record, time.monotonic() - job_started)
+
+    def _make_pool(self) -> Executor:
+        if self.executor == "process":
+            return ProcessPoolExecutor(max_workers=self.jobs)
+        return ThreadPoolExecutor(max_workers=self.jobs, thread_name_prefix="pasta-campaign")
+
+    def _submit(self, pool: Executor, job: JobSpec) -> Future:
+        payload = job.to_dict()
+        if self.executor == "process":
+            return pool.submit(_run_default_with_retries, payload, self.retries)
+        return pool.submit(_run_with_retries, payload, self.retries, self.job_runner)
+
+    def _wait_slice(self) -> Optional[float]:
+        if self.timeout_s is None:
+            return None
+        return min(max(self.timeout_s / 4.0, 0.01), 0.5)
+
+    def _run_pool(
+        self,
+        pending: list[tuple[int, JobSpec, str]],
+        outcomes: dict[int, JobOutcome],
+        campaign_name: str,
+    ) -> None:
+        # At most `slots` futures are in flight at once, so every submitted
+        # future starts immediately on a free worker and its per-job clock
+        # starts at submission.  A timed-out job's worker may be unkillable
+        # (threads and busy processes can't be interrupted); its slot is
+        # retired so later jobs never queue behind a hung worker, and the
+        # final shutdown does not wait for abandoned jobs.
+        pool = self._make_pool()
+        queue = list(pending)
+        in_flight: dict[Future, tuple[int, JobSpec, str, float]] = {}
+        slots = self.jobs
+        try:
+            while queue or in_flight:
+                while queue and len(in_flight) < slots:
+                    index, job, digest = queue.pop(0)
+                    in_flight[self._submit(pool, job)] = (index, job, digest, time.monotonic())
+                if not in_flight:
+                    break  # every slot retired by timeouts; queue drains below
+                done, _ = wait(
+                    set(in_flight), timeout=self._wait_slice(), return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                for future in done:
+                    index, job, digest, started = in_flight.pop(future)
+                    self._record_outcome(
+                        outcomes, index,
+                        self._outcome_from_future(future, job, digest, now - started),
+                        campaign_name,
+                    )
+                if self.timeout_s is None:
+                    continue
+                for future in list(in_flight):
+                    index, job, digest, started = in_flight[future]
+                    if now - started <= self.timeout_s:
+                        continue
+                    del in_flight[future]
+                    if not future.cancel():
+                        slots -= 1  # running and unkillable: retire its worker
+                    self._record_outcome(outcomes, index, JobOutcome(
+                        job=job,
+                        digest=digest,
+                        status="timeout",
+                        error=f"job exceeded timeout of {self.timeout_s}s",
+                        duration_s=now - started,
+                    ), campaign_name)
+            for index, job, digest in queue:
+                self._record_outcome(outcomes, index, JobOutcome(
+                    job=job,
+                    digest=digest,
+                    status="failed",
+                    error="job never started: all workers lost to timed-out jobs",
+                ), campaign_name)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _outcome_from_future(
+        self, future: Future, job: JobSpec, digest: str, duration_s: float
+    ) -> JobOutcome:
+        try:
+            record = future.result(timeout=0)
+        except FutureTimeoutError:
+            return JobOutcome(
+                job=job, digest=digest, status="timeout",
+                error=f"job exceeded timeout of {self.timeout_s}s",
+                duration_s=duration_s,
+            )
+        except Exception as error:
+            detail = f"{type(error).__name__}: {error}"
+            if not str(error):
+                detail = "".join(traceback.format_exception_only(type(error), error)).strip()
+            return JobOutcome(
+                job=job, digest=digest, status="failed", error=detail,
+                attempts=self.retries + 1, duration_s=duration_s,
+            )
+        return self._ok_outcome(job, digest, record, duration_s)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def _ok_outcome(
+        self, job: JobSpec, digest: str, record: dict[str, object], duration_s: float
+    ) -> JobOutcome:
+        attempts = int(record.get("attempts", 1))  # type: ignore[arg-type]
+        record = dict(record)
+        record["digest"] = digest
+        record["version"] = self.version
+        return JobOutcome(
+            job=job, digest=digest, status="ok", record=record,
+            attempts=attempts, duration_s=duration_s,
+        )
+
+    def _record_outcome(
+        self,
+        outcomes: dict[int, JobOutcome],
+        index: int,
+        outcome: JobOutcome,
+        campaign_name: str,
+    ) -> None:
+        """Record one finished job and persist it immediately.
+
+        Cache writes and store appends happen per job, as each completes, so
+        an interrupted campaign keeps everything it already simulated.
+        """
+        outcomes[index] = outcome
+        if outcome.status == "ok" and outcome.record is not None and self.cache is not None:
+            self.cache.put(outcome.digest, outcome.record)
+        if self.store is None:
+            return
+        if outcome.ok and outcome.record is not None:
+            stored = dict(outcome.record)
+            stored["campaign"] = campaign_name
+            stored["cache_hit"] = outcome.cached
+            self.store.append(stored)
+        else:
+            self.store.append({
+                "campaign": campaign_name,
+                "job": outcome.job.to_dict(),
+                "digest": outcome.digest,
+                "version": self.version,
+                "status": outcome.status,
+                "error": outcome.error,
+                "attempts": outcome.attempts,
+            })
+
+
+def run_campaign(
+    spec: Union[CampaignSpec, Iterable[JobSpec]],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    store_path: Optional[str] = None,
+    **scheduler_kwargs: object,
+) -> CampaignRunResult:
+    """One-call convenience: build a scheduler and run ``spec``."""
+    scheduler = CampaignScheduler(
+        jobs=jobs,
+        cache=ResultCache(cache_dir) if cache_dir else None,
+        store=ResultStore(store_path) if store_path else None,
+        **scheduler_kwargs,  # type: ignore[arg-type]
+    )
+    return scheduler.run(spec)

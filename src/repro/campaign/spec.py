@@ -1,0 +1,312 @@
+"""Declarative campaign specifications and grid expansion.
+
+A *campaign* is the batched equivalent of one ``pasta-profile`` invocation:
+instead of profiling a single (model, device, tool) combination, the user
+declares axes — models x devices x modes x tool sets x analysis models x knob
+overrides — and the spec expands the cartesian product into concrete
+:class:`JobSpec` jobs, exactly the grids behind the paper's Figures 7-15 and
+Table 5.  Specs are plain data: loadable from JSON, hashable into stable
+content digests (the cache key), and picklable for the process-pool scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from repro.core.serialization import content_digest, json_sanitize
+from repro.errors import ReproError
+
+#: Job/knob values we accept from JSON specs.
+KnobValue = Union[str, int, float, bool]
+
+_MODES = ("inference", "train")
+
+
+def _as_knob_items(knobs: Union[Mapping[str, KnobValue], Sequence, None]) -> tuple[tuple[str, KnobValue], ...]:
+    """Normalise a knob mapping into a sorted, hashable tuple of pairs."""
+    if not knobs:
+        return ()
+    if isinstance(knobs, Mapping):
+        items = knobs.items()
+    else:
+        items = [(k, v) for k, v in knobs]
+    out = []
+    for key, value in items:
+        if not isinstance(key, str) or not key:
+            raise ReproError(f"knob names must be non-empty strings, got {key!r}")
+        if not isinstance(value, (str, int, float, bool)):
+            raise ReproError(f"knob {key!r} must be a JSON scalar, got {type(value).__name__}")
+        out.append((key, value))
+    out.sort(key=lambda kv: kv[0])
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fully-resolved profiling job: a single cell of the campaign grid."""
+
+    model: str
+    device: str = "a100"
+    mode: str = "inference"
+    tools: tuple[str, ...] = ()
+    iterations: int = 1
+    batch_size: Optional[int] = None
+    backend: Optional[str] = None
+    analysis_model: str = "gpu_resident"
+    fine_grained: bool = False
+    #: Extra overrides: ``start_grid_id``/``end_grid_id`` (analysis window) or
+    #: any :class:`~repro.gpusim.costmodel.CostModelConfig` field name.
+    knobs: tuple[tuple[str, KnobValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise ReproError("JobSpec.model must be non-empty")
+        if self.mode not in _MODES:
+            raise ReproError(f"JobSpec.mode must be one of {_MODES}, got {self.mode!r}")
+        if self.iterations < 1:
+            raise ReproError(f"JobSpec.iterations must be >= 1, got {self.iterations}")
+        object.__setattr__(self, "tools", tuple(self.tools))
+        object.__setattr__(self, "knobs", _as_knob_items(self.knobs))
+
+    @property
+    def knob_dict(self) -> dict[str, KnobValue]:
+        """Knob overrides as a plain dict."""
+        return dict(self.knobs)
+
+    def label(self) -> str:
+        """Short human-readable identifier used in progress output."""
+        tools = "+".join(self.tools) if self.tools else "overhead-only"
+        return f"{self.model}/{self.device}/{self.mode}/{tools}"
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain JSON-native dict (the canonical form used for hashing)."""
+        return {
+            "model": self.model,
+            "device": self.device,
+            "mode": self.mode,
+            "tools": list(self.tools),
+            "iterations": self.iterations,
+            "batch_size": self.batch_size,
+            "backend": self.backend,
+            "analysis_model": self.analysis_model,
+            "fine_grained": self.fine_grained,
+            "knobs": self.knob_dict,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobSpec":
+        """Build a job from a plain dict (inverse of :meth:`to_dict`)."""
+        unknown = set(data) - {
+            "model", "device", "mode", "tools", "iterations", "batch_size",
+            "backend", "analysis_model", "fine_grained", "knobs",
+        }
+        if unknown:
+            raise ReproError(f"unknown JobSpec fields: {sorted(unknown)}")
+        if "model" not in data:
+            raise ReproError("JobSpec requires a 'model'")
+        return cls(
+            model=str(data["model"]),
+            device=str(data.get("device", "a100")),
+            mode=str(data.get("mode", "inference")),
+            tools=tuple(data.get("tools") or ()),
+            iterations=int(data.get("iterations", 1)),
+            batch_size=None if data.get("batch_size") is None else int(data["batch_size"]),
+            backend=None if data.get("backend") is None else str(data["backend"]),
+            analysis_model=str(data.get("analysis_model", "gpu_resident")),
+            fine_grained=bool(data.get("fine_grained", False)),
+            knobs=_as_knob_items(data.get("knobs")),  # type: ignore[arg-type]
+        )
+
+    def digest(self, version: str) -> str:
+        """Content digest of this job under a given package version.
+
+        Two jobs share a digest iff their canonical dicts are identical *and*
+        they were produced by the same package version — the result-cache key.
+        """
+        return content_digest(self.to_dict(), version)
+
+
+def _as_toolsets(tools: Optional[Sequence[Union[str, Sequence[str]]]]) -> list[tuple[str, ...]]:
+    """Normalise the spec's ``tools`` axis into a list of tool groups.
+
+    Each element is either a tool name (profiled on its own) or a list of
+    names attached to one session together.  An empty axis means one
+    overhead-only job per grid cell.
+    """
+    if not tools:
+        return [()]
+    out: list[tuple[str, ...]] = []
+    for entry in tools:
+        if isinstance(entry, str):
+            out.append((entry,))
+        else:
+            group = tuple(str(name) for name in entry)
+            if not group:
+                raise ReproError("tool groups must not be empty lists")
+            out.append(group)
+    return out
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative grid of profiling jobs.
+
+    The cartesian product ``models x devices x modes x tools x analysis_models
+    x backends x knob_sweep`` is expanded by :meth:`expand`; ``extra_jobs``
+    adds hand-written one-offs outside the grid.
+    """
+
+    name: str
+    models: list[str] = field(default_factory=list)
+    devices: list[str] = field(default_factory=lambda: ["a100"])
+    modes: list[str] = field(default_factory=lambda: ["inference"])
+    #: Tool axis: each entry is one tool name or one group of names.
+    tools: list[Union[str, list[str]]] = field(default_factory=list)
+    analysis_models: list[str] = field(default_factory=lambda: ["gpu_resident"])
+    backends: list[Optional[str]] = field(default_factory=lambda: [None])
+    iterations: int = 1
+    batch_size: Optional[int] = None
+    fine_grained: bool = False
+    #: Knob sweep: each entry is one knob-override dict applied to the grid.
+    knob_sweep: list[dict[str, KnobValue]] = field(default_factory=lambda: [{}])
+    extra_jobs: list[JobSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("CampaignSpec.name must be non-empty")
+        if not self.models and not self.extra_jobs:
+            raise ReproError("CampaignSpec needs at least one model or extra job")
+        if self.models:
+            # An empty multiplier axis would silently expand to zero jobs —
+            # a typo'd spec must fail loudly, not report a successful no-op.
+            for axis in ("devices", "modes", "analysis_models", "backends"):
+                if not getattr(self, axis):
+                    raise ReproError(f"CampaignSpec.{axis} must not be empty")
+        for mode in self.modes:
+            if mode not in _MODES:
+                raise ReproError(f"campaign mode must be one of {_MODES}, got {mode!r}")
+        if not self.knob_sweep:
+            self.knob_sweep = [{}]
+
+    # ------------------------------------------------------------------ #
+    # expansion
+    # ------------------------------------------------------------------ #
+    def expand(self) -> list[JobSpec]:
+        """Expand the grid into concrete jobs (deduplicated, order-stable)."""
+        jobs: list[JobSpec] = []
+        seen: set[JobSpec] = set()
+        toolsets = _as_toolsets(self.tools)
+        grid = product(
+            self.models, self.devices, self.modes, toolsets,
+            self.analysis_models, self.backends, self.knob_sweep,
+        )
+        for model, device, mode, toolset, analysis_model, backend, knobs in grid:
+            job = JobSpec(
+                model=model,
+                device=device,
+                mode=mode,
+                tools=toolset,
+                iterations=self.iterations,
+                batch_size=self.batch_size,
+                backend=backend,
+                analysis_model=analysis_model,
+                fine_grained=self.fine_grained,
+                knobs=_as_knob_items(knobs),
+            )
+            if job not in seen:
+                seen.add(job)
+                jobs.append(job)
+        for job in self.extra_jobs:
+            if job not in seen:
+                seen.add(job)
+                jobs.append(job)
+        return jobs
+
+    def job_count(self) -> int:
+        """Number of unique jobs the grid expands to."""
+        return len(self.expand())
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, object]:
+        """Plain JSON-native dict (inverse of :meth:`from_dict`)."""
+        return json_sanitize({
+            "name": self.name,
+            "models": list(self.models),
+            "devices": list(self.devices),
+            "modes": list(self.modes),
+            "tools": list(self.tools),
+            "analysis_models": list(self.analysis_models),
+            "backends": list(self.backends),
+            "iterations": self.iterations,
+            "batch_size": self.batch_size,
+            "fine_grained": self.fine_grained,
+            "knob_sweep": list(self.knob_sweep),
+            "extra_jobs": [job.to_dict() for job in self.extra_jobs],
+        })
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        """Build a campaign from a plain dict, validating field names."""
+        known = {
+            "name", "models", "devices", "modes", "tools", "analysis_models",
+            "backends", "iterations", "batch_size", "fine_grained",
+            "knob_sweep", "extra_jobs",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(f"unknown CampaignSpec fields: {sorted(unknown)}")
+        if "name" not in data:
+            raise ReproError("CampaignSpec requires a 'name'")
+        kwargs: dict[str, object] = {"name": str(data["name"])}
+        for key in ("models", "devices", "modes", "tools", "analysis_models",
+                    "backends", "knob_sweep"):
+            if key in data:
+                value = data[key]
+                if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+                    raise ReproError(f"CampaignSpec.{key} must be a list")
+                kwargs[key] = list(value)
+        if "iterations" in data:
+            kwargs["iterations"] = int(data["iterations"])  # type: ignore[arg-type]
+        if data.get("batch_size") is not None:
+            kwargs["batch_size"] = int(data["batch_size"])  # type: ignore[arg-type]
+        if "fine_grained" in data:
+            kwargs["fine_grained"] = bool(data["fine_grained"])
+        if "extra_jobs" in data:
+            kwargs["extra_jobs"] = [JobSpec.from_dict(j) for j in data["extra_jobs"]]  # type: ignore[union-attr]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        """Parse a campaign from a JSON document."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"campaign spec is not valid JSON: {error}") from error
+        if not isinstance(data, Mapping):
+            raise ReproError("campaign spec JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignSpec":
+        """Load a campaign spec from a JSON file."""
+        path = Path(path)
+        if not path.exists():
+            raise ReproError(f"campaign spec file not found: {path}")
+        return cls.from_json(path.read_text())
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the spec to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+
+
+def expand_jobs(spec: Union[CampaignSpec, Iterable[JobSpec]]) -> list[JobSpec]:
+    """Accept either a campaign or an explicit job list and return jobs."""
+    if isinstance(spec, CampaignSpec):
+        return spec.expand()
+    return list(spec)

@@ -1,0 +1,114 @@
+"""Append-only JSONL result store.
+
+Every completed (or failed) campaign job appends one self-describing JSON
+record to a ``.jsonl`` file.  Append-only keeps concurrent writers safe and
+preserves history across re-runs; readers deduplicate by job digest, keeping
+the most recent record, which makes the store double as the input to
+baseline-vs-current regression diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.core.serialization import stable_json_dumps
+from repro.errors import ReproError
+
+
+class ResultStore:
+    """One JSONL file of campaign job records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def append(self, record: dict[str, object]) -> None:
+        """Append one record (sanitized, stable key order) to the store."""
+        if not isinstance(record, dict):
+            raise ReproError(f"store records must be dicts, got {type(record).__name__}")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(stable_json_dumps(record))
+            fh.write("\n")
+
+    def extend(self, records: list[dict[str, object]]) -> None:
+        """Append several records."""
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def iter_records(self) -> Iterator[dict[str, object]]:
+        """Yield records in append order; malformed lines raise."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ReproError(
+                        f"corrupt record at {self.path}:{lineno}: {error}"
+                    ) from error
+                if not isinstance(record, dict):
+                    raise ReproError(f"non-object record at {self.path}:{lineno}")
+                yield record
+
+    def load(self) -> list[dict[str, object]]:
+        """All records in append order."""
+        return list(self.iter_records())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_records())
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        return self.iter_records()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        status: Optional[str] = None,
+        campaign: Optional[str] = None,
+        **job_fields: object,
+    ) -> list[dict[str, object]]:
+        """Records filtered by status, campaign name, and job-spec fields.
+
+        ``job_fields`` match against the record's embedded job dict, e.g.
+        ``store.query(model="bert", device="a100")``.
+        """
+        out = []
+        for record in self.iter_records():
+            if status is not None and record.get("status") != status:
+                continue
+            if campaign is not None and record.get("campaign") != campaign:
+                continue
+            job = record.get("job") or {}
+            if not isinstance(job, dict):
+                continue
+            if all(job.get(key) == value for key, value in job_fields.items()):
+                out.append(record)
+        return out
+
+    def latest_by_digest(self) -> dict[str, dict[str, object]]:
+        """Most recent record per job digest (later appends win)."""
+        out: dict[str, dict[str, object]] = {}
+        for record in self.iter_records():
+            digest = record.get("digest")
+            if isinstance(digest, str):
+                out[digest] = record
+        return out
+
+    def clear(self) -> None:
+        """Delete the backing file (used by ``pasta-campaign clean``)."""
+        if self.path.exists():
+            self.path.unlink()

@@ -15,6 +15,25 @@ Examples
     pasta-profile gpt2 --mode train --tool memory_characteristics --tool memory_timeline
     pasta-profile bert --tool kernel_frequency --start-grid-id 0 --end-grid-id 49 --json
     pasta-profile --list-tools
+
+Batch campaigns
+---------------
+``pasta-profile`` runs one configuration per invocation.  To sweep a grid of
+models x devices x tools x knobs — the shape of every figure in the paper's
+evaluation — use the campaign engine instead (:mod:`repro.campaign`): write a
+JSON campaign spec and run it with the ``pasta-campaign`` command, which
+executes the expanded grid over a worker pool (``--jobs N``), serves repeated
+configurations from a content-addressed result cache, appends records to a
+JSONL store, and aggregates them into per-model/per-device tables and
+baseline-vs-current regression diffs::
+
+    pasta-campaign run sweep.json --jobs 4 --store results.jsonl
+    pasta-campaign report results.jsonl --by device
+    pasta-campaign diff baseline.jsonl results.jsonl --threshold 0.1
+    pasta-campaign clean
+
+See :mod:`repro.campaign.cli` for the spec format and
+``examples/campaign_sweep.py`` for the programmatic API.
 """
 
 from __future__ import annotations

@@ -52,6 +52,21 @@ _BACKEND_NAMES = {
 }
 
 
+def _make_analysis_model(spec: Union[str, AnalysisModel]) -> AnalysisModel:
+    """Accept an :class:`AnalysisModel` member or its string value.
+
+    Campaign job specs are plain JSON, so sessions must be constructible from
+    ``"gpu_resident"`` / ``"cpu_side"`` strings as well as enum members.
+    """
+    if isinstance(spec, AnalysisModel):
+        return spec
+    try:
+        return AnalysisModel(spec.strip().lower())
+    except (ValueError, AttributeError):
+        valid = sorted(m.value for m in AnalysisModel)
+        raise PastaError(f"unknown analysis model {spec!r}; valid: {valid}") from None
+
+
 def _make_backend(spec: Union[str, ProfilingBackend, None], runtime: AcceleratorRuntime) -> ProfilingBackend:
     if isinstance(spec, ProfilingBackend):
         return spec
@@ -71,7 +86,7 @@ class PastaSession:
         runtime: AcceleratorRuntime,
         tools: Optional[Sequence[PastaTool]] = None,
         vendor_backend: Union[str, ProfilingBackend, None] = None,
-        analysis_model: AnalysisModel = AnalysisModel.GPU_RESIDENT,
+        analysis_model: Union[str, AnalysisModel] = AnalysisModel.GPU_RESIDENT,
         enable_fine_grained: bool = False,
         range_filter: Optional[RangeFilter] = None,
         measure_overhead: bool = True,
@@ -79,14 +94,14 @@ class PastaSession:
     ) -> None:
         self.runtime = runtime
         self.backend = _make_backend(vendor_backend, runtime)
-        self.analysis_model = analysis_model
+        self.analysis_model = _make_analysis_model(analysis_model)
         self.enable_fine_grained = enable_fine_grained
         self.handler = PastaEventHandler()
         self.overhead_accountant: Optional[OverheadAccountant] = None
         if measure_overhead:
             self.overhead_accountant = OverheadAccountant(
                 device_spec=runtime.device.spec,
-                analysis_model=analysis_model,
+                analysis_model=self.analysis_model,
                 backend=self.backend.instrumentation,
                 config=cost_config,
             )

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.events import EventCategory, KernelLaunchEvent, KernelMemoryProfile
+from repro.core.serialization import json_sanitize
 from repro.core.tool import PastaTool
 from repro.gpusim.uvm import UVM_PAGE_BYTES
 
@@ -153,11 +154,11 @@ class TimeSeriesHotnessTool(PastaTool):
         by_kind: dict[str, int] = defaultdict(int)
         for c in classes:
             by_kind[c.kind] += 1
-        return {
+        return json_sanitize({
             "tool": self.tool_name,
             "blocks": len(classes),
             "windows": self.window_count,
             "block_kinds": dict(by_kind),
             "prefetch_candidates": len(self.prefetch_candidates()),
             "eviction_candidates": len(self.eviction_candidates()),
-        }
+        })

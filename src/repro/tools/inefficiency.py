@@ -15,6 +15,7 @@ from typing import Optional
 from repro.core.callstack import CrossLayerStack, build_cross_layer_stack
 from repro.core.events import EventCategory, KernelLaunchEvent, OperatorStartEvent
 from repro.core.knobs import KernelStats, KnobRegistry
+from repro.core.serialization import json_sanitize
 from repro.core.tool import PastaTool
 
 
@@ -106,8 +107,8 @@ class InefficiencyLocatorTool(PastaTool):
                     "invocations": finding.invocation_count,
                     "memory_references": finding.total_memory_accesses,
                 }
-        return {
+        return json_sanitize({
             "tool": self.tool_name,
             "distinct_kernels": len(self.kernel_stats),
             "findings": findings,
-        }
+        })

@@ -13,6 +13,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.core.events import EventCategory, KernelLaunchEvent
+from repro.core.serialization import json_sanitize
 from repro.core.tool import PastaTool
 
 
@@ -78,7 +79,7 @@ class KernelFrequencyTool(PastaTool):
         return top / total
 
     def report(self) -> dict[str, object]:
-        return {
+        return json_sanitize({
             "tool": self.tool_name,
             "total_launches": self.total_launches,
             "distinct_kernels": self.distinct_kernels,
@@ -88,4 +89,4 @@ class KernelFrequencyTool(PastaTool):
                 for e in self.top_kernels(10)
             ],
             "top5_concentration": self.concentration(5),
-        }
+        })

@@ -25,6 +25,7 @@ from repro.core.events import (
     OperatorStartEvent,
 )
 from repro.core.knobs import KernelStats
+from repro.core.serialization import json_sanitize
 from repro.core.tool import PastaTool
 
 
@@ -174,10 +175,10 @@ class MemoryCharacteristicsTool(PastaTool):
         summary = self.summary()
         footprint = summary.memory_footprint_bytes
         working = summary.working_set_bytes
-        return {
+        return json_sanitize({
             "tool": self.tool_name,
             **summary.as_dict(),
             "footprint_to_working_set_ratio": (footprint / working) if working else 0.0,
             "underutilized_bytes": self.underutilized_bytes(),
             "distinct_kernels": len(self.kernel_stats),
-        }
+        })

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.events import EventCategory, TensorAllocEvent, TensorFreeEvent
+from repro.core.serialization import json_sanitize
 from repro.core.tool import PastaTool
 
 
@@ -108,7 +109,7 @@ class MemoryTimelineTool(PastaTool):
         return diffs
 
     def report(self) -> dict[str, object]:
-        return {
+        return json_sanitize({
             "tool": self.tool_name,
             "devices": {
                 str(idx): {
@@ -120,4 +121,4 @@ class MemoryTimelineTool(PastaTool):
                 }
                 for idx, t in self._timelines.items()
             },
-        }
+        })

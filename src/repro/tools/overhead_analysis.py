@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.events import EventCategory, KernelLaunchEvent
+from repro.core.serialization import json_sanitize
 from repro.core.tool import PastaTool
 from repro.gpusim.costmodel import (
     CostModelConfig,
@@ -63,12 +64,12 @@ class WorkloadProfile(PastaTool):
         return sum(duration for duration, _accesses in self.launches)
 
     def report(self) -> dict[str, object]:
-        return {
+        return json_sanitize({
             "tool": self.tool_name,
             "kernels": len(self.launches),
             "total_accesses": self.total_accesses(),
             "total_execution_ns": self.total_execution_ns(),
-        }
+        })
 
 
 @dataclass(frozen=True)

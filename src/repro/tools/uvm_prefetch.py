@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 from repro.errors import ToolError
 from repro.core.events import EventCategory, KernelLaunchEvent, MemoryAllocEvent, TensorAllocEvent
+from repro.core.serialization import json_sanitize
 from repro.core.tool import PastaTool
 from repro.gpusim.device import DeviceSpec, GpuDevice
 from repro.gpusim.uvm import UvmConfig, UvmManager, UvmStats
@@ -137,13 +138,13 @@ class UvmPrefetchAdvisor(PastaTool):
         return sum(seen.values())
 
     def report(self) -> dict[str, object]:
-        return {
+        return json_sanitize({
             "tool": self.tool_name,
             "kernels": len(self.schedule),
             "tensors": self.tensor_count,
             "driver_objects": len(self._objects_by_address),
             "managed_footprint_bytes": self.managed_footprint_bytes(),
-        }
+        })
 
 
 @dataclass

@@ -8,16 +8,20 @@ tests and benchmarks do not repeat the wiring.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from repro.errors import ReproError
+from repro.core.annotations import RangeFilter
+from repro.core.serialization import json_sanitize
 from repro.core.session import PastaSession
 from repro.core.tool import PastaTool
 from repro.dlframework.context import FrameworkContext
 from repro.dlframework.engine import ExecutionEngine, RunSummary
 from repro.dlframework.models import create_model
 from repro.dlframework.models.base import ModelBase
+from repro.gpusim.costmodel import CostModelConfig
 from repro.gpusim.device import DeviceSpec, get_device_spec
 from repro.gpusim.runtime import AcceleratorRuntime, create_runtime
 from repro.tools.uvm_prefetch import KernelScheduleEntry, UvmPrefetchAdvisor
@@ -42,7 +46,20 @@ class WorkloadResult:
         for tool in self.session.tools:
             if tool.tool_name == name:
                 return tool
-        raise ReproError(f"tool {name!r} was not attached to this session")
+        attached = sorted(tool.tool_name for tool in self.session.tools)
+        raise ReproError(
+            f"tool {name!r} was not attached to this session; "
+            f"attached tools: {attached if attached else 'none'}"
+        )
+
+    def report(self, name: str) -> dict[str, object]:
+        """One attached tool's report by registry name.
+
+        Convenience for campaign-style callers that only need the report
+        payload: ``result.report("kernel_frequency")`` instead of
+        ``result.tool("kernel_frequency").report()``.
+        """
+        return self.tool(name).report()
 
 
 def _resolve_device(device: Union[str, DeviceSpec]) -> DeviceSpec:
@@ -60,6 +77,9 @@ def run_workload(
     vendor_backend: Optional[str] = None,
     enable_fine_grained: bool = False,
     batch_size: Optional[int] = None,
+    analysis_model: Optional[str] = None,
+    range_filter: Optional[RangeFilter] = None,
+    cost_config: Optional[CostModelConfig] = None,
 ) -> WorkloadResult:
     """Profile one model on one device with the given PASTA tools.
 
@@ -82,6 +102,13 @@ def run_workload(
         Enable device-side (instruction-level) instrumentation.
     batch_size:
         Override the model's paper batch size.
+    analysis_model:
+        Where fine-grained analysis runs: ``"gpu_resident"`` (default) or
+        ``"cpu_side"``.
+    range_filter:
+        Restrict analysis to a kernel-launch window (grid-id filter).
+    cost_config:
+        Override the overhead cost-model constants.
     """
     if mode not in ("inference", "train"):
         raise ReproError(f"mode must be 'inference' or 'train', got {mode!r}")
@@ -90,11 +117,17 @@ def run_workload(
     ctx = FrameworkContext(runtime)
     engine = ExecutionEngine(ctx)
     model = create_model(model_name)
+    session_kwargs: dict[str, object] = {}
+    if analysis_model is not None:
+        session_kwargs["analysis_model"] = analysis_model
     session = PastaSession(
         runtime,
         tools=tools,
         vendor_backend=vendor_backend,
         enable_fine_grained=enable_fine_grained,
+        range_filter=range_filter,
+        cost_config=cost_config,
+        **session_kwargs,
     )
     session.attach_framework(ctx)
     with session:
@@ -129,3 +162,85 @@ def record_uvm_schedule(
         batch_size=batch_size,
     )
     return advisor.schedule, advisor, result
+
+
+# ---------------------------------------------------------------------- #
+# spec-driven execution (campaign subsystem)
+# ---------------------------------------------------------------------- #
+
+#: Job-payload knob names that configure the grid-id analysis window rather
+#: than the cost model.
+_RANGE_KNOBS = ("start_grid_id", "end_grid_id")
+
+_COST_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(CostModelConfig))
+
+
+def _knobs_to_overrides(
+    knobs: Mapping[str, object],
+) -> tuple[Optional[RangeFilter], Optional[CostModelConfig]]:
+    """Split a job's knob dict into a range filter and a cost-config override."""
+    range_values = {name: knobs.get(name) for name in _RANGE_KNOBS}
+    cost_overrides = {k: v for k, v in knobs.items() if k not in _RANGE_KNOBS}
+    unknown = set(cost_overrides) - _COST_CONFIG_FIELDS
+    if unknown:
+        raise ReproError(
+            f"unknown job knobs {sorted(unknown)}; expected {sorted(_RANGE_KNOBS)} "
+            f"or a CostModelConfig field ({sorted(_COST_CONFIG_FIELDS)})"
+        )
+    for name, value in cost_overrides.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ReproError(f"cost-model knob {name!r} must be numeric, got {value!r}")
+    for name, value in range_values.items():
+        if value is not None and (isinstance(value, bool) or not isinstance(value, int)):
+            raise ReproError(f"knob {name!r} must be an integer grid id, got {value!r}")
+    range_filter = None
+    if any(v is not None for v in range_values.values()):
+        range_filter = RangeFilter()
+        range_filter.set_grid_window(
+            None if range_values["start_grid_id"] is None else int(range_values["start_grid_id"]),  # type: ignore[arg-type]
+            None if range_values["end_grid_id"] is None else int(range_values["end_grid_id"]),  # type: ignore[arg-type]
+        )
+    cost_config = CostModelConfig(**cost_overrides) if cost_overrides else None  # type: ignore[arg-type]
+    return range_filter, cost_config
+
+
+def execute_job_payload(payload: Mapping[str, object]) -> dict[str, object]:
+    """Run one campaign job described by a plain (picklable) dict.
+
+    This is the module-level worker invoked by the campaign scheduler — in
+    the calling process or, under the process-pool executor, in a freshly
+    spawned interpreter — so both its argument and its return value are
+    JSON-native data, never live simulator objects.  The payload is a
+    :meth:`repro.campaign.spec.JobSpec.to_dict` dict; the returned record
+    holds the echoed job, the run summary, and every tool report.
+    """
+    # Imported lazily (and inside the worker process) so that registering the
+    # built-in tools happens wherever the job actually runs.
+    import repro.tools  # noqa: F401  (side effect: tool registration)
+    from repro.core.registry import create_tool
+
+    job = dict(payload)
+    knobs = job.get("knobs") or {}
+    if not isinstance(knobs, Mapping):
+        raise ReproError(f"job knobs must be a mapping, got {type(knobs).__name__}")
+    range_filter, cost_config = _knobs_to_overrides(knobs)
+    tools = [create_tool(str(name)) for name in (job.get("tools") or ())]
+    result = run_workload(
+        str(job["model"]),
+        device=str(job.get("device", "a100")),
+        mode=str(job.get("mode", "inference")),
+        iterations=int(job.get("iterations", 1)),
+        tools=tools,
+        vendor_backend=None if job.get("backend") is None else str(job["backend"]),
+        enable_fine_grained=bool(job.get("fine_grained", False)),
+        batch_size=None if job.get("batch_size") is None else int(job["batch_size"]),
+        analysis_model=str(job.get("analysis_model", "gpu_resident")),
+        range_filter=range_filter,
+        cost_config=cost_config,
+    )
+    return json_sanitize({
+        "job": job,
+        "status": "ok",
+        "summary": result.summary.as_dict(),
+        "reports": result.reports(),
+    })
