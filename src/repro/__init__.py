@@ -11,6 +11,9 @@ Package layout
   allocator, operators, model zoo, parallelism).
 * :mod:`repro.tools` — analysis tools built with PASTA (the paper's case
   studies).
+* :mod:`repro.campaign` — batched experiment campaigns with caching.
+* :mod:`repro.replay` — trace record & replay (persistent event streams with
+  offline analysis).
 * :mod:`repro.workloads` — convenience runners for profiling models.
 * :mod:`repro.pasta` — the user annotation API (``pasta.start()/stop()``).
 """

@@ -88,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-job timeout in seconds")
     run.add_argument("--retries", type=int, default=0,
                      help="re-attempts per failing job (default: 0)")
+    run.add_argument("--execution", choices=["simulate", "replay"], default=None,
+                     help="override the spec's execution mode: 'replay' records "
+                          "each distinct workload once and replays it per "
+                          "tool/analysis-model combination (runs inline; "
+                          "--jobs/--executor/--timeout apply to simulate mode)")
+    run.add_argument("--trace-dir", default=None,
+                     help="keep replay-mode workload traces in this directory "
+                          "(default: a discarded temporary directory)")
     run.add_argument("--dry-run", action="store_true",
                      help="print the expanded job grid and exit")
     run.add_argument("--json", action="store_true", help="emit the summary as JSON")
@@ -133,15 +141,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         cache=None if args.no_cache else ResultCache(args.cache_dir),
         store=ResultStore(args.store) if args.store else None,
+        execution=args.execution,
+        trace_dir=args.trace_dir,
     )
     result = scheduler.run(spec)
     summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
+        replay_note = (
+            f", {result.workloads_recorded} workload(s) simulated"
+            if result.execution == "replay" else ""
+        )
         print(f"campaign {result.name!r}: {result.total} jobs "
               f"({result.executed} executed, {result.cached} cached, "
-              f"{result.failed} failed) in {result.duration_s:.2f}s")
+              f"{result.failed} failed{replay_note}) in {result.duration_s:.2f}s")
         for outcome in result.failures():
             print(f"  FAILED {outcome.job.label()}: [{outcome.status}] {outcome.error}")
     return 0 if result.failed == 0 else 1

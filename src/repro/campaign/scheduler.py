@@ -8,10 +8,22 @@ pool.  Jobs are isolated: one job crashing (or timing out) is recorded as a
 failed outcome and never takes down the campaign.  Fresh results are written
 to the cache and appended to the :class:`~repro.campaign.store.ResultStore`
 as they complete.
+
+Execution modes
+---------------
+``"simulate"`` (the default) runs every cache-missing job as a fresh
+simulation.  ``"replay"`` instead groups the cache-missing jobs by their
+:func:`~repro.workloads.runner.job_workload_signature` — the identity of the
+underlying simulation, ignoring tools, analysis model and knobs — records each
+distinct workload **once** as a trace (:mod:`repro.replay`), and answers every
+job in the group by offline replay.  A grid sweeping N tool/analysis-model
+combinations over one workload therefore simulates once instead of N times,
+while producing the same records.
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
 import traceback
 from concurrent.futures import (
@@ -24,15 +36,22 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Optional, Union
 
 import repro
 from repro.campaign.cache import ResultCache
-from repro.campaign.spec import CampaignSpec, JobSpec, expand_jobs
+from repro.campaign.spec import EXECUTION_MODES, CampaignSpec, JobSpec, expand_jobs
 from repro.campaign.store import ResultStore
 from repro.core.serialization import json_sanitize
 from repro.errors import ReproError
-from repro.workloads.runner import execute_job_payload
+from repro.replay.reader import TraceReader
+from repro.workloads.runner import (
+    execute_job_payload,
+    job_workload_signature,
+    record_job_trace,
+    replay_job_payload,
+)
 
 #: Signature of a job runner: canonical job dict in, JSON-native record out.
 JobRunner = Callable[[dict[str, object]], dict[str, object]]
@@ -101,6 +120,11 @@ class CampaignRunResult:
     name: str
     outcomes: list[JobOutcome] = field(default_factory=list)
     duration_s: float = 0.0
+    #: Execution mode the run used ("simulate" or "replay").
+    execution: str = "simulate"
+    #: Distinct workloads actually simulated (and recorded) in replay mode;
+    #: equals :attr:`executed` in simulate mode.
+    workloads_recorded: int = 0
 
     @property
     def total(self) -> int:
@@ -135,6 +159,8 @@ class CampaignRunResult:
             "executed": self.executed,
             "cached": self.cached,
             "failed": self.failed,
+            "execution": self.execution,
+            "workloads_recorded": self.workloads_recorded,
             "duration_s": round(self.duration_s, 3),
             "failures": [
                 {"job": o.job.label(), "status": o.status, "error": o.error}
@@ -165,7 +191,17 @@ class CampaignScheduler:
     job_runner:
         Override the job execution function (tests inject stubs here).
         Ignored by the process executor, which always uses the default
-        picklable runner.
+        picklable runner, and by replay-mode execution.
+    execution:
+        ``"simulate"``, ``"replay"``, or ``None`` to honour the campaign
+        spec's ``execution`` field (explicit job lists default to simulate).
+        Replay mode runs inline (one recording then cheap in-memory replays
+        per workload group): ``jobs``/``executor`` and ``timeout_s`` apply
+        only to simulate-mode execution, while ``retries`` covers the
+        recording step.
+    trace_dir:
+        Where replay-mode workload traces are written; defaults to a
+        temporary directory discarded after the run.
     """
 
     def __init__(
@@ -178,6 +214,8 @@ class CampaignScheduler:
         store: Optional[ResultStore] = None,
         job_runner: Optional[JobRunner] = None,
         version: Optional[str] = None,
+        execution: Optional[str] = None,
+        trace_dir: Union[str, Path, None] = None,
     ) -> None:
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -187,6 +225,10 @@ class CampaignScheduler:
             raise ReproError(f"retries must be >= 0, got {retries}")
         if executor == "process" and job_runner is not None:
             raise ReproError("custom job runners are not picklable; use the thread executor")
+        if execution is not None and execution not in EXECUTION_MODES:
+            raise ReproError(
+                f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
+            )
         self.jobs = jobs
         self.executor = executor
         self.timeout_s = timeout_s
@@ -195,6 +237,8 @@ class CampaignScheduler:
         self.store = store
         self.job_runner: JobRunner = job_runner or execute_job_payload
         self.version = version if version is not None else repro.__version__
+        self.execution = execution
+        self.trace_dir = trace_dir
 
     # ------------------------------------------------------------------ #
     # public API
@@ -211,9 +255,13 @@ class CampaignScheduler:
         """
         started = time.monotonic()
         campaign_name = name or (spec.name if isinstance(spec, CampaignSpec) else "adhoc")
+        execution = self.execution or (
+            spec.execution if isinstance(spec, CampaignSpec) else "simulate"
+        )
         job_list = expand_jobs(spec)
         outcomes: dict[int, JobOutcome] = {}
         pending: list[tuple[int, JobSpec, str]] = []
+        workloads_recorded = 0
 
         for index, job in enumerate(job_list):
             digest = job.digest(self.version)
@@ -225,7 +273,9 @@ class CampaignScheduler:
             else:
                 pending.append((index, job, digest))
 
-        if pending:
+        if pending and execution == "replay":
+            workloads_recorded = self._run_replay(pending, outcomes, campaign_name)
+        elif pending:
             # The inline path cannot interrupt a job, so any timeout budget
             # forces a (possibly single-worker) pool.
             inline = self.timeout_s is None and (
@@ -239,15 +289,104 @@ class CampaignScheduler:
             else:
                 self._run_pool(pending, outcomes, campaign_name)
 
-        return CampaignRunResult(
+        result = CampaignRunResult(
             name=campaign_name,
             outcomes=[outcomes[i] for i in range(len(job_list))],
             duration_s=time.monotonic() - started,
+            execution=execution,
         )
+        result.workloads_recorded = (
+            workloads_recorded if execution == "replay" else result.executed
+        )
+        return result
 
     # ------------------------------------------------------------------ #
     # execution strategies
     # ------------------------------------------------------------------ #
+    def _run_replay(
+        self,
+        pending: list[tuple[int, JobSpec, str]],
+        outcomes: dict[int, JobOutcome],
+        campaign_name: str,
+    ) -> int:
+        """Record each distinct workload once, then replay it per job.
+
+        Returns the number of workloads actually simulated.  Failure
+        isolation matches the simulate path: a failed recording fails every
+        job of its group (they have nothing to replay), a failed replay
+        fails only its own job.  Execution is inline and serial — replays
+        are in-memory and cheap, so the worker pool and its per-job timeout
+        machinery are simulate-mode concerns (see the class docstring).
+        """
+        groups: dict[tuple[object, ...], list[tuple[int, JobSpec, str]]] = {}
+        order: list[tuple[object, ...]] = []
+        for index, job, digest in pending:
+            try:
+                # Instantiates the job's tools (to learn their fine-grained
+                # needs), so an unknown tool name must fail this job alone.
+                signature = job_workload_signature(job.to_dict())
+            except Exception as error:
+                self._record_outcome(outcomes, index, JobOutcome(
+                    job=job, digest=digest, status="failed",
+                    error=f"{type(error).__name__}: {error}",
+                ), campaign_name)
+                continue
+            if signature not in groups:
+                groups[signature] = []
+                order.append(signature)
+            groups[signature].append((index, job, digest))
+
+        recorded = 0
+        with tempfile.TemporaryDirectory(prefix="pasta-traces-") as scratch:
+            trace_root = Path(self.trace_dir) if self.trace_dir is not None else Path(scratch)
+            trace_root.mkdir(parents=True, exist_ok=True)
+            for group_index, signature in enumerate(order):
+                members = groups[signature]
+                base_payload = members[0][1].to_dict()
+                trace_path = trace_root / f"workload-{group_index:04d}.pastatrace"
+                started = time.monotonic()
+                try:
+                    summary = _run_with_retries(
+                        base_payload, self.retries,
+                        lambda payload: record_job_trace(payload, trace_path),
+                    )
+                    summary.pop("attempts", None)
+                except Exception as error:
+                    duration = time.monotonic() - started
+                    for index, job, digest in members:
+                        self._record_outcome(outcomes, index, JobOutcome(
+                            job=job, digest=digest, status="failed",
+                            error=f"workload recording failed: "
+                                  f"{type(error).__name__}: {error}",
+                            attempts=self.retries + 1,
+                            duration_s=duration,
+                        ), campaign_name)
+                    continue
+                recorded += 1
+                # Decode the trace once; every job in the group replays the
+                # same in-memory event list.
+                reader = TraceReader(trace_path)
+                events = list(reader.events())
+                for index, job, digest in members:
+                    job_started = time.monotonic()
+                    try:
+                        record = replay_job_payload(job.to_dict(), reader, summary,
+                                                    events=events)
+                    except Exception as error:
+                        self._record_outcome(outcomes, index, JobOutcome(
+                            job=job, digest=digest, status="failed",
+                            error=f"replay failed: {type(error).__name__}: {error}",
+                            duration_s=time.monotonic() - job_started,
+                        ), campaign_name)
+                    else:
+                        self._record_outcome(
+                            outcomes, index,
+                            self._ok_outcome(job, digest, record,
+                                             time.monotonic() - job_started),
+                            campaign_name,
+                        )
+        return recorded
+
     def _run_one_inline(self, job: JobSpec, digest: str) -> JobOutcome:
         job_started = time.monotonic()
         try:

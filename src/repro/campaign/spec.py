@@ -25,6 +25,10 @@ KnobValue = Union[str, int, float, bool]
 
 _MODES = ("inference", "train")
 
+#: How a campaign executes its jobs: fresh simulation per job, or one recorded
+#: simulation per distinct workload with per-job offline replay.
+EXECUTION_MODES = ("simulate", "replay")
+
 
 def _as_knob_items(knobs: Union[Mapping[str, KnobValue], Sequence, None]) -> tuple[tuple[str, KnobValue], ...]:
     """Normalise a knob mapping into a sorted, hashable tuple of pairs."""
@@ -174,10 +178,19 @@ class CampaignSpec:
     #: Knob sweep: each entry is one knob-override dict applied to the grid.
     knob_sweep: list[dict[str, KnobValue]] = field(default_factory=lambda: [{}])
     extra_jobs: list[JobSpec] = field(default_factory=list)
+    #: ``"simulate"`` runs every job as a fresh simulation; ``"replay"``
+    #: records each distinct workload once and replays it per job (tool set /
+    #: analysis model / knob combination) — see the campaign scheduler.
+    execution: str = "simulate"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ReproError("CampaignSpec.name must be non-empty")
+        if self.execution not in EXECUTION_MODES:
+            raise ReproError(
+                f"CampaignSpec.execution must be one of {EXECUTION_MODES}, "
+                f"got {self.execution!r}"
+            )
         if not self.models and not self.extra_jobs:
             raise ReproError("CampaignSpec needs at least one model or extra job")
         if self.models:
@@ -248,6 +261,7 @@ class CampaignSpec:
             "fine_grained": self.fine_grained,
             "knob_sweep": list(self.knob_sweep),
             "extra_jobs": [job.to_dict() for job in self.extra_jobs],
+            "execution": self.execution,
         })
 
     @classmethod
@@ -256,7 +270,7 @@ class CampaignSpec:
         known = {
             "name", "models", "devices", "modes", "tools", "analysis_models",
             "backends", "iterations", "batch_size", "fine_grained",
-            "knob_sweep", "extra_jobs",
+            "knob_sweep", "extra_jobs", "execution",
         }
         unknown = set(data) - known
         if unknown:
@@ -279,6 +293,8 @@ class CampaignSpec:
             kwargs["fine_grained"] = bool(data["fine_grained"])
         if "extra_jobs" in data:
             kwargs["extra_jobs"] = [JobSpec.from_dict(j) for j in data["extra_jobs"]]  # type: ignore[union-attr]
+        if "execution" in data:
+            kwargs["execution"] = str(data["execution"])
         return cls(**kwargs)  # type: ignore[arg-type]
 
     @classmethod

@@ -34,6 +34,19 @@ baseline-vs-current regression diffs::
 
 See :mod:`repro.campaign.cli` for the spec format and
 ``examples/campaign_sweep.py`` for the programmatic API.
+
+Trace record & replay
+---------------------
+Every ``pasta-profile`` run pays for a full simulation and discards the event
+stream when it exits.  To keep the stream for offline analysis — re-running
+different tools or analysis models against one recorded simulation — use the
+trace subsystem (:mod:`repro.replay`) and its ``pasta-trace`` command::
+
+    pasta-trace record resnet18 -o resnet18.pastatrace
+    pasta-trace replay resnet18.pastatrace --tool kernel_frequency
+    pasta-trace replay resnet18.pastatrace --tool hotness --analysis-model cpu_side
+    pasta-trace info resnet18.pastatrace
+    pasta-trace slice resnet18.pastatrace -o window.pastatrace --start-grid-id 0 --end-grid-id 49
 """
 
 from __future__ import annotations

@@ -20,7 +20,8 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.errors import PastaError, VendorError
 from repro.core.annotations import RangeFilter, _set_active_session
@@ -40,6 +41,10 @@ from repro.vendors import (
     RocprofilerBackend,
     default_backend_for_vendor,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replay imports core)
+    from repro.core.overhead import OverheadAccountant as _OverheadAccountant
+    from repro.replay.writer import TraceWriter
 
 #: Device memory PASTA reserves for its profiling buffers (Section VI-A).
 PROFILER_RESERVED_BYTES = 4 * MiB
@@ -67,6 +72,41 @@ def _make_analysis_model(spec: Union[str, AnalysisModel]) -> AnalysisModel:
         raise PastaError(f"unknown analysis model {spec!r}; valid: {valid}") from None
 
 
+def collect_reports(
+    tools: Sequence[PastaTool],
+    overhead_accountant: Optional["_OverheadAccountant"] = None,
+    dry_run: bool = False,
+) -> dict[str, dict[str, object]]:
+    """Collect per-tool reports keyed by ``tool_name``, plus ``"overhead"``.
+
+    Two tools sharing a ``tool_name`` (e.g. two instances of the same tool
+    class) would silently overwrite each other's entry, so duplicates raise
+    :class:`PastaError` instead; the ``"overhead"`` key is likewise reserved
+    for the accountant's report.  With ``dry_run`` only the name validation
+    runs — used to fail fast before any events are processed.
+    """
+    seen: dict[str, PastaTool] = {}
+    for tool in tools:
+        if tool.tool_name in seen:
+            raise PastaError(
+                f"two tools report under the name {tool.tool_name!r} "
+                f"({type(seen[tool.tool_name]).__name__} and {type(tool).__name__}); "
+                f"give each instance a distinct tool_name"
+            )
+        seen[tool.tool_name] = tool
+    if overhead_accountant is not None and "overhead" in seen:
+        raise PastaError(
+            "tool name 'overhead' collides with the session overhead report; "
+            "rename the tool or disable overhead measurement"
+        )
+    if dry_run:
+        return {}
+    out: dict[str, dict[str, object]] = {name: tool.report() for name, tool in seen.items()}
+    if overhead_accountant is not None:
+        out["overhead"] = overhead_accountant.report()
+    return out
+
+
 def _make_backend(spec: Union[str, ProfilingBackend, None], runtime: AcceleratorRuntime) -> ProfilingBackend:
     if isinstance(spec, ProfilingBackend):
         return spec
@@ -91,6 +131,8 @@ class PastaSession:
         range_filter: Optional[RangeFilter] = None,
         measure_overhead: bool = True,
         cost_config: Optional[CostModelConfig] = None,
+        record_to: Union[str, Path, None] = None,
+        trace_metadata: Optional[Mapping[str, object]] = None,
     ) -> None:
         self.runtime = runtime
         self.backend = _make_backend(vendor_backend, runtime)
@@ -117,12 +159,41 @@ class PastaSession:
             self.add_tool(tool)
         self._attached_contexts: list[FrameworkContext] = []
         self._started = False
+        self._trace_writer: Optional["TraceWriter"] = None
+        self.trace_path: Optional[Path] = None
+        if record_to is not None:
+            # Imported lazily: repro.replay builds on repro.core, not the
+            # other way around, so the tap must not create an import cycle.
+            from repro.replay.format import TraceHeader
+            from repro.replay.writer import TraceWriter
+
+            header = TraceHeader.for_recording(
+                device_spec=runtime.device.spec,
+                analysis_model=self.analysis_model.value,
+                backend=self.backend.name,
+                instrumentation=self.backend.instrumentation.value,
+                fine_grained=self.enable_fine_grained,
+                workload=trace_metadata,
+            )
+            self._trace_writer = TraceWriter(record_to, header)
+            self.trace_path = self._trace_writer.path
+            self.handler.set_sink(self._record_and_submit)
 
     # ------------------------------------------------------------------ #
     # configuration
     # ------------------------------------------------------------------ #
     def add_tool(self, tool: PastaTool) -> PastaTool:
-        """Register an analysis tool with the session."""
+        """Register an analysis tool with the session.
+
+        Tool names must be unique within a session: reports are keyed by
+        ``tool_name``, so a second tool with the same name would silently
+        shadow the first's report.
+        """
+        if any(existing.tool_name == tool.tool_name for existing in self._tools):
+            raise PastaError(
+                f"a tool named {tool.tool_name!r} is already registered with this "
+                f"session; give each instance a distinct tool_name"
+            )
         self._tools.append(tool)
         self.processor.register_tool(tool)
         if tool.requires_fine_grained:
@@ -170,7 +241,7 @@ class PastaSession:
         return self
 
     def stop(self) -> None:
-        """Stop profiling and detach from the vendor backend."""
+        """Stop profiling, detach from the vendor backend, finalise the trace."""
         if not self._started:
             return
         for tool in self._tools:
@@ -180,11 +251,31 @@ class PastaSession:
         self.runtime.device.reserve_profiler_memory(0)
         _set_active_session(None)
         self._started = False
+        if self._trace_writer is not None and not self._trace_writer.closed:
+            self._trace_writer.close()
+
+    # ------------------------------------------------------------------ #
+    # trace recording
+    # ------------------------------------------------------------------ #
+    @property
+    def is_recording(self) -> bool:
+        """True while events are being appended to the trace file."""
+        return self._trace_writer is not None and not self._trace_writer.closed
+
+    def _record_and_submit(self, event) -> None:
+        """Handler sink tap: persist the event, then forward it as usual."""
+        if self._trace_writer is not None and not self._trace_writer.closed:
+            self._trace_writer.write(event)
+        self.processor.submit(event)
 
     def __enter__(self) -> "PastaSession":
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and self.is_recording:
+            # The workload died mid-session: keep what was recorded but mark
+            # the trace incomplete so readers refuse it by default.
+            self._trace_writer.abort(f"{exc_type.__name__}: {exc}")
         self.stop()
 
     @property
@@ -208,9 +299,4 @@ class PastaSession:
     # ------------------------------------------------------------------ #
     def reports(self) -> dict[str, dict[str, object]]:
         """Collect every tool's report, plus the overhead report if enabled."""
-        out: dict[str, dict[str, object]] = {}
-        for tool in self._tools:
-            out[tool.tool_name] = tool.report()
-        if self.overhead_accountant is not None:
-            out["overhead"] = self.overhead_accountant.report()
-        return out
+        return collect_reports(self._tools, self.overhead_accountant)

@@ -81,3 +81,15 @@ class AnnotationError(PastaError):
 
 class VendorError(ReproError):
     """Base class for errors raised by simulated vendor profiling backends."""
+
+
+class TraceError(ReproError):
+    """Base class for errors raised by the trace record/replay subsystem."""
+
+
+class TraceFormatError(TraceError):
+    """Raised when a trace file is malformed or uses an unsupported format."""
+
+
+class TraceSchemaError(TraceFormatError):
+    """Raised when a trace was recorded under incompatible event schemas."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.errors import ReproError
@@ -80,6 +81,7 @@ def run_workload(
     analysis_model: Optional[str] = None,
     range_filter: Optional[RangeFilter] = None,
     cost_config: Optional[CostModelConfig] = None,
+    record_to: Union[str, Path, None] = None,
 ) -> WorkloadResult:
     """Profile one model on one device with the given PASTA tools.
 
@@ -109,6 +111,9 @@ def run_workload(
         Restrict analysis to a kernel-launch window (grid-id filter).
     cost_config:
         Override the overhead cost-model constants.
+    record_to:
+        Record the session's normalised event stream to this trace file for
+        later offline replay (see :mod:`repro.replay`).
     """
     if mode not in ("inference", "train"):
         raise ReproError(f"mode must be 'inference' or 'train', got {mode!r}")
@@ -120,6 +125,14 @@ def run_workload(
     session_kwargs: dict[str, object] = {}
     if analysis_model is not None:
         session_kwargs["analysis_model"] = analysis_model
+    if record_to is not None:
+        session_kwargs["record_to"] = record_to
+        session_kwargs["trace_metadata"] = {
+            "model": model_name,
+            "mode": mode,
+            "iterations": iterations,
+            "batch_size": batch_size,
+        }
     session = PastaSession(
         runtime,
         tools=tools,
@@ -204,7 +217,9 @@ def _knobs_to_overrides(
     return range_filter, cost_config
 
 
-def execute_job_payload(payload: Mapping[str, object]) -> dict[str, object]:
+def execute_job_payload(
+    payload: Mapping[str, object], record_to: Union[str, Path, None] = None
+) -> dict[str, object]:
     """Run one campaign job described by a plain (picklable) dict.
 
     This is the module-level worker invoked by the campaign scheduler — in
@@ -212,7 +227,9 @@ def execute_job_payload(payload: Mapping[str, object]) -> dict[str, object]:
     spawned interpreter — so both its argument and its return value are
     JSON-native data, never live simulator objects.  The payload is a
     :meth:`repro.campaign.spec.JobSpec.to_dict` dict; the returned record
-    holds the echoed job, the run summary, and every tool report.
+    holds the echoed job, the run summary, and every tool report.  Pass
+    ``record_to`` to also persist the job's event stream as a replayable
+    trace (see :mod:`repro.replay`).
     """
     # Imported lazily (and inside the worker process) so that registering the
     # built-in tools happens wherever the job actually runs.
@@ -237,10 +254,112 @@ def execute_job_payload(payload: Mapping[str, object]) -> dict[str, object]:
         analysis_model=str(job.get("analysis_model", "gpu_resident")),
         range_filter=range_filter,
         cost_config=cost_config,
+        record_to=record_to,
     )
     return json_sanitize({
         "job": job,
         "status": "ok",
         "summary": result.summary.as_dict(),
         "reports": result.reports(),
+        "execution": "simulate",
+    })
+
+
+# ---------------------------------------------------------------------- #
+# trace-backed execution (campaign replay mode)
+# ---------------------------------------------------------------------- #
+
+def job_workload_signature(payload: Mapping[str, object]) -> tuple[object, ...]:
+    """Identity of the simulation a job needs, ignoring analysis-only fields.
+
+    Two jobs share a signature iff a single recorded trace can serve both:
+    the tool set, analysis model and knobs only affect offline analysis
+    (dispatch, overhead accounting and range filtering), while these fields —
+    plus whether any requested tool needs device-side instrumentation —
+    determine the event stream itself.
+    """
+    import repro.tools  # noqa: F401  (side effect: tool registration)
+    from repro.core.registry import create_tool
+
+    fine_grained = bool(payload.get("fine_grained", False)) or any(
+        create_tool(str(name)).requires_fine_grained for name in (payload.get("tools") or ())
+    )
+    return (
+        str(payload["model"]),
+        str(payload.get("device", "a100")),
+        str(payload.get("mode", "inference")),
+        int(payload.get("iterations", 1)),
+        None if payload.get("batch_size") is None else int(payload["batch_size"]),
+        None if payload.get("backend") is None else str(payload["backend"]),
+        fine_grained,
+    )
+
+
+def record_job_trace(
+    payload: Mapping[str, object], trace_path: Union[str, Path]
+) -> dict[str, object]:
+    """Simulate a job's workload once, recording every event to ``trace_path``.
+
+    The recording session attaches no tools and no range filter so the trace
+    carries the complete event stream; any job with the same
+    :func:`job_workload_signature` can then be answered by replay.  Returns
+    the JSON-native run summary shared by every job of the group.
+    """
+    model, device, mode, iterations, batch_size, backend, fine_grained = (
+        job_workload_signature(payload)
+    )
+    result = run_workload(
+        str(model),
+        device=str(device),
+        mode=str(mode),
+        iterations=int(iterations),  # type: ignore[arg-type]
+        tools=(),
+        vendor_backend=None if backend is None else str(backend),
+        enable_fine_grained=bool(fine_grained),
+        batch_size=None if batch_size is None else int(batch_size),  # type: ignore[arg-type]
+        record_to=trace_path,
+    )
+    return json_sanitize(result.summary.as_dict())
+
+
+def replay_job_payload(
+    payload: Mapping[str, object],
+    trace: object,
+    summary: Mapping[str, object],
+    events: Optional[Sequence[object]] = None,
+) -> dict[str, object]:
+    """Answer one campaign job by replaying a recorded workload trace.
+
+    ``trace`` is a path or an open :class:`~repro.replay.reader.TraceReader`;
+    pass ``events`` (a pre-decoded list) when replaying several jobs from the
+    same trace so the decode cost is paid once.  Produces a record with the
+    same shape (and, for the shared fields, the same values) as
+    :func:`execute_job_payload`, but without re-simulating: the job's tools,
+    analysis model and knobs are re-driven offline through
+    :func:`~repro.replay.replayer.replay_trace`.
+    """
+    import repro.tools  # noqa: F401  (side effect: tool registration)
+    from repro.core.registry import create_tool
+    from repro.replay.replayer import replay_trace
+
+    job = dict(payload)
+    knobs = job.get("knobs") or {}
+    if not isinstance(knobs, Mapping):
+        raise ReproError(f"job knobs must be a mapping, got {type(knobs).__name__}")
+    range_filter, cost_config = _knobs_to_overrides(knobs)
+    tools = [create_tool(str(name)) for name in (job.get("tools") or ())]
+    result = replay_trace(
+        trace,  # type: ignore[arg-type]
+        tools=tools,
+        analysis_model=str(job.get("analysis_model", "gpu_resident")),
+        cost_config=cost_config,
+        range_filter=range_filter,
+        events=events,
+    )
+    return json_sanitize({
+        "job": job,
+        "status": "ok",
+        "summary": dict(summary),
+        "reports": result.reports(),
+        "execution": "replay",
     })

@@ -1,0 +1,773 @@
+"""Tests for the trace record & replay subsystem (repro.replay)."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+import repro.workloads.runner as runner_module
+from repro.campaign import CampaignScheduler, CampaignSpec
+from repro.core.events import (
+    EventCategory,
+    InstructionEvent,
+    KernelArgumentInfo,
+    KernelLaunchEvent,
+    KernelMemoryProfile,
+    MemcpyEvent,
+    MemoryAccessEvent,
+    MemoryAllocEvent,
+    MemoryFreeEvent,
+    MemsetEvent,
+    OperatorEndEvent,
+    OperatorStartEvent,
+    PastaEvent,
+    RegionEvent,
+    RuntimeApiEvent,
+    SynchronizationEvent,
+    TensorAllocEvent,
+    TensorFreeEvent,
+)
+from repro.core.serialization import json_roundtrip, json_sanitize
+from repro.core.session import PastaSession, collect_reports
+from repro.errors import PastaError, TraceError, TraceFormatError, TraceSchemaError
+from repro.gpusim.instruction import InstructionKind
+from repro.replay import (
+    TRACE_FORMAT_VERSION,
+    TraceHeader,
+    TraceReader,
+    TraceWriter,
+    current_schemas,
+    decode_event,
+    encode_event,
+    index_path_for,
+    replay_trace,
+)
+from repro.replay.replayer import TraceAddressResolver
+from repro.tools import (
+    KernelFrequencyTool,
+    MemoryCharacteristicsTool,
+    MemoryTimelineTool,
+    TimeSeriesHotnessTool,
+)
+from repro.workloads.runner import (
+    job_workload_signature,
+    record_job_trace,
+    replay_job_payload,
+    run_workload,
+)
+
+ALL_EVENT_CLASSES = [
+    PastaEvent,
+    RuntimeApiEvent,
+    KernelLaunchEvent,
+    MemoryAllocEvent,
+    MemoryFreeEvent,
+    MemcpyEvent,
+    MemsetEvent,
+    SynchronizationEvent,
+    MemoryAccessEvent,
+    InstructionEvent,
+    KernelMemoryProfile,
+    OperatorStartEvent,
+    OperatorEndEvent,
+    TensorAllocEvent,
+    TensorFreeEvent,
+    RegionEvent,
+]
+
+
+def sample_events() -> list[PastaEvent]:
+    """One representative, fully-populated instance of every event class."""
+    return [
+        PastaEvent(category=EventCategory.RUNTIME_API, device_index=1,
+                   timestamp_ns=10, source="nvbit"),
+        RuntimeApiEvent(api_name="cudaMalloc", device_index=0, timestamp_ns=11),
+        KernelLaunchEvent(
+            kernel_name="gemm", launch_id=7, grid=(4, 2, 1), block=(128, 1, 1),
+            stream_id=3, duration_ns=5000, memory_footprint_bytes=1 << 20,
+            working_set_bytes=1 << 18, total_memory_accesses=4096,
+            op_context="linear", grid_index=6,
+            arguments=(
+                KernelArgumentInfo(address=0x1000, size=512, referenced_bytes=256,
+                                   access_count=64, label="weight"),
+                KernelArgumentInfo(address=0x4000, size=1024, referenced_bytes=512,
+                                   access_count=16),
+            ),
+            source="compute_sanitizer", timestamp_ns=12,
+        ),
+        MemoryAllocEvent(address=0x1000, size=4096, object_id=5,
+                         memory_kind="device", tag="weights", timestamp_ns=13),
+        MemoryFreeEvent(address=0x1000, size=4096, object_id=5, timestamp_ns=14),
+        MemcpyEvent(size=2048, direction="device_to_host", duration_ns=900,
+                    stream_id=2, timestamp_ns=15),
+        MemsetEvent(address=0x2000, size=128, value=7, timestamp_ns=16),
+        SynchronizationEvent(scope="stream", stream_id=4, timestamp_ns=17),
+        SynchronizationEvent(scope="device", stream_id=None, timestamp_ns=18),
+        MemoryAccessEvent(address=0x1040, size=8, is_write=True, kernel_launch_id=7,
+                          thread_index=33, block_index=2, timestamp_ns=19),
+        InstructionEvent(kind=InstructionKind.BARRIER, kernel_launch_id=7,
+                         thread_index=12, block_index=1, timestamp_ns=20),
+        KernelMemoryProfile(
+            kernel_name="gemm", launch_id=7, op_context="linear",
+            object_access_counts={5: 64, 9: 16},
+            object_referenced_bytes={5: 256, 9: 512},
+            footprint_bytes=1 << 20, working_set_bytes=1 << 18,
+            total_accesses=80, timestamp_ns=21,
+        ),
+        OperatorStartEvent(op_id=3, name="linear", scope="layer1", sequence=8,
+                           python_stack=("model.py:10", "ops.py:40"), timestamp_ns=22),
+        OperatorEndEvent(op_id=3, name="linear", scope="layer1", sequence=8,
+                         kernel_count=2, timestamp_ns=23),
+        TensorAllocEvent(tensor_id=77, tensor_name="act", address=0x8000, nbytes=2048,
+                         pool_allocated_bytes=1 << 22, pool_reserved_bytes=1 << 23,
+                         event_index=41, timestamp_ns=24),
+        TensorFreeEvent(tensor_id=77, tensor_name="act", address=0x8000, nbytes=2048,
+                        pool_allocated_bytes=1 << 21, pool_reserved_bytes=1 << 23,
+                        event_index=42, timestamp_ns=25),
+        RegionEvent(label="layer", starting=True, source="annotation", timestamp_ns=26),
+        RegionEvent(label="layer", starting=False, source="annotation", timestamp_ns=27),
+    ]
+
+
+DEFAULT_TOOLSET = lambda: [  # noqa: E731 - fresh instances per call
+    KernelFrequencyTool(),
+    MemoryCharacteristicsTool(),
+    MemoryTimelineTool(),
+    TimeSeriesHotnessTool(),
+]
+
+
+def make_header(**overrides) -> TraceHeader:
+    from repro.gpusim.device import A100
+
+    defaults = dict(
+        device_spec=A100,
+        analysis_model="gpu_resident",
+        backend="compute_sanitizer",
+        instrumentation="compute_sanitizer",
+    )
+    defaults.update(overrides)
+    return TraceHeader.for_recording(**defaults)
+
+
+# --------------------------------------------------------------------------- #
+# codec round-trips
+# --------------------------------------------------------------------------- #
+class TestEventCodecs:
+    def test_every_event_class_has_a_sample(self):
+        assert {type(e) for e in sample_events()} == set(ALL_EVENT_CLASSES)
+
+    @pytest.mark.parametrize("event", sample_events(), ids=lambda e: type(e).__name__)
+    def test_round_trip_equality(self, event):
+        assert decode_event(encode_event(event)) == event
+
+    @pytest.mark.parametrize("event", sample_events(), ids=lambda e: type(e).__name__)
+    def test_codec_output_survives_json_sanitize(self, event):
+        encoded = encode_event(event)
+        assert json_sanitize(encoded) == encoded
+        assert json_roundtrip(encoded) == encoded
+        assert decode_event(json_roundtrip(encoded)) == event
+
+    def test_decoded_types_are_rich(self):
+        launch = next(e for e in sample_events() if isinstance(e, KernelLaunchEvent))
+        decoded = decode_event(encode_event(launch))
+        assert isinstance(decoded.grid, tuple)
+        assert all(isinstance(a, KernelArgumentInfo) for a in decoded.arguments)
+        profile = next(e for e in sample_events() if isinstance(e, KernelMemoryProfile))
+        decoded_profile = decode_event(encode_event(profile))
+        assert all(isinstance(k, int) for k in decoded_profile.object_access_counts)
+        instr = next(e for e in sample_events() if isinstance(e, InstructionEvent))
+        assert decode_event(encode_event(instr)).kind is InstructionKind.BARRIER
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(TraceFormatError):
+            decode_event({"type": "NoSuchEvent"})
+
+    def test_schemas_cover_all_builtin_events(self):
+        schemas = current_schemas()
+        assert {cls.__name__ for cls in ALL_EVENT_CLASSES} <= set(schemas)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        kernel_name=st.text(max_size=20),
+        launch_id=st.integers(min_value=0, max_value=1 << 40),
+        grid=st.tuples(*[st.integers(min_value=1, max_value=1024)] * 3),
+        block=st.tuples(*[st.integers(min_value=1, max_value=1024)] * 3),
+        duration_ns=st.integers(min_value=0, max_value=1 << 50),
+        grid_index=st.integers(min_value=0, max_value=1 << 20),
+        args=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=1 << 48),
+                      st.integers(min_value=1, max_value=1 << 30),
+                      st.integers(min_value=0, max_value=1 << 30),
+                      st.integers(min_value=0, max_value=1 << 20),
+                      st.text(max_size=8)),
+            max_size=4,
+        ),
+    )
+    def test_kernel_launch_round_trip_property(self, kernel_name, launch_id, grid,
+                                               block, duration_ns, grid_index, args):
+        event = KernelLaunchEvent(
+            kernel_name=kernel_name, launch_id=launch_id, grid=grid, block=block,
+            duration_ns=duration_ns, grid_index=grid_index,
+            arguments=tuple(KernelArgumentInfo(*a) for a in args),
+        )
+        assert decode_event(json_roundtrip(encode_event(event))) == event
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        object_id=st.integers(min_value=0, max_value=1 << 40),
+        address=st.integers(min_value=0, max_value=1 << 48),
+        size=st.integers(min_value=1, max_value=1 << 34),
+        kind=st.sampled_from(["device", "managed", "pinned"]),
+    )
+    def test_memory_alloc_round_trip_property(self, object_id, address, size, kind):
+        event = MemoryAllocEvent(address=address, size=size, object_id=object_id,
+                                 memory_kind=kind)
+        assert decode_event(json_roundtrip(encode_event(event))) == event
+
+
+# --------------------------------------------------------------------------- #
+# container writer/reader
+# --------------------------------------------------------------------------- #
+class TestContainer:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        events = sample_events()
+        with TraceWriter(path, make_header(), chunk_events=4) as writer:
+            for event in events:
+                writer.write(event)
+            footer = writer.close()
+        assert footer.event_count == len(events)
+        assert footer.chunk_count == (len(events) + 3) // 4
+        reader = TraceReader(path)
+        assert list(reader.events()) == events
+        assert reader.footer.digest == footer.digest
+        assert reader.header.repro_version == repro.__version__
+        assert reader.verify()
+
+    def test_reader_without_index_streams_fine(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        events = sample_events()
+        with TraceWriter(path, make_header(), chunk_events=3) as writer:
+            for event in events:
+                writer.write(event)
+        index_path_for(path).unlink()
+        reader = TraceReader(path)
+        assert not reader.indexed
+        assert list(reader.events()) == events
+        assert reader.footer.event_count == len(events)
+        assert reader.verify()
+
+    def test_chunk_random_access(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        events = sample_events()
+        with TraceWriter(path, make_header(), chunk_events=5) as writer:
+            for event in events:
+                writer.write(event)
+        reader = TraceReader(path)
+        assert reader.chunk_count == (len(events) + 4) // 5
+        assert reader.read_chunk(1) == events[5:10]
+        with pytest.raises(TraceError):
+            reader.read_chunk(99)
+
+    def test_category_slicing(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        with TraceWriter(path, make_header(), chunk_events=2) as writer:
+            for event in sample_events():
+                writer.write(event)
+        reader = TraceReader(path)
+        launches = list(reader.events(categories=[EventCategory.KERNEL_LAUNCH]))
+        assert [type(e) for e in launches] == [KernelLaunchEvent]
+        both = list(reader.events(categories=["kernel_launch", "memcpy"]))
+        assert {type(e) for e in both} == {KernelLaunchEvent, MemcpyEvent}
+        with pytest.raises(TraceError):
+            list(reader.events(categories=["nonsense"]))
+
+    def test_grid_window_slicing(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        events = [
+            KernelLaunchEvent(kernel_name=f"k{i}", launch_id=100 + i, grid_index=i)
+            for i in range(6)
+        ]
+        events.append(MemoryAccessEvent(address=64, kernel_launch_id=102))
+        events.append(MemoryAccessEvent(address=64, kernel_launch_id=105))
+        events.append(MemcpyEvent(size=10))
+        with TraceWriter(path, make_header()) as writer:
+            for event in events:
+                writer.write(event)
+        got = list(TraceReader(path).events(start_grid_id=1, end_grid_id=2))
+        names = [e.kernel_name for e in got if isinstance(e, KernelLaunchEvent)]
+        assert names == ["k1", "k2"]
+        accesses = [e for e in got if isinstance(e, MemoryAccessEvent)]
+        assert [a.kernel_launch_id for a in accesses] == [102]
+        # non-kernel bookkeeping events pass through
+        assert any(isinstance(e, MemcpyEvent) for e in got)
+
+    def test_grid_window_keeps_fine_grained_preceding_their_launch(self, tmp_path):
+        # Backends emit a kernel's device-side events before the canonical
+        # launch-end event, so the window filter must not depend on stream
+        # order (regression: all fine-grained events were dropped).
+        path = tmp_path / "t.pastatrace"
+        events = []
+        for i in range(4):
+            events.append(MemoryAccessEvent(address=64 * i, kernel_launch_id=200 + i))
+            events.append(InstructionEvent(kind=InstructionKind.BARRIER,
+                                           kernel_launch_id=200 + i))
+            events.append(KernelLaunchEvent(kernel_name=f"k{i}", launch_id=200 + i,
+                                            grid_index=i))
+        with TraceWriter(path, make_header()) as writer:
+            for event in events:
+                writer.write(event)
+        got = list(TraceReader(path).events(start_grid_id=1, end_grid_id=2))
+        launches = [e for e in got if isinstance(e, KernelLaunchEvent)]
+        assert [e.kernel_name for e in launches] == ["k1", "k2"]
+        accesses = [e for e in got if isinstance(e, MemoryAccessEvent)]
+        assert [a.kernel_launch_id for a in accesses] == [201, 202]
+        barriers = [e for e in got if isinstance(e, InstructionEvent)]
+        assert [b.kernel_launch_id for b in barriers] == [201, 202]
+
+    def test_grid_window_slice_of_fine_grained_recording(self, tmp_path):
+        trace = tmp_path / "fine.pastatrace"
+        run_workload("alexnet", device="a100", tools=(), enable_fine_grained=True,
+                     batch_size=2, record_to=trace)
+        out = tmp_path / "window.pastatrace"
+        TraceReader(trace).slice_to(out, start_grid_id=0, end_grid_id=3)
+        counts = TraceReader(out).footer.category_counts
+        assert counts.get("kernel_launch") == 4
+        assert counts.get("memory_access", 0) + counts.get("instruction", 0) > 0
+
+    def test_region_slicing(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        events = [
+            MemcpyEvent(size=1),
+            RegionEvent(label="hot", starting=True),
+            MemcpyEvent(size=2),
+            RegionEvent(label="hot", starting=False),
+            MemcpyEvent(size=3),
+        ]
+        with TraceWriter(path, make_header()) as writer:
+            for event in events:
+                writer.write(event)
+        got = list(TraceReader(path).events(region="hot"))
+        sizes = [e.size for e in got if isinstance(e, MemcpyEvent)]
+        assert sizes == [2]
+        assert sum(isinstance(e, RegionEvent) for e in got) == 2
+
+    def test_slice_to_writes_replayable_trace(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        with TraceWriter(path, make_header(), chunk_events=3) as writer:
+            for event in sample_events():
+                writer.write(event)
+        out = tmp_path / "sliced.pastatrace"
+        reader = TraceReader(path)
+        footer = reader.slice_to(out, categories=["kernel_launch", "memory_alloc"])
+        sliced = TraceReader(out)
+        assert footer.event_count == 2
+        assert sliced.verify()
+        assert sliced.header.workload["sliced_from"] == str(path)
+        assert {type(e) for e in sliced.events()} == {KernelLaunchEvent, MemoryAllocEvent}
+
+    def test_detects_corruption(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        with TraceWriter(path, make_header(), chunk_events=2) as writer:
+            writer.write(MemcpyEvent(size=1))
+            writer.write(MemcpyEvent(size=2))
+        index = json.loads(index_path_for(path).read_text())
+        chunk = index["chunks"][0]
+        # Splice in a forged chunk (one event altered) between the original
+        # header and footer: the footer digest must no longer match.
+        raw = path.read_bytes()
+        header_bytes = raw[:chunk["offset"]]
+        footer_bytes = raw[chunk["offset"] + chunk["length"]:]
+        from repro.core.serialization import stable_json_dumps
+
+        forged_lines = b"".join(
+            (stable_json_dumps(encode_event(e)) + "\n").encode()
+            for e in (MemcpyEvent(size=1), MemcpyEvent(size=999))
+        )
+        path.write_bytes(header_bytes + gzip.compress(forged_lines, mtime=0) + footer_bytes)
+        index_path_for(path).unlink()
+        assert not TraceReader(path).verify()
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        header = make_header()
+        header.schemas = dict(header.schemas, KernelLaunchEvent="deadbeefdeadbeef")
+        with TraceWriter(path, header) as writer:
+            writer.write(MemcpyEvent(size=1))
+        with pytest.raises(TraceSchemaError):
+            TraceReader(path)
+        reader = TraceReader(path, strict_schema=False)
+        assert reader.footer.event_count == 1
+
+    def test_unknown_event_type_in_schemas_raises(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        header = make_header()
+        header.schemas = dict(header.schemas, FutureEvent="0123456789abcdef")
+        with TraceWriter(path, header) as writer:
+            writer.write(MemcpyEvent(size=1))
+        with pytest.raises(TraceSchemaError):
+            TraceReader(path)
+
+    def test_newer_format_version_raises(self, tmp_path):
+        path = tmp_path / "t.pastatrace"
+        header = make_header()
+        header.format_version = TRACE_FORMAT_VERSION + 1
+        with TraceWriter(path, header) as writer:
+            writer.write(MemcpyEvent(size=1))
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+    def test_non_trace_file_raises(self, tmp_path):
+        path = tmp_path / "bogus.pastatrace"
+        path.write_bytes(gzip.compress(b'{"hello": "world"}\n'))
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+        with pytest.raises(TraceError):
+            TraceReader(tmp_path / "missing.pastatrace")
+
+    def test_writer_rejects_use_after_close(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.pastatrace", make_header())
+        writer.close()
+        with pytest.raises(TraceError):
+            writer.write(MemcpyEvent(size=1))
+
+
+# --------------------------------------------------------------------------- #
+# address resolution
+# --------------------------------------------------------------------------- #
+class TestTraceAddressResolver:
+    def test_resolves_within_allocations(self):
+        resolver = TraceAddressResolver()
+        resolver.observe(MemoryAllocEvent(address=0x1000, size=0x100, object_id=1))
+        resolver.observe(MemoryAllocEvent(address=0x3000, size=0x80, object_id=2))
+        assert resolver.resolve(0x1000) == (1, 0x100)
+        assert resolver.resolve(0x10FF) == (1, 0x100)
+        assert resolver.resolve(0x1100) is None
+        assert resolver.resolve(0x3040) == (2, 0x80)
+        assert resolver.resolve(0x0) is None
+
+    def test_freed_objects_still_resolve_and_reuse_wins(self):
+        resolver = TraceAddressResolver()
+        resolver.observe(MemoryAllocEvent(address=0x1000, size=0x100, object_id=1))
+        resolver.observe(MemoryFreeEvent(address=0x1000, size=0x100, object_id=1))
+        assert resolver.resolve(0x1010) == (1, 0x100)
+        resolver.observe(MemoryAllocEvent(address=0x1000, size=0x200, object_id=9))
+        assert resolver.resolve(0x1010) == (9, 0x200)
+
+
+# --------------------------------------------------------------------------- #
+# session recording + replay parity (the acceptance criterion)
+# --------------------------------------------------------------------------- #
+class TestRecordReplayParity:
+    def test_replay_reports_equal_live_session(self, tmp_path):
+        trace = tmp_path / "alexnet.pastatrace"
+        live = run_workload("alexnet", device="a100", tools=DEFAULT_TOOLSET(),
+                            batch_size=2, record_to=trace)
+        replayed = replay_trace(trace, tools=DEFAULT_TOOLSET())
+        assert json_roundtrip(replayed.reports()) == json_roundtrip(live.reports())
+        assert replayed.events_replayed == TraceReader(trace).footer.event_count > 0
+
+    def test_replay_parity_on_amd_backend(self, tmp_path):
+        trace = tmp_path / "amd.pastatrace"
+        live = run_workload("alexnet", device="mi300x",
+                            tools=[KernelFrequencyTool(), MemoryCharacteristicsTool()],
+                            batch_size=2, record_to=trace)
+        replayed = replay_trace(
+            trace, tools=[KernelFrequencyTool(), MemoryCharacteristicsTool()]
+        )
+        assert json_roundtrip(replayed.reports()) == json_roundtrip(live.reports())
+        assert TraceReader(trace).header.backend == "rocprofiler"
+
+    def test_replay_parity_fine_grained(self, tmp_path):
+        trace = tmp_path / "fine.pastatrace"
+        live = run_workload("alexnet", device="a100", tools=[KernelFrequencyTool()],
+                            enable_fine_grained=True, batch_size=2, record_to=trace)
+        counts = TraceReader(trace).footer.category_counts
+        assert counts.get("memory_access") or counts.get("instruction")
+        replayed = replay_trace(trace, tools=[KernelFrequencyTool()])
+        assert json_roundtrip(replayed.reports()) == json_roundtrip(live.reports())
+
+    def test_replay_with_other_analysis_model_changes_overhead(self, tmp_path):
+        trace = tmp_path / "t.pastatrace"
+        run_workload("alexnet", device="a100", tools=(), batch_size=2, record_to=trace)
+        gpu = replay_trace(trace).reports()["overhead"]
+        cpu = replay_trace(trace, analysis_model="cpu_side").reports()["overhead"]
+        assert gpu["analysis_model"] == "gpu_resident"
+        assert cpu["analysis_model"] == "cpu_side"
+        assert cpu["normalized_overhead"] > gpu["normalized_overhead"]
+        assert cpu["kernels"] == gpu["kernels"] > 0
+
+    def test_replay_range_filter_matches_live(self, tmp_path):
+        from repro.core.annotations import RangeFilter
+
+        trace = tmp_path / "t.pastatrace"
+        window = RangeFilter()
+        window.set_grid_window(0, 4)
+        live = run_workload("alexnet", device="a100", tools=[KernelFrequencyTool()],
+                            batch_size=2, range_filter=window, record_to=trace)
+        # The tap records upstream of the range filter, so the full stream is
+        # on disk and any window can be re-applied offline.
+        replay_window = RangeFilter()
+        replay_window.set_grid_window(0, 4)
+        replayed = replay_trace(trace, tools=[KernelFrequencyTool()],
+                                range_filter=replay_window)
+        assert json_roundtrip(replayed.reports()) == json_roundtrip(live.reports())
+
+    def test_fine_grained_tool_on_coarse_trace_raises(self, tmp_path):
+        class FineTool(KernelFrequencyTool):
+            tool_name = "needs_fine"
+            requires_fine_grained = True
+
+        trace = tmp_path / "coarse.pastatrace"
+        run_workload("alexnet", device="a100", tools=(), batch_size=2, record_to=trace)
+        with pytest.raises(TraceError, match="fine-grained"):
+            replay_trace(trace, tools=[FineTool()])
+        # A fine-grained recording accepts the same tool.
+        fine = tmp_path / "fine.pastatrace"
+        run_workload("alexnet", device="a100", tools=(), enable_fine_grained=True,
+                     batch_size=2, record_to=fine)
+        assert replay_trace(fine, tools=[FineTool()]).events_replayed > 0
+
+    def test_crashed_recording_is_marked_incomplete(self, tmp_path, a100_runtime):
+        trace = tmp_path / "t.pastatrace"
+        session = PastaSession(a100_runtime, record_to=trace)
+        with pytest.raises(RuntimeError):
+            with session:
+                session.begin_region("r")
+                raise RuntimeError("workload died")
+        reader = TraceReader(trace)
+        assert reader.footer.complete is False
+        assert "workload died" in reader.footer.abort_reason
+        assert reader.verify()  # what was written is internally consistent
+        with pytest.raises(TraceError, match="incomplete"):
+            list(reader.events())
+        with pytest.raises(TraceError, match="incomplete"):
+            replay_trace(trace)
+        partial = TraceReader(trace, allow_incomplete=True)
+        assert [e.label for e in partial.events()] == ["r"]
+
+    def test_session_trace_lifecycle(self, tmp_path, a100_runtime):
+        trace = tmp_path / "t.pastatrace"
+        session = PastaSession(a100_runtime, tools=[KernelFrequencyTool()],
+                               record_to=trace, trace_metadata={"note": "unit"})
+        assert session.trace_path == trace
+        with session:
+            assert session.is_recording
+            session.begin_region("r")
+            session.end_region("r")
+        assert not session.is_recording
+        reader = TraceReader(trace)
+        assert reader.header.workload == {"note": "unit"}
+        assert reader.footer.category_counts == {"region_start": 1, "region_stop": 1}
+        assert reader.verify()
+
+
+# --------------------------------------------------------------------------- #
+# reports() duplicate-name regression (satellite)
+# --------------------------------------------------------------------------- #
+class TestDuplicateToolNames:
+    def test_session_rejects_duplicate_tool_names(self, a100_runtime):
+        with pytest.raises(PastaError, match="distinct tool_name"):
+            PastaSession(a100_runtime,
+                         tools=[KernelFrequencyTool(), KernelFrequencyTool()])
+
+    def test_collect_reports_rejects_duplicates(self):
+        with pytest.raises(PastaError, match="distinct tool_name"):
+            collect_reports([KernelFrequencyTool(), KernelFrequencyTool()])
+
+    def test_collect_reports_rejects_overhead_collision(self):
+        from repro.core.overhead import OverheadAccountant
+        from repro.gpusim.device import A100
+
+        class Impostor(KernelFrequencyTool):
+            tool_name = "overhead"
+
+        accountant = OverheadAccountant(device_spec=A100)
+        with pytest.raises(PastaError, match="overhead"):
+            collect_reports([Impostor()], accountant)
+        # Without an accountant the name is legal.
+        assert "overhead" in collect_reports([Impostor()], None)
+
+    def test_replayer_rejects_duplicates_before_replaying(self, tmp_path):
+        trace = tmp_path / "t.pastatrace"
+        with TraceWriter(trace, make_header()) as writer:
+            writer.write(MemcpyEvent(size=1))
+        with pytest.raises(PastaError, match="distinct tool_name"):
+            replay_trace(trace, tools=[KernelFrequencyTool(), KernelFrequencyTool()])
+
+
+# --------------------------------------------------------------------------- #
+# spec-driven record/replay helpers
+# --------------------------------------------------------------------------- #
+class TestJobTraceHelpers:
+    def test_workload_signature_ignores_analysis_fields(self):
+        base = {"model": "alexnet", "device": "a100", "mode": "inference",
+                "iterations": 1, "batch_size": 2, "backend": None,
+                "fine_grained": False}
+        a = job_workload_signature({**base, "tools": ["kernel_frequency"],
+                                    "analysis_model": "gpu_resident"})
+        b = job_workload_signature({**base, "tools": ["hotness", "memory_timeline"],
+                                    "analysis_model": "cpu_side",
+                                    "knobs": {"start_grid_id": 0}})
+        assert a == b
+        c = job_workload_signature({**base, "device": "rtx3060"})
+        assert c != a
+
+    def test_execute_job_payload_can_emit_a_trace(self, tmp_path):
+        from repro.workloads.runner import execute_job_payload
+
+        trace = tmp_path / "job.pastatrace"
+        payload = {"model": "alexnet", "batch_size": 2, "tools": ["kernel_frequency"]}
+        record = execute_job_payload(payload, record_to=trace)
+        assert record["execution"] == "simulate"
+        replayed = replay_trace(trace, tools=[KernelFrequencyTool()])
+        assert json_roundtrip(replayed.reports()) == record["reports"]
+
+    def test_record_then_replay_job_payload(self, tmp_path):
+        trace = tmp_path / "job.pastatrace"
+        payload = {"model": "alexnet", "device": "a100", "batch_size": 2,
+                   "tools": ["kernel_frequency"], "analysis_model": "gpu_resident"}
+        summary = record_job_trace(payload, trace)
+        assert summary["model"] == "alexnet" and summary["kernel_launches"] > 0
+        record = replay_job_payload(payload, trace, summary)
+        assert record["status"] == "ok"
+        assert record["execution"] == "replay"
+        assert record["summary"] == summary
+        assert "kernel_frequency" in record["reports"]
+        assert "overhead" in record["reports"]
+
+
+# --------------------------------------------------------------------------- #
+# campaign replay execution mode (the acceptance criterion)
+# --------------------------------------------------------------------------- #
+class TestCampaignReplayMode:
+    def _counting_run_workload(self, monkeypatch):
+        calls = {"n": 0}
+        original = runner_module.run_workload
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_workload", counting)
+        return calls
+
+    def test_replay_mode_simulates_each_workload_once(self, monkeypatch):
+        calls = self._counting_run_workload(monkeypatch)
+        spec = CampaignSpec(
+            name="replay-acceptance",
+            models=["alexnet"],
+            devices=["a100"],
+            tools=["kernel_frequency", "memory_characteristics", "hotness"],
+            analysis_models=["gpu_resident", "cpu_side"],
+            batch_size=2,
+            execution="replay",
+        )
+        assert spec.job_count() == 6  # >= 3 tool configs of one workload
+        result = CampaignScheduler().run(spec)
+        assert result.execution == "replay"
+        assert result.failed == 0
+        assert result.executed == 6
+        assert calls["n"] == 1  # the simulation ran exactly once
+        assert result.workloads_recorded == 1
+        for record in result.records():
+            assert record["execution"] == "replay"
+            assert record["reports"]["overhead"]["kernels"] > 0
+
+    def test_replay_records_match_simulate_records(self, monkeypatch):
+        # Tools whose reports embed the runtime's device index (e.g.
+        # memory_timeline) are excluded: that label comes from a global
+        # per-process runtime counter, so it differs between any two separate
+        # simulations regardless of execution mode.
+        spec = CampaignSpec(
+            name="parity", models=["alexnet"], devices=["a100"], batch_size=2,
+            tools=["kernel_frequency"], analysis_models=["gpu_resident", "cpu_side"],
+        )
+        simulate = CampaignScheduler().run(spec)
+        spec.execution = "replay"
+        replayed = CampaignScheduler().run(spec)
+        assert simulate.failed == replayed.failed == 0
+        for sim, rep in zip(simulate.records(), replayed.records()):
+            assert sim["job"] == rep["job"]
+            assert sim["summary"] == rep["summary"]
+            assert sim["reports"] == rep["reports"]
+
+    def test_replay_mode_groups_distinct_workloads(self, monkeypatch):
+        calls = self._counting_run_workload(monkeypatch)
+        spec = CampaignSpec(
+            name="two-workloads", models=["alexnet"], devices=["a100", "rtx3060"],
+            tools=["kernel_frequency", "memory_timeline"], batch_size=2,
+            execution="replay",
+        )
+        result = CampaignScheduler().run(spec)
+        assert result.failed == 0
+        assert result.total == 4
+        assert calls["n"] == 2  # one simulation per device
+        assert result.workloads_recorded == 2
+
+    def test_replay_mode_respects_cache(self, tmp_path, monkeypatch):
+        from repro.campaign import ResultCache
+
+        calls = self._counting_run_workload(monkeypatch)
+        spec = CampaignSpec(
+            name="cached-replay", models=["alexnet"], devices=["a100"],
+            tools=["kernel_frequency", "hotness"], batch_size=2, execution="replay",
+        )
+        cache = ResultCache(tmp_path / "cache")
+        first = CampaignScheduler(cache=cache).run(spec)
+        assert first.executed == 2 and calls["n"] == 1
+        second = CampaignScheduler(cache=cache).run(spec)
+        assert second.cached == 2 and second.executed == 0
+        assert calls["n"] == 1  # nothing re-simulated on the second run
+        assert second.workloads_recorded == 0
+
+    def test_replay_mode_keeps_traces_in_trace_dir(self, tmp_path):
+        spec = CampaignSpec(
+            name="keep-traces", models=["alexnet"], devices=["a100"],
+            tools=["kernel_frequency"], batch_size=2, execution="replay",
+        )
+        result = CampaignScheduler(trace_dir=tmp_path / "traces").run(spec)
+        assert result.failed == 0
+        traces = sorted((tmp_path / "traces").glob("*.pastatrace"))
+        assert len(traces) == 1
+        assert TraceReader(traces[0]).verify()
+
+    def test_recording_failure_fails_whole_group(self, monkeypatch):
+        def broken(*args, **kwargs):
+            raise RuntimeError("simulator exploded")
+
+        monkeypatch.setattr(runner_module, "run_workload", broken)
+        spec = CampaignSpec(
+            name="broken", models=["alexnet"], devices=["a100"],
+            tools=["kernel_frequency", "hotness"], execution="replay",
+        )
+        result = CampaignScheduler().run(spec)
+        assert result.failed == result.total == 2
+        assert all("workload recording failed" in o.error for o in result.failures())
+
+    def test_unknown_tool_fails_only_its_own_job(self):
+        jobs = CampaignSpec(
+            name="bad-tool", models=["alexnet"], devices=["a100"], batch_size=2,
+            tools=["no_such_tool", "kernel_frequency"], execution="replay",
+        )
+        result = CampaignScheduler().run(jobs)
+        assert result.total == 2
+        assert result.failed == 1
+        assert result.executed == 1
+        assert "no_such_tool" in result.failures()[0].error
+
+    def test_scheduler_validates_execution(self):
+        with pytest.raises(Exception):
+            CampaignScheduler(execution="teleport")
+        with pytest.raises(Exception):
+            CampaignSpec(name="x", models=["alexnet"], execution="teleport")
+
+    def test_spec_execution_round_trips_through_json(self):
+        spec = CampaignSpec(name="x", models=["alexnet"], execution="replay")
+        clone = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.execution == "replay"

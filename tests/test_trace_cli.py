@@ -1,0 +1,115 @@
+"""Tests for the ``pasta-trace`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.replay.cli import main
+
+
+@pytest.fixture
+def recorded_trace(tmp_path):
+    """A small recorded workload trace."""
+    path = tmp_path / "alexnet.pastatrace"
+    assert main(["record", "alexnet", "-o", str(path),
+                 "--device", "a100", "--batch-size", "2"]) == 0
+    return path
+
+
+class TestRecord:
+    def test_record_prints_summary(self, tmp_path, capsys):
+        path = tmp_path / "t.pastatrace"
+        assert main(["record", "alexnet", "-o", str(path), "--batch-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and str(path) in out
+        assert path.exists()
+
+    def test_record_json_summary(self, tmp_path, capsys):
+        path = tmp_path / "t.pastatrace"
+        assert main(["record", "alexnet", "-o", str(path), "--batch-size", "2",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["events"] > 0
+        assert data["run"]["model"] == "alexnet"
+
+    def test_record_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["record", "not-a-model", "-o", "x.pastatrace"])
+
+
+class TestReplay:
+    def test_replay_text_reports(self, recorded_trace, capsys):
+        assert main(["replay", str(recorded_trace), "--tool", "kernel_frequency"]) == 0
+        out = capsys.readouterr().out
+        assert "[kernel_frequency]" in out
+        assert "[overhead]" in out
+        assert "replayed" in out
+
+    def test_replay_json_and_analysis_model_override(self, recorded_trace, capsys):
+        assert main(["replay", str(recorded_trace), "-t", "kernel_frequency",
+                     "--json"]) == 0
+        gpu = json.loads(capsys.readouterr().out)
+        assert main(["replay", str(recorded_trace), "-t", "kernel_frequency",
+                     "--analysis-model", "cpu_side", "--json"]) == 0
+        cpu = json.loads(capsys.readouterr().out)
+        assert gpu["kernel_frequency"] == cpu["kernel_frequency"]
+        assert cpu["overhead"]["normalized_overhead"] > gpu["overhead"]["normalized_overhead"]
+
+    def test_replay_grid_window(self, recorded_trace, capsys):
+        assert main(["replay", str(recorded_trace), "-t", "kernel_frequency",
+                     "--start-grid-id", "0", "--end-grid-id", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel_frequency"]["total_launches"] == 3
+
+    def test_replay_list_tools_needs_no_trace(self, capsys):
+        assert main(["replay", "--list-tools"]) == 0
+        assert "kernel_frequency" in capsys.readouterr().out
+
+    def test_replay_without_trace_errors(self, capsys):
+        assert main(["replay", "-t", "kernel_frequency"]) == 1
+        assert "trace path is required" in capsys.readouterr().err
+
+    def test_replay_missing_trace_errors(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "none.pastatrace"),
+                     "-t", "kernel_frequency"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInfoAndSlice:
+    def test_info_text(self, recorded_trace, capsys):
+        assert main(["info", str(recorded_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "digest:       ok" in out
+        assert "kernel_launch" in out
+
+    def test_info_json(self, recorded_trace, capsys):
+        assert main(["info", str(recorded_trace), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["digest_ok"] is True
+        assert data["footer"]["event_count"] > 0
+        assert data["header"]["workload"]["model"] == "alexnet"
+
+    def test_slice_by_category_then_info(self, recorded_trace, tmp_path, capsys):
+        out_path = tmp_path / "launches.pastatrace"
+        assert main(["slice", str(recorded_trace), "-o", str(out_path),
+                     "--category", "kernel_launch"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["info", str(out_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data["footer"]["category_counts"]) == {"kernel_launch"}
+
+    def test_slice_window_replays(self, recorded_trace, tmp_path, capsys):
+        out_path = tmp_path / "window.pastatrace"
+        assert main(["slice", str(recorded_trace), "-o", str(out_path),
+                     "--start-grid-id", "0", "--end-grid-id", "1"]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(out_path), "-t", "kernel_frequency", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel_frequency"]["total_launches"] == 2
+
+    def test_slice_unknown_category_errors(self, recorded_trace, tmp_path, capsys):
+        assert main(["slice", str(recorded_trace), "-o", str(tmp_path / "x"),
+                     "--category", "bogus"]) == 1
+        assert "unknown event category" in capsys.readouterr().err
