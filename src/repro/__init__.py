@@ -23,6 +23,6 @@ from repro.core.session import PastaSession
 from repro.core.tool import PastaTool
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["PastaSession", "PastaTool", "ReproError", "__version__", "pasta"]

@@ -11,6 +11,21 @@ processor and the tools.  The taxonomy follows Table II:
   barriers, block entry/exit, and the other instruction-level rows; and
 * **high-level DL framework events** — operator start/end, tensor allocation
   and reclamation, plus annotation-driven region boundaries.
+
+Fine-grained data travels in two shapes: the per-record events
+(:class:`MemoryAccessEvent` / :class:`InstructionEvent`) and the columnar
+batch events (:class:`MemoryAccessBatch` / :class:`InstructionBatch`) that
+carry one kernel launch's sampled records as parallel arrays.  Batches are
+what the vendor backends ship by default — one event per launch instead of
+one per access — mirroring the paper's collect-and-analyze principle
+(Figure 2b): aggregate on the producer side, move compact containers, never
+pay a per-record delivery cost.
+
+All event classes use ``slots=True`` (compact instances, faster attribute
+access) and ``eq=False`` (identity comparison; events are never compared by
+value on the hot path).  Event ids are allocated lazily on first read so the
+common case — an event that is dispatched and dropped — never touches the
+global counter.
 """
 
 from __future__ import annotations
@@ -18,7 +33,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.gpusim.instruction import InstructionKind
 
@@ -39,6 +54,8 @@ class EventCategory(str, Enum):
     # Fine-grained device-side operations.
     MEMORY_ACCESS = "memory_access"
     INSTRUCTION = "instruction"
+    MEMORY_ACCESS_BATCH = "memory_access_batch"
+    INSTRUCTION_BATCH = "instruction_batch"
     KERNEL_MEMORY_PROFILE = "kernel_memory_profile"
     # High-level DL framework events.
     OPERATOR_START = "operator_start"
@@ -68,6 +85,8 @@ FINE_GRAINED_CATEGORIES = frozenset(
     {
         EventCategory.MEMORY_ACCESS,
         EventCategory.INSTRUCTION,
+        EventCategory.MEMORY_ACCESS_BATCH,
+        EventCategory.INSTRUCTION_BATCH,
         EventCategory.KERNEL_MEMORY_PROFILE,
     }
 )
@@ -84,9 +103,42 @@ FRAMEWORK_CATEGORIES = frozenset(
     }
 )
 
+#: Batch category -> the per-record category it aggregates.  A tool that
+#: subscribes to a per-record category implicitly receives its batch form
+#: (the tool template unrolls batches into per-record hooks by default).
+BATCH_CATEGORY_BASES = {
+    EventCategory.MEMORY_ACCESS_BATCH: EventCategory.MEMORY_ACCESS,
+    EventCategory.INSTRUCTION_BATCH: EventCategory.INSTRUCTION,
+}
 
-@dataclass
-class PastaEvent:
+
+class _LazyEventId:
+    """Mixin giving events a lazily allocated, process-unique ``event_id``.
+
+    The id is drawn from the global counter on first read only, so events
+    that are dispatched and discarded (the overwhelming majority) never pay
+    for it.  The slot lives here — outside the dataclass field list — so it
+    is neither an ``__init__`` parameter nor part of the trace encoding.
+    """
+
+    __slots__ = ("_event_id",)
+
+    @property
+    def event_id(self) -> int:
+        try:
+            return self._event_id
+        except AttributeError:
+            eid = next(_event_ids)
+            self._event_id = eid
+            return eid
+
+    @event_id.setter
+    def event_id(self, value: int) -> None:
+        self._event_id = value
+
+
+@dataclass(slots=True, eq=False)
+class PastaEvent(_LazyEventId):
     """Base class of all normalised events."""
 
     category: EventCategory = EventCategory.RUNTIME_API
@@ -95,10 +147,9 @@ class PastaEvent:
     #: Name of the producer ("compute_sanitizer", "nvbit", "rocprofiler",
     #: "framework", "annotation").
     source: str = ""
-    event_id: int = field(default_factory=lambda: next(_event_ids))
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class RuntimeApiEvent(PastaEvent):
     """A driver/runtime API invocation (e.g. ``cudaMalloc``, ``hipMemcpy``)."""
 
@@ -108,7 +159,7 @@ class RuntimeApiEvent(PastaEvent):
         self.category = EventCategory.RUNTIME_API
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KernelArgumentInfo:
     """Metadata about one memory region passed to a kernel.
 
@@ -124,7 +175,7 @@ class KernelArgumentInfo:
     label: str = ""
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class KernelLaunchEvent(PastaEvent):
     """A kernel launch, with the metadata the event processor extracts."""
 
@@ -156,7 +207,7 @@ class KernelLaunchEvent(PastaEvent):
         return gx * gy * gz * bx * by * bz
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class MemoryAllocEvent(PastaEvent):
     """A driver-level memory allocation (``cudaMalloc`` and variants)."""
 
@@ -170,7 +221,7 @@ class MemoryAllocEvent(PastaEvent):
         self.category = EventCategory.MEMORY_ALLOC
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class MemoryFreeEvent(PastaEvent):
     """A driver-level memory free."""
 
@@ -182,7 +233,7 @@ class MemoryFreeEvent(PastaEvent):
         self.category = EventCategory.MEMORY_FREE
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class MemcpyEvent(PastaEvent):
     """An explicit memory copy, with its normalised direction."""
 
@@ -195,7 +246,7 @@ class MemcpyEvent(PastaEvent):
         self.category = EventCategory.MEMCPY
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class MemsetEvent(PastaEvent):
     """A memory-set operation."""
 
@@ -207,7 +258,7 @@ class MemsetEvent(PastaEvent):
         self.category = EventCategory.MEMSET
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class SynchronizationEvent(PastaEvent):
     """A stream or device synchronisation."""
 
@@ -218,7 +269,7 @@ class SynchronizationEvent(PastaEvent):
         self.category = EventCategory.SYNCHRONIZATION
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class MemoryAccessEvent(PastaEvent):
     """One sampled device-side memory access (fine-grained)."""
 
@@ -233,7 +284,7 @@ class MemoryAccessEvent(PastaEvent):
         self.category = EventCategory.MEMORY_ACCESS
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class InstructionEvent(PastaEvent):
     """A sampled device-side non-memory instruction (barrier, block marker, ...)."""
 
@@ -246,7 +297,83 @@ class InstructionEvent(PastaEvent):
         self.category = EventCategory.INSTRUCTION
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
+class MemoryAccessBatch(PastaEvent):
+    """One kernel launch's sampled memory accesses as parallel arrays.
+
+    The columnar twin of :class:`MemoryAccessEvent`: element ``i`` of every
+    array describes one access, and the array order matches the order the
+    per-record pipeline would have delivered the same accesses in, so
+    unrolling a batch reproduces the unbatched stream exactly.
+    """
+
+    kernel_launch_id: int = 0
+    addresses: tuple[int, ...] = ()
+    sizes: tuple[int, ...] = ()
+    write_flags: tuple[bool, ...] = ()
+    thread_indices: tuple[int, ...] = ()
+    block_indices: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.MEMORY_ACCESS_BATCH
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def unroll(self) -> Iterator[MemoryAccessEvent]:
+        """Per-record view: yields the equivalent :class:`MemoryAccessEvent`\\ s."""
+        for address, size, is_write, thread, block in zip(
+            self.addresses, self.sizes, self.write_flags,
+            self.thread_indices, self.block_indices,
+        ):
+            yield MemoryAccessEvent(
+                address=address,
+                size=size,
+                is_write=is_write,
+                kernel_launch_id=self.kernel_launch_id,
+                thread_index=thread,
+                block_index=block,
+                device_index=self.device_index,
+                timestamp_ns=self.timestamp_ns,
+                source=self.source,
+            )
+
+
+@dataclass(slots=True, eq=False)
+class InstructionBatch(PastaEvent):
+    """One kernel launch's sampled non-memory instructions as parallel arrays.
+
+    The columnar twin of :class:`InstructionEvent` (barriers, block markers,
+    device calls, ...), with the same ordering guarantee as
+    :class:`MemoryAccessBatch`.
+    """
+
+    kernel_launch_id: int = 0
+    kinds: tuple[InstructionKind, ...] = ()
+    thread_indices: tuple[int, ...] = ()
+    block_indices: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.category = EventCategory.INSTRUCTION_BATCH
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def unroll(self) -> Iterator[InstructionEvent]:
+        """Per-record view: yields the equivalent :class:`InstructionEvent`\\ s."""
+        for kind, thread, block in zip(self.kinds, self.thread_indices, self.block_indices):
+            yield InstructionEvent(
+                kind=kind,
+                kernel_launch_id=self.kernel_launch_id,
+                thread_index=thread,
+                block_index=block,
+                device_index=self.device_index,
+                timestamp_ns=self.timestamp_ns,
+                source=self.source,
+            )
+
+
+@dataclass(slots=True, eq=False)
 class KernelMemoryProfile(PastaEvent):
     """GPU-preprocessed per-kernel memory profile (the result-map of Figure 8b).
 
@@ -275,7 +402,7 @@ class KernelMemoryProfile(PastaEvent):
         return sum(1 for count in self.object_access_counts.values() if count > 0)
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class OperatorStartEvent(PastaEvent):
     """A DL framework operator began executing."""
 
@@ -289,7 +416,7 @@ class OperatorStartEvent(PastaEvent):
         self.category = EventCategory.OPERATOR_START
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class OperatorEndEvent(PastaEvent):
     """A DL framework operator finished executing."""
 
@@ -303,7 +430,7 @@ class OperatorEndEvent(PastaEvent):
         self.category = EventCategory.OPERATOR_END
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class TensorAllocEvent(PastaEvent):
     """A framework tensor allocation (normalised to a positive size)."""
 
@@ -319,7 +446,7 @@ class TensorAllocEvent(PastaEvent):
         self.category = EventCategory.TENSOR_ALLOC
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class TensorFreeEvent(PastaEvent):
     """A framework tensor reclamation (normalised to a positive size)."""
 
@@ -335,7 +462,7 @@ class TensorFreeEvent(PastaEvent):
         self.category = EventCategory.TENSOR_FREE
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class RegionEvent(PastaEvent):
     """A user annotation boundary (``pasta.start()`` / ``pasta.stop()``)."""
 

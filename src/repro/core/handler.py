@@ -20,11 +20,14 @@ from typing import Callable, Optional
 
 from repro.errors import HandlerError
 from repro.core.events import (
+    BATCH_CATEGORY_BASES,
     EventCategory,
+    InstructionBatch,
     InstructionEvent,
     KernelArgumentInfo,
     KernelLaunchEvent,
     MemcpyEvent,
+    MemoryAccessBatch,
     MemoryAccessEvent,
     MemoryAllocEvent,
     MemoryFreeEvent,
@@ -40,7 +43,7 @@ from repro.core.events import (
 )
 from repro.dlframework.allocator import MemoryUsageRecord
 from repro.dlframework.callbacks import FrameworkCallbackRegistry, OperatorEvent
-from repro.gpusim.instruction import InstructionRecord
+from repro.gpusim.instruction import InstructionBatchRecord, InstructionRecord
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.memory import MemoryObject
 from repro.gpusim.runtime import MemcpyRecord, MemsetRecord, SyncRecord
@@ -62,6 +65,9 @@ class PastaEventHandler:
         self._grid_index: dict[int, int] = {}
         #: Enabled event categories; everything is enabled by default.
         self._enabled: set[EventCategory] = set(EventCategory)
+        #: Enabled set with batch categories masked out when their per-record
+        #: base is disabled; consulted once per emitted event.
+        self._effective_enabled: frozenset[EventCategory] = frozenset(self._enabled)
         self.events_emitted = 0
         self.events_dropped = 0
 
@@ -73,15 +79,28 @@ class PastaEventHandler:
         self._sink = sink
 
     def enable_category(self, category: EventCategory, enabled: bool = True) -> None:
-        """Enable or disable emission of one event category."""
+        """Enable or disable emission of one event category.
+
+        Disabling a per-record fine-grained category also silences its batch
+        form, so the data cannot sneak through in the other shape.
+        """
         if enabled:
             self._enabled.add(category)
         else:
             self._enabled.discard(category)
+        effective = set(self._enabled)
+        for batch, base in BATCH_CATEGORY_BASES.items():
+            if base not in self._enabled:
+                effective.discard(batch)
+        self._effective_enabled = frozenset(effective)
 
     def enabled_categories(self) -> frozenset[EventCategory]:
-        """Currently enabled categories."""
-        return frozenset(self._enabled)
+        """Categories that are effectively emitted.
+
+        A batch category only counts as enabled while its per-record base
+        category is enabled too, matching what :meth:`emit` actually drops.
+        """
+        return self._effective_enabled
 
     # ------------------------------------------------------------------ #
     # attachment
@@ -117,7 +136,7 @@ class PastaEventHandler:
     # ------------------------------------------------------------------ #
     def emit(self, event: PastaEvent) -> None:
         """Forward one normalised event to the sink (dropping disabled categories)."""
-        if event.category not in self._enabled:
+        if event.category not in self._effective_enabled:
             self.events_dropped += 1
             return
         if self._sink is None:
@@ -172,6 +191,8 @@ class PastaEventHandler:
                 scope=payload.scope, stream_id=payload.stream_id,
                 device_index=device, source=source, timestamp_ns=payload.time_ns,
             ))
+        elif isinstance(payload, InstructionBatchRecord):
+            self._emit_instruction_batch(payload, device, source)
         elif isinstance(payload, InstructionRecord):
             self._emit_instruction(payload, device, source)
         elif isinstance(payload, str):
@@ -211,6 +232,51 @@ class PastaEventHandler:
             source=source,
             timestamp_ns=launch.start_time_ns,
         )
+
+    def _emit_instruction_batch(
+        self, batch: InstructionBatchRecord, device: int, source: str
+    ) -> None:
+        """Normalise one columnar vendor batch into PASTA batch events.
+
+        The batch's three sections are emitted in stream order (pre-access
+        instructions, memory accesses, post-access instructions), so tools
+        that unroll see exactly the sequence the per-record protocol
+        delivers.
+        """
+        if batch.pre_kinds:
+            self.emit(InstructionBatch(
+                kernel_launch_id=batch.kernel_launch_id,
+                kinds=batch.pre_kinds,
+                thread_indices=batch.pre_thread_indices,
+                block_indices=batch.pre_block_indices,
+                device_index=device,
+                source=source,
+            ))
+        if batch.addresses:
+            sizes = batch.sizes
+            if 0 in sizes:
+                # Same normalisation the per-record path applies
+                # (``record.size or 4``), so both delivery modes agree.
+                sizes = tuple(size or 4 for size in sizes)
+            self.emit(MemoryAccessBatch(
+                kernel_launch_id=batch.kernel_launch_id,
+                addresses=batch.addresses,
+                sizes=sizes,
+                write_flags=batch.write_flags,
+                thread_indices=batch.access_thread_indices,
+                block_indices=batch.access_block_indices,
+                device_index=device,
+                source=source,
+            ))
+        if batch.post_kinds:
+            self.emit(InstructionBatch(
+                kernel_launch_id=batch.kernel_launch_id,
+                kinds=batch.post_kinds,
+                thread_indices=batch.post_thread_indices,
+                block_indices=batch.post_block_indices,
+                device_index=device,
+                source=source,
+            ))
 
     def _emit_instruction(self, record: InstructionRecord, device: int, source: str) -> None:
         if record.kind.is_memory_access and record.address is not None:
@@ -255,7 +321,8 @@ class PastaEventHandler:
         # Normalisation: some runtimes report reclamation as a negative delta,
         # others as a positive size with a separate event type.  PASTA exposes
         # a positive size plus an explicit alloc/free category.
-        common = dict(
+        event_cls = TensorAllocEvent if record.delta_bytes >= 0 else TensorFreeEvent
+        self.emit(event_cls(
             tensor_id=record.tensor_id,
             tensor_name=record.tensor_name,
             address=record.address,
@@ -265,8 +332,4 @@ class PastaEventHandler:
             event_index=record.event_index,
             device_index=record.device_index if record.device_index else device_index,
             source="framework",
-        )
-        if record.delta_bytes >= 0:
-            self.emit(TensorAllocEvent(**common))
-        else:
-            self.emit(TensorFreeEvent(**common))
+        ))

@@ -12,7 +12,10 @@ normalised events from the event handler and
   collect-and-analyze model of Figure 2b / Figure 8b, and
 * **dispatches** the resulting events to the registered tools through the
   dispatch unit, honouring each tool's category subscriptions and the active
-  range filter.
+  range filter.  Routing is indexed — per-category tool tuples are rebuilt
+  when the tool set changes — so delivering an event costs one lookup, and
+  fine-grained columnar batches (one event per kernel launch) flow straight
+  through to the tools' batch hooks.
 
 An optional :class:`~repro.core.overhead.OverheadAccountant` charges every
 analysed kernel with the cost the configured backend/analysis-model pair would
@@ -43,33 +46,56 @@ AddressResolver = Callable[[int], Optional[tuple[int, int]]]
 
 
 class DispatchUnit:
-    """Routes preprocessed events to the tools that subscribed to them."""
+    """Routes preprocessed events to the tools that subscribed to them.
+
+    Routing is indexed: a per-category tuple of subscribed tools is
+    precomputed whenever the tool set changes, so delivering an event is one
+    dict lookup plus direct calls — no per-event ``wants()`` scan over every
+    registered tool.  Tools whose ``wants()`` answer changes after
+    registration must call :meth:`rebuild_index`.
+    """
 
     def __init__(self) -> None:
         self._tools: list[PastaTool] = []
+        self._routes: dict[EventCategory, tuple[PastaTool, ...]] = {}
         self.dispatched_events = 0
 
     def register_tool(self, tool: PastaTool) -> None:
         """Add a tool to the dispatch table."""
         if tool not in self._tools:
             self._tools.append(tool)
+            self.rebuild_index()
 
     def unregister_tool(self, tool: PastaTool) -> None:
         """Remove a tool from the dispatch table."""
         if tool in self._tools:
             self._tools.remove(tool)
+            self.rebuild_index()
+
+    def rebuild_index(self) -> None:
+        """Recompute the per-category routing tuples from ``wants()``."""
+        self._routes = {
+            category: tuple(tool for tool in self._tools if tool.wants(category))
+            for category in EventCategory
+        }
 
     @property
     def tools(self) -> list[PastaTool]:
         """Registered tools, in registration order."""
         return list(self._tools)
 
+    def has_subscribers(self, category: EventCategory) -> bool:
+        """True if at least one registered tool subscribes to ``category``."""
+        return bool(self._routes.get(category))
+
     def dispatch(self, event: PastaEvent) -> None:
         """Deliver one event to every subscribed tool."""
-        for tool in self._tools:
-            if tool.wants(event.category):
-                tool.handle_event(event)
-                self.dispatched_events += 1
+        route = self._routes.get(event.category)
+        if not route:
+            return
+        for tool in route:
+            tool.handle_event(event)
+        self.dispatched_events += len(route)
 
 
 class PastaEventProcessor:
@@ -104,13 +130,18 @@ class PastaEventProcessor:
         """Unregister a tool."""
         self.dispatch_unit.unregister_tool(tool)
 
+    def rebuild_dispatch_index(self) -> None:
+        """Recompute event routing after a registered tool changed its
+        ``subscribed_categories`` / ``wants()`` answers in place."""
+        self.dispatch_unit.rebuild_index()
+
     @property
     def tools(self) -> list[PastaTool]:
         """Registered tools."""
         return self.dispatch_unit.tools
 
     def _any_tool_wants(self, category: EventCategory) -> bool:
-        return any(tool.wants(category) for tool in self.dispatch_unit.tools)
+        return self.dispatch_unit.has_subscribers(category)
 
     # ------------------------------------------------------------------ #
     # event intake

@@ -124,7 +124,7 @@ class PastaSession:
     def __init__(
         self,
         runtime: AcceleratorRuntime,
-        tools: Optional[Sequence[PastaTool]] = None,
+        tools: Optional[Sequence[Union[PastaTool, str]]] = None,
         vendor_backend: Union[str, ProfilingBackend, None] = None,
         analysis_model: Union[str, AnalysisModel] = AnalysisModel.GPU_RESIDENT,
         enable_fine_grained: bool = False,
@@ -182,13 +182,23 @@ class PastaSession:
     # ------------------------------------------------------------------ #
     # configuration
     # ------------------------------------------------------------------ #
-    def add_tool(self, tool: PastaTool) -> PastaTool:
+    def add_tool(self, tool: Union[PastaTool, str]) -> PastaTool:
         """Register an analysis tool with the session.
 
-        Tool names must be unique within a session: reports are keyed by
-        ``tool_name``, so a second tool with the same name would silently
-        shadow the first's report.
+        Accepts either a :class:`PastaTool` instance or a registry name
+        (``"kernel_frequency"``), mirroring how ``analysis_model`` accepts
+        both enum members and strings.  Tool names must be unique within a
+        session: reports are keyed by ``tool_name``, so a second tool with
+        the same name would silently shadow the first's report.
         """
+        if isinstance(tool, str):
+            # Imported lazily: the bundled tool collection builds on
+            # repro.core, so a module-level import would be cyclic.  The
+            # import also registers the bundled tools.
+            import repro.tools  # noqa: F401  (side effect: tool registration)
+            from repro.core.registry import create_tool
+
+            tool = create_tool(tool)
         if any(existing.tool_name == tool.tool_name for existing in self._tools):
             raise PastaError(
                 f"a tool named {tool.tool_name!r} is already registered with this "

@@ -6,18 +6,30 @@ handler methods they care about — the paper's "simply overriding functions in
 the PASTA tool collection template".  Tools receive already-normalised,
 already-preprocessed events from the event processor and never interact with
 vendor APIs directly.
+
+Fine-grained data arrives as columnar batches by default (one
+:class:`~repro.core.events.MemoryAccessBatch` / ``InstructionBatch`` per
+kernel launch).  Tools written before batching existed keep working
+unchanged: the default ``on_memory_access_batch`` / ``on_instruction_batch``
+implementations unroll each batch into the per-record ``on_memory_access`` /
+``on_instruction`` hooks in delivery order.  Batch-aware tools override the
+batch hooks and process the parallel arrays directly, skipping per-record
+event construction entirely.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.events import (
+    BATCH_CATEGORY_BASES,
     EventCategory,
+    InstructionBatch,
     InstructionEvent,
     KernelLaunchEvent,
     KernelMemoryProfile,
     MemcpyEvent,
+    MemoryAccessBatch,
     MemoryAccessEvent,
     MemoryAllocEvent,
     MemoryFreeEvent,
@@ -32,6 +44,8 @@ from repro.core.events import (
     TensorFreeEvent,
 )
 
+_BATCH_CATEGORIES = frozenset(BATCH_CATEGORY_BASES)
+
 
 class PastaTool:
     """Base class for user-defined analysis tools.
@@ -40,7 +54,8 @@ class PastaTool:
     their analysis needs; the default implementations are no-ops.  Tools can
     restrict which categories they receive via :attr:`subscribed_categories`
     (``None`` subscribes to everything), which lets the dispatch unit skip
-    irrelevant tools cheaply.
+    irrelevant tools cheaply.  Subscribing to a per-record fine-grained
+    category implicitly subscribes to its batch form.
     """
 
     #: Registry name of the tool (used for PASTA_TOOL selection).
@@ -52,20 +67,57 @@ class PastaTool:
 
     def __init__(self) -> None:
         self.events_received = 0
+        self.rebind_handlers()
+
+    def rebind_handlers(self) -> None:
+        """(Re)build the category -> bound-hook table used by dispatch.
+
+        Called once at construction, which captures the hook methods visible
+        on the instance at that moment (subclass overrides included).  Call
+        again after patching a hook — on the instance *or* the class — for
+        dispatch to see the new implementation.
+        """
+        self._handlers: dict[EventCategory, Callable[[PastaEvent], None]] = {
+            category: getattr(self, method_name)
+            for category, method_name in _DISPATCH.items()
+        }
 
     # ------------------------------------------------------------------ #
     # dispatch entry point (called by the event processor)
     # ------------------------------------------------------------------ #
     def wants(self, category: EventCategory) -> bool:
-        """True if the tool subscribes to ``category``."""
-        return self.subscribed_categories is None or category in self.subscribed_categories
+        """True if the tool subscribes to ``category``.
+
+        Batch categories are implied by their per-record base category, so a
+        pre-batching tool subscribed to ``MEMORY_ACCESS`` still receives
+        ``MEMORY_ACCESS_BATCH`` events (and unrolls them by default).
+        """
+        subscribed = self.subscribed_categories
+        if subscribed is None or category in subscribed:
+            return True
+        base = BATCH_CATEGORY_BASES.get(category)
+        return base is not None and base in subscribed
 
     def handle_event(self, event: PastaEvent) -> None:
-        """Route one event to the matching ``on_*`` hook."""
-        self.events_received += 1
-        method_name = _DISPATCH.get(event.category)
-        if method_name is not None:
-            getattr(self, method_name)(event)
+        """Route one event to the matching ``on_*`` hook.
+
+        ``events_received`` counts logical (per-record) events: a batch of
+        ``n`` records counts ``n``, so the tally is identical whether the
+        pipeline delivered records individually or batched.
+        """
+        category = event.category
+        if category in _BATCH_CATEGORIES:
+            self.events_received += len(event)  # type: ignore[arg-type]
+        else:
+            self.events_received += 1
+        try:
+            handler = self._handlers.get(category)
+        except AttributeError:
+            # Subclass skipped super().__init__(); bind lazily.
+            self.rebind_handlers()
+            handler = self._handlers.get(category)
+        if handler is not None:
+            handler(event)
 
     # ------------------------------------------------------------------ #
     # lifecycle hooks
@@ -110,6 +162,26 @@ class PastaTool:
     def on_instruction(self, event: InstructionEvent) -> None:
         """A sampled fine-grained non-memory instruction."""
 
+    def on_memory_access_batch(self, event: MemoryAccessBatch) -> None:
+        """One launch's sampled memory accesses as parallel arrays.
+
+        The default implementation unrolls the batch into per-record
+        :meth:`on_memory_access` calls so pre-batching tools keep working;
+        batch-aware tools override this and consume the arrays directly.
+        """
+        on_memory_access = self.on_memory_access
+        for access in event.unroll():
+            on_memory_access(access)
+
+    def on_instruction_batch(self, event: InstructionBatch) -> None:
+        """One launch's sampled non-memory instructions as parallel arrays.
+
+        Default: unroll into per-record :meth:`on_instruction` calls.
+        """
+        on_instruction = self.on_instruction
+        for instruction in event.unroll():
+            on_instruction(instruction)
+
     def on_kernel_memory_profile(self, event: KernelMemoryProfile) -> None:
         """A GPU-preprocessed per-kernel memory profile."""
 
@@ -129,8 +201,8 @@ class PastaTool:
         """A user annotation boundary."""
 
 
-#: Category -> hook method name; resolved through ``getattr`` at dispatch time
-#: so subclass overrides are honoured.
+#: Category -> hook method name; bound per instance in rebind_handlers() so
+#: dispatch is one dict lookup plus a direct call (no getattr per event).
 _DISPATCH = {
     EventCategory.RUNTIME_API: "on_runtime_api",
     EventCategory.KERNEL_LAUNCH: "on_kernel_launch",
@@ -141,6 +213,8 @@ _DISPATCH = {
     EventCategory.SYNCHRONIZATION: "on_synchronization",
     EventCategory.MEMORY_ACCESS: "on_memory_access",
     EventCategory.INSTRUCTION: "on_instruction",
+    EventCategory.MEMORY_ACCESS_BATCH: "on_memory_access_batch",
+    EventCategory.INSTRUCTION_BATCH: "on_instruction_batch",
     EventCategory.KERNEL_MEMORY_PROFILE: "on_kernel_memory_profile",
     EventCategory.OPERATOR_START: "on_operator_start",
     EventCategory.OPERATOR_END: "on_operator_end",

@@ -16,13 +16,25 @@ The allocator reproduces the behaviours analyses depend on: size rounding,
 small/large pools with different segment sizes, block splitting and coalescing,
 caching of freed blocks, and signed memory-usage callbacks with a logical event
 index.
+
+Internally the hot operations are designed to stay off the profiler's radar
+(the allocator runs inside every simulated workload):
+
+* blocks within a segment form a doubly-linked list, so splitting and
+  coalescing are O(1) pointer updates — no ``list.index`` scans;
+* free blocks are kept in a per-pool size-ordered index, so best-fit lookup
+  is a binary search instead of a linear walk over every block of every
+  segment; and
+* :class:`Block` compares by identity (``eq=False``), so membership tests
+  never trigger field-by-field dataclass comparisons.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Iterator, NamedTuple, Optional
 
 from repro.errors import AllocatorError
 from repro.dlframework.tensor import DType, Tensor
@@ -31,6 +43,7 @@ from repro.gpusim.memory import MemoryObject
 from repro.gpusim.runtime import AcceleratorRuntime
 
 _block_ids = itertools.count(1)
+_segment_seqs = itertools.count(1)
 
 #: Allocation request rounding, matching PyTorch's 512-byte granularity.
 ROUND_BYTES = 512
@@ -71,9 +84,13 @@ CUDA_ALLOCATOR_PROFILE = AllocatorProfile(name="cuda")
 HIP_ALLOCATOR_PROFILE = AllocatorProfile(name="hip", large_segment_bytes=10 * MiB)
 
 
-@dataclass
+@dataclass(eq=False)
 class Block:
-    """One block inside a pool segment."""
+    """One block inside a pool segment.
+
+    Blocks compare by identity and link to their in-segment neighbours, so
+    split/coalesce are pointer surgery rather than list manipulation.
+    """
 
     segment: "Segment"
     offset: int
@@ -81,6 +98,8 @@ class Block:
     free: bool = True
     block_id: int = field(default_factory=lambda: next(_block_ids))
     requested_size: int = 0
+    prev: Optional["Block"] = field(default=None, repr=False)
+    next: Optional["Block"] = field(default=None, repr=False)
 
     @property
     def address(self) -> int:
@@ -88,30 +107,99 @@ class Block:
         return self.segment.memory_object.address + self.offset
 
 
-@dataclass
+@dataclass(eq=False)
 class Segment:
     """A driver-level memory object managed by the caching allocator."""
 
     memory_object: MemoryObject
     pool: str  # "small" or "large"
-    blocks: list[Block] = field(default_factory=list)
+    #: Creation order of the segment; ties in the free-block index break on
+    #: it, mirroring the segment scan order of a linear best-fit search.
+    seq: int = field(default_factory=lambda: next(_segment_seqs))
+    #: First block (offset 0) of the intrusive block list.
+    head: Optional[Block] = field(default=None, repr=False)
 
     @property
     def size(self) -> int:
         """Segment capacity in bytes."""
         return self.memory_object.size
 
+    def iter_blocks(self) -> Iterator[Block]:
+        """Blocks in offset order."""
+        block = self.head
+        while block is not None:
+            yield block
+            block = block.next
+
+    @property
+    def blocks(self) -> list[Block]:
+        """Blocks in offset order (materialised view of the linked list)."""
+        return list(self.iter_blocks())
+
     def free_bytes(self) -> int:
         """Bytes currently available inside this segment."""
-        return sum(b.size for b in self.blocks if b.free)
+        return sum(b.size for b in self.iter_blocks() if b.free)
 
 
-@dataclass(frozen=True)
-class MemoryUsageRecord:
+class FreeBlockIndex:
+    """Size-ordered index over one pool's free blocks.
+
+    Keys are ``(size, segment seq, offset)``, so a binary search for the
+    smallest key at or above a request size lands on exactly the block a
+    linear best-fit scan (segments in creation order, blocks in offset
+    order, strict-improvement updates) would have chosen — same block, found
+    in O(log n).
+
+    The index requires the discipline that a block's ``size`` never changes
+    while it is indexed: remove, mutate, re-add.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[int, int, int, Block]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Block]:
+        return (entry[3] for entry in self._entries)
+
+    @staticmethod
+    def _key(block: Block) -> tuple[int, int, int]:
+        return (block.size, block.segment.seq, block.offset)
+
+    def add(self, block: Block) -> None:
+        """Index one free block."""
+        size, seq, offset = self._key(block)
+        insort(self._entries, (size, seq, offset, block))
+
+    def remove(self, block: Block) -> None:
+        """Drop one indexed block (must still have its indexed size)."""
+        size, seq, offset = self._key(block)
+        idx = bisect_left(self._entries, (size, seq, offset))
+        if idx < len(self._entries) and self._entries[idx][3] is block:
+            del self._entries[idx]
+            return
+        raise AllocatorError(
+            f"free-block index out of sync: block {block.block_id} "
+            f"(size={block.size}, offset={block.offset}) is not indexed"
+        )
+
+    def best_fit(self, nbytes: int) -> Optional[Block]:
+        """Smallest free block of at least ``nbytes`` (ties: oldest segment,
+        lowest offset), or None."""
+        idx = bisect_left(self._entries, (nbytes, -1, -1))
+        if idx >= len(self._entries):
+            return None
+        return self._entries[idx][3]
+
+
+class MemoryUsageRecord(NamedTuple):
     """One framework memory-usage callback (``c10::reportMemoryUsage`` analogue).
 
     ``delta_bytes`` is positive for allocations and negative for reclamations —
     the sign convention PASTA's event processor normalises (Section III-G).
+    A named tuple: one record is constructed per tensor alloc/free, which
+    puts construction cost on the simulation's hot path.
     """
 
     event_index: int
@@ -172,6 +260,10 @@ class CachingAllocator:
         self._callbacks: list[MemoryUsageCallback] = []
         self._event_index = 0
         self._blocks_by_id: dict[int, Block] = {}
+        self._free_blocks: dict[str, FreeBlockIndex] = {
+            "small": FreeBlockIndex(),
+            "large": FreeBlockIndex(),
+        }
         #: Timeline of (event_index, allocated_bytes) pairs for usage plots.
         self.usage_timeline: list[tuple[int, int]] = []
 
@@ -219,7 +311,8 @@ class CachingAllocator:
         else:
             obj = self.runtime.malloc(segment_bytes, tag=tag)
         segment = Segment(memory_object=obj, pool=pool)
-        segment.blocks.append(Block(segment=segment, offset=0, size=obj.size, free=True))
+        segment.head = Block(segment=segment, offset=0, size=obj.size, free=True)
+        self._free_blocks[pool].add(segment.head)
         self.segments.append(segment)
         self.stats.reserved_bytes += obj.size
         self.stats.peak_reserved_bytes = max(self.stats.peak_reserved_bytes, self.stats.reserved_bytes)
@@ -229,18 +322,12 @@ class CachingAllocator:
     def _pool_for(self, nbytes: int) -> str:
         return "small" if nbytes < SMALL_ALLOCATION_LIMIT else "large"
 
-    def _find_free_block(self, pool: str, nbytes: int) -> Optional[Block]:
-        best: Optional[Block] = None
-        for segment in self.segments:
-            if segment.pool != pool:
-                continue
-            for block in segment.blocks:
-                if block.free and block.size >= nbytes:
-                    if best is None or block.size < best.size:
-                        best = block
-        return best
-
     def _split_block(self, block: Block, nbytes: int) -> Block:
+        """Carve ``nbytes`` off the front of an (unindexed) free block.
+
+        The remainder, if any, becomes a new free block linked after
+        ``block`` and goes into the free index.
+        """
         remainder = block.size - nbytes
         if remainder >= self.profile.round_bytes:
             tail = Block(
@@ -248,24 +335,39 @@ class CachingAllocator:
                 offset=block.offset + nbytes,
                 size=remainder,
                 free=True,
+                prev=block,
+                next=block.next,
             )
-            idx = block.segment.blocks.index(block)
-            block.segment.blocks.insert(idx + 1, tail)
+            if block.next is not None:
+                block.next.prev = tail
+            block.next = tail
             block.size = nbytes
+            self._free_blocks[block.segment.pool].add(tail)
         return block
 
-    def _coalesce(self, block: Block) -> None:
-        blocks = block.segment.blocks
-        idx = blocks.index(block)
-        # Merge with the next block if free.
-        if idx + 1 < len(blocks) and blocks[idx + 1].free:
-            nxt = blocks.pop(idx + 1)
+    def _coalesce(self, block: Block) -> Block:
+        """Merge a newly freed (unindexed) block with free neighbours.
+
+        Absorbed neighbours leave both the free index and the segment's
+        block list; the caller indexes the surviving block.
+        """
+        free_index = self._free_blocks[block.segment.pool]
+        nxt = block.next
+        if nxt is not None and nxt.free:
+            free_index.remove(nxt)
             block.size += nxt.size
-        # Merge with the previous block if free.
-        if idx > 0 and blocks[idx - 1].free:
-            prev = blocks[idx - 1]
+            block.next = nxt.next
+            if nxt.next is not None:
+                nxt.next.prev = block
+        prev = block.prev
+        if prev is not None and prev.free:
+            free_index.remove(prev)
             prev.size += block.size
-            blocks.pop(idx)
+            prev.next = block.next
+            if block.next is not None:
+                block.next.prev = prev
+            block = prev
+        return block
 
     # ------------------------------------------------------------------ #
     # allocation API
@@ -293,17 +395,20 @@ class CachingAllocator:
         """Assign storage to an existing (unmaterialised) tensor."""
         nbytes = round_size(max(1, tensor.nbytes), self.profile.round_bytes)
         pool = self._pool_for(nbytes)
-        block = self._find_free_block(pool, nbytes)
+        free_index = self._free_blocks[pool]
+        block = free_index.best_fit(nbytes)
         if block is None:
             self.stats.cache_misses += 1
             segment = self._new_segment(pool, nbytes)
-            block = segment.blocks[0]
-            if block.size < nbytes:
+            block = segment.head
+            if block is None or block.size < nbytes:
                 raise AllocatorError(
-                    f"new segment of {block.size} bytes cannot satisfy request of {nbytes} bytes"
+                    f"new segment of {0 if block is None else block.size} bytes "
+                    f"cannot satisfy request of {nbytes} bytes"
                 )
         else:
             self.stats.cache_hits += 1
+        free_index.remove(block)
         block = self._split_block(block, nbytes)
         block.free = False
         block.requested_size = tensor.nbytes
@@ -334,7 +439,8 @@ class CachingAllocator:
         self.stats.allocated_bytes -= freed_bytes
         self.stats.free_count += 1
         del self._blocks_by_id[block.block_id]
-        self._coalesce(block)
+        merged = self._coalesce(block)
+        self._free_blocks[merged.segment.pool].add(merged)
         tensor.freed = True
         self._report(-freed_bytes, tensor)
         tensor.block_id = None
@@ -350,7 +456,9 @@ class CachingAllocator:
         released = 0
         remaining: list[Segment] = []
         for segment in self.segments:
-            if all(block.free for block in segment.blocks):
+            if all(block.free for block in segment.iter_blocks()):
+                for block in segment.iter_blocks():
+                    self._free_blocks[segment.pool].remove(block)
                 self.runtime.free(segment.memory_object)
                 released += segment.size
                 self.stats.reserved_bytes -= segment.size
@@ -383,3 +491,73 @@ class CachingAllocator:
     def reserved_bytes(self) -> int:
         """Bytes of driver memory reserved by the pool."""
         return self.stats.reserved_bytes
+
+    # ------------------------------------------------------------------ #
+    # invariant checking (used by the allocator stress tests)
+    # ------------------------------------------------------------------ #
+    def check_consistency(self) -> None:
+        """Verify the block lists, free index and byte accounting agree.
+
+        Raises :class:`~repro.errors.AllocatorError` on the first violated
+        invariant; cheap enough for tests, not called on the hot path.
+        """
+        indexed = {"small": set(), "large": set()}
+        for pool, free_index in self._free_blocks.items():
+            for block in free_index:
+                if not block.free:
+                    raise AllocatorError(
+                        f"allocated block {block.block_id} is in the {pool} free index"
+                    )
+                if block.segment.pool != pool:
+                    raise AllocatorError(
+                        f"block {block.block_id} indexed under the wrong pool"
+                    )
+                indexed[pool].add(id(block))
+        allocated = 0
+        reserved = 0
+        for segment in self.segments:
+            reserved += segment.size
+            offset = 0
+            previous: Optional[Block] = None
+            for block in segment.iter_blocks():
+                if block.offset != offset:
+                    raise AllocatorError(
+                        f"segment {segment.seq}: block {block.block_id} at offset "
+                        f"{block.offset}, expected {offset}"
+                    )
+                if block.prev is not previous:
+                    raise AllocatorError(
+                        f"segment {segment.seq}: broken prev link at block {block.block_id}"
+                    )
+                if block.free:
+                    if previous is not None and previous.free:
+                        raise AllocatorError(
+                            f"segment {segment.seq}: adjacent free blocks "
+                            f"{previous.block_id} and {block.block_id} not coalesced"
+                        )
+                    if id(block) not in indexed[segment.pool]:
+                        raise AllocatorError(
+                            f"free block {block.block_id} missing from the free index"
+                        )
+                    indexed[segment.pool].discard(id(block))
+                else:
+                    allocated += block.size
+                offset += block.size
+                previous = block
+            if offset != segment.size:
+                raise AllocatorError(
+                    f"segment {segment.seq}: blocks cover {offset} of {segment.size} bytes"
+                )
+        stale = {pool: blocks for pool, blocks in indexed.items() if blocks}
+        if stale:
+            raise AllocatorError(f"free index holds stale blocks: {stale}")
+        if allocated != self.stats.allocated_bytes:
+            raise AllocatorError(
+                f"allocated-bytes accounting drifted: blocks say {allocated}, "
+                f"stats say {self.stats.allocated_bytes}"
+            )
+        if reserved != self.stats.reserved_bytes:
+            raise AllocatorError(
+                f"reserved-bytes accounting drifted: segments say {reserved}, "
+                f"stats say {self.stats.reserved_bytes}"
+            )

@@ -109,6 +109,8 @@ class FrameworkContext:
         #: Stack of module scope names (outermost first), e.g.
         #: ``["BertModel", "encoder", "layer.0", "attention"]``.
         self._module_scopes: list[str] = []
+        #: (scope stack, script frames) -> rendered python stack.
+        self._python_stack_cache: dict[tuple, tuple[str, ...]] = {}
         #: Stack of operator names currently executing.
         self._op_stack: list[str] = []
         self._kernel_counts: list[int] = []
@@ -193,7 +195,13 @@ class FrameworkContext:
         On real hardware PASTA captures this with the CPython ``PyFrame`` API;
         here it is reconstructed from the module scope stack so the
         cross-layer call-stack feature (Figure 4) has realistic content.
+        The same scope stack recurs for every launch of a layer across
+        iterations, so rendered stacks are memoised.
         """
+        key = (tuple(self._module_scopes), tuple(self.script_frames))
+        cached = self._python_stack_cache.get(key)
+        if cached is not None:
+            return cached
         frames = [
             "torch/nn/modules/module.py:1518 def _wrapped_call_impl()",
             "torch/nn/modules/module.py:1527 def _call_impl()",
@@ -201,7 +209,9 @@ class FrameworkContext:
         for depth, scope in enumerate(reversed(self._module_scopes)):
             frames.append(f"model/{scope.replace('.', '/')}.py:{16 + depth} def forward()")
         frames.extend(reversed(self.script_frames))
-        return tuple(frames)
+        stack = tuple(frames)
+        self._python_stack_cache[key] = stack
+        return stack
 
     @contextmanager
     def op(self, name: str) -> Iterator[None]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from enum import Enum
 from typing import Optional, Sequence
 
@@ -95,19 +96,24 @@ class Tensor:
     freed: bool = False
 
     def __post_init__(self) -> None:
-        if any(d < 0 for d in self.shape):
-            raise ShapeError(f"tensor shape must be non-negative, got {self.shape}")
-        self.shape = tuple(int(d) for d in self.shape)
+        shape = self.shape
+        if any(d < 0 for d in shape):
+            raise ShapeError(f"tensor shape must be non-negative, got {shape}")
+        # Fast path: shapes are almost always tuples of plain ints already.
+        if type(shape) is not tuple or any(type(d) is not int for d in shape):
+            self.shape = tuple(int(d) for d in shape)
 
     # ------------------------------------------------------------------ #
     # size helpers
     # ------------------------------------------------------------------ #
-    @property
+    # Cached: shape and dtype are fixed after __post_init__, and both sizes
+    # are re-read on every allocator report and kernel-argument lowering.
+    @cached_property
     def numel(self) -> int:
         """Number of elements."""
         return math.prod(self.shape) if self.shape else 1
 
-    @property
+    @cached_property
     def nbytes(self) -> int:
         """Storage size in bytes."""
         return self.numel * self.dtype.itemsize

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Iterator, Optional
 
 
 class InstructionKind(str, Enum):
@@ -115,3 +115,69 @@ class InstructionRecord:
             block_index=self.block_index,
             kernel_launch_id=self.kernel_launch_id,
         )
+
+
+@dataclass(frozen=True)
+class InstructionBatchRecord:
+    """One kernel launch's sampled device records as parallel arrays.
+
+    The columnar alternative to a list of :class:`InstructionRecord`: a
+    single object per kernel launch, holding three sections in stream order —
+    the instructions issued *before* the memory accesses (block-entry
+    markers), the memory accesses themselves, and the instructions issued
+    *after* them (block-exit markers).  Iterating the three sections in order
+    yields exactly the record sequence the per-record path would produce, so
+    both delivery modes are interchangeable.
+    """
+
+    kernel_launch_id: int
+    device_index: int = 0
+    #: Instructions preceding the access stream (e.g. BLOCK_ENTRY markers).
+    pre_kinds: tuple[InstructionKind, ...] = ()
+    pre_thread_indices: tuple[int, ...] = ()
+    pre_block_indices: tuple[int, ...] = ()
+    #: Sampled memory accesses (parallel arrays).
+    addresses: tuple[int, ...] = ()
+    sizes: tuple[int, ...] = ()
+    write_flags: tuple[bool, ...] = ()
+    access_thread_indices: tuple[int, ...] = ()
+    access_block_indices: tuple[int, ...] = ()
+    #: Instructions following the access stream (e.g. BLOCK_EXIT markers).
+    post_kinds: tuple[InstructionKind, ...] = ()
+    post_thread_indices: tuple[int, ...] = ()
+    post_block_indices: tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.pre_kinds) + len(self.addresses) + len(self.post_kinds)
+
+    @property
+    def access_count(self) -> int:
+        """Number of sampled memory accesses in the batch."""
+        return len(self.addresses)
+
+    def iter_records(self) -> "Iterator[InstructionRecord]":
+        """Unrolled per-record view, in the per-record pipeline's order."""
+        for kind, thread, block in zip(
+            self.pre_kinds, self.pre_thread_indices, self.pre_block_indices
+        ):
+            yield InstructionRecord(
+                kind=kind, thread_index=thread, block_index=block,
+                kernel_launch_id=self.kernel_launch_id,
+            )
+        for address, size, is_write, thread, block in zip(
+            self.addresses, self.sizes, self.write_flags,
+            self.access_thread_indices, self.access_block_indices,
+        ):
+            yield InstructionRecord(
+                kind=InstructionKind.GLOBAL_STORE if is_write else InstructionKind.GLOBAL_LOAD,
+                thread_index=thread, block_index=block,
+                address=address, size=size,
+                kernel_launch_id=self.kernel_launch_id,
+            )
+        for kind, thread, block in zip(
+            self.post_kinds, self.post_thread_indices, self.post_block_indices
+        ):
+            yield InstructionRecord(
+                kind=kind, thread_index=thread, block_index=block,
+                kernel_launch_id=self.kernel_launch_id,
+            )

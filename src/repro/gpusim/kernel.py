@@ -22,12 +22,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from functools import cached_property
+from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import KernelError
-from repro.gpusim.instruction import InstructionKind, InstructionRecord, MemoryAccessRecord
+from repro.gpusim.instruction import (
+    InstructionBatchRecord,
+    InstructionKind,
+    InstructionRecord,
+    MemoryAccessRecord,
+)
 
 _launch_ids = itertools.count(1)
 
@@ -108,6 +114,10 @@ class KernelArgument:
         captures reuse (GEMM-like kernels re-read operands many times).
     label:
         Optional human-readable label (e.g. the tensor name).
+
+    Two derived metrics are precomputed at construction and exposed as plain
+    attributes: ``referenced_bytes`` (bytes actually referenced) and
+    ``access_count`` (access instructions issued against the argument).
     """
 
     address: int
@@ -125,18 +135,18 @@ class KernelArgument:
             raise KernelError("accessed_fraction must be within [0, 1]")
         if self.accesses_per_byte < 0:
             raise KernelError("accesses_per_byte must be non-negative")
-
-    @property
-    def referenced_bytes(self) -> int:
-        """Bytes of this argument actually referenced by the kernel."""
-        return int(round(self.size * self.accessed_fraction))
-
-    @property
-    def access_count(self) -> int:
-        """Number of access instructions issued against this argument."""
-        if self.referenced_bytes == 0:
-            return 0
-        return max(1, int(round(self.referenced_bytes * self.accesses_per_byte)))
+        # referenced_bytes / access_count are pure functions of the frozen
+        # fields, re-read several times per launch by the handler, the
+        # GPU-resident preprocessing and the tools; they are computed once
+        # here as plain attributes (cheaper than property dispatch, and not
+        # dataclass fields so eq/repr/init are unaffected).
+        referenced = int(round(self.size * self.accessed_fraction))
+        object.__setattr__(self, "referenced_bytes", referenced)
+        object.__setattr__(
+            self,
+            "access_count",
+            0 if referenced == 0 else max(1, int(round(referenced * self.accesses_per_byte))),
+        )
 
 
 @dataclass
@@ -167,17 +177,20 @@ class KernelLaunch:
         """Device time at which the launch completes."""
         return self.start_time_ns + self.duration_ns
 
-    @property
+    # Derived sums are cached: a launch's argument list never changes after
+    # construction, and these are re-read by the backend, the handler and
+    # every subscribed tool.
+    @cached_property
     def memory_footprint_bytes(self) -> int:
         """Bytes of memory passed to the kernel (whether or not referenced)."""
         return sum(arg.size for arg in self.arguments)
 
-    @property
+    @cached_property
     def working_set_bytes(self) -> int:
         """Bytes of memory the kernel actually references."""
         return sum(arg.referenced_bytes for arg in self.arguments)
 
-    @property
+    @cached_property
     def total_memory_accesses(self) -> int:
         """Total number of global-memory access instructions issued."""
         return sum(arg.access_count for arg in self.arguments)
@@ -189,6 +202,62 @@ class KernelLaunch:
     # ------------------------------------------------------------------ #
     # trace generation
     # ------------------------------------------------------------------ #
+    def generate_access_columns(
+        self,
+        max_records: Optional[int] = 4096,
+        seed: Optional[int] = None,
+    ) -> "AccessColumns":
+        """Sample the launch's memory accesses as parallel numpy arrays.
+
+        This is the producer-side half of the batched fine-grained pipeline:
+        the sample is drawn entirely with vectorised numpy operations and
+        never materialises a per-record Python object.  The draw order (and
+        therefore every sampled value) is identical to what
+        :meth:`generate_accesses` produces, so the batched and per-record
+        paths stay byte-equivalent.
+
+        Passing ``max_records=None`` removes the cap (used only in tests on
+        tiny kernels).
+        """
+        total = self.total_memory_accesses
+        if total == 0:
+            return _EMPTY_COLUMNS
+        budget = total if max_records is None else min(total, max_records)
+        rng = np.random.default_rng(self.launch_id if seed is None else seed)
+
+        accessed = self.accessed_arguments()
+        weights = np.array([arg.access_count for arg in accessed], dtype=np.float64)
+        weights /= weights.sum()
+        per_arg = _apportion(budget, weights)
+
+        threads = max(1, self.grid_config.total_threads)
+        blocks = max(1, self.grid_config.total_blocks)
+        address_parts: list[np.ndarray] = []
+        thread_parts: list[np.ndarray] = []
+        block_parts: list[np.ndarray] = []
+        write_parts: list[np.ndarray] = []
+        for arg, count in zip(accessed, per_arg):
+            if count == 0:
+                continue
+            span = max(_ACCESS_STRIDE, arg.referenced_bytes)
+            offsets = rng.integers(0, span, size=count, dtype=np.int64)
+            offsets = (offsets // _ACCESS_STRIDE) * _ACCESS_STRIDE
+            thread_ids = rng.integers(0, threads, size=count, dtype=np.int64)
+            block_ids = rng.integers(0, blocks, size=count, dtype=np.int64)
+            write_flags = rng.random(count) < _write_probability(arg)
+            address_parts.append(arg.address + offsets % max(1, arg.size))
+            thread_parts.append(thread_ids)
+            block_parts.append(block_ids)
+            write_parts.append(write_flags)
+        if not address_parts:
+            return _EMPTY_COLUMNS
+        return AccessColumns(
+            addresses=np.concatenate(address_parts),
+            thread_indices=np.concatenate(thread_parts),
+            block_indices=np.concatenate(block_parts),
+            write_flags=np.concatenate(write_parts),
+        )
+
     def generate_accesses(
         self,
         max_records: Optional[int] = 4096,
@@ -204,45 +273,88 @@ class KernelLaunch:
         declared behaviour, while :attr:`total_memory_accesses` preserves the
         true volume for overhead accounting.
 
-        Passing ``max_records=None`` removes the cap (used only in tests on
-        tiny kernels).
+        Per-record view of :meth:`generate_access_columns` — same sample,
+        one :class:`MemoryAccessRecord` per access.
         """
-        total = self.total_memory_accesses
-        if total == 0:
-            return []
-        budget = total if max_records is None else min(total, max_records)
-        rng = np.random.default_rng(self.launch_id if seed is None else seed)
+        columns = self.generate_access_columns(max_records=max_records, seed=seed)
+        launch_id = self.launch_id
+        return [
+            MemoryAccessRecord(
+                address=address,
+                size=_DEFAULT_ACCESS_SIZE,
+                is_write=is_write,
+                thread_index=thread,
+                block_index=block,
+                kernel_launch_id=launch_id,
+            )
+            for address, thread, block, is_write in zip(
+                columns.addresses.tolist(),
+                columns.thread_indices.tolist(),
+                columns.block_indices.tolist(),
+                columns.write_flags.tolist(),
+            )
+        ]
 
-        records: list[MemoryAccessRecord] = []
-        accessed = self.accessed_arguments()
-        weights = np.array([arg.access_count for arg in accessed], dtype=np.float64)
-        weights /= weights.sum()
-        per_arg = _apportion(budget, weights)
+    def generate_instruction_batch(
+        self,
+        max_records: Optional[int] = 4096,
+        include_block_markers: bool = True,
+        allowed_kinds: Optional[frozenset[InstructionKind]] = None,
+    ) -> InstructionBatchRecord:
+        """Generate the launch's device records as one columnar batch.
 
-        threads = max(1, self.grid_config.total_threads)
-        blocks = max(1, self.grid_config.total_blocks)
-        for arg, count in zip(accessed, per_arg):
-            if count == 0:
-                continue
-            span = max(_ACCESS_STRIDE, arg.referenced_bytes)
-            offsets = rng.integers(0, span, size=count, dtype=np.int64)
-            offsets = (offsets // _ACCESS_STRIDE) * _ACCESS_STRIDE
-            thread_ids = rng.integers(0, threads, size=count, dtype=np.int64)
-            block_ids = rng.integers(0, blocks, size=count, dtype=np.int64)
-            write_flags = rng.random(count) < _write_probability(arg)
-            for off, tid, bid, is_write in zip(offsets, thread_ids, block_ids, write_flags):
-                address = arg.address + int(off) % max(1, arg.size)
-                records.append(
-                    MemoryAccessRecord(
-                        address=address,
-                        size=_DEFAULT_ACCESS_SIZE,
-                        is_write=bool(is_write),
-                        thread_index=int(tid),
-                        block_index=int(bid),
-                        kernel_launch_id=self.launch_id,
+        Produces the same record stream as :meth:`generate_instructions`
+        (block-entry markers, sampled memory accesses, block-exit markers, in
+        that order), restricted to ``allowed_kinds`` when given — the
+        backend-side instrumentability filter — but as a single
+        :class:`InstructionBatchRecord` instead of one object per record.
+        """
+        blocks = self.grid_config.total_blocks
+        marker_blocks = min(blocks, 64) if include_block_markers else 0
+        want_entry = allowed_kinds is None or InstructionKind.BLOCK_ENTRY in allowed_kinds
+        want_exit = allowed_kinds is None or InstructionKind.BLOCK_EXIT in allowed_kinds
+        want_loads = allowed_kinds is None or InstructionKind.GLOBAL_LOAD in allowed_kinds
+        want_stores = allowed_kinds is None or InstructionKind.GLOBAL_STORE in allowed_kinds
+
+        addresses: tuple[int, ...] = ()
+        write_flags: tuple[bool, ...] = ()
+        thread_indices: tuple[int, ...] = ()
+        block_indices: tuple[int, ...] = ()
+        if want_loads or want_stores:
+            columns = self.generate_access_columns(max_records=max_records)
+            if len(columns.addresses):
+                if want_loads and want_stores:
+                    kept = columns
+                else:
+                    mask = columns.write_flags if want_stores else ~columns.write_flags
+                    kept = AccessColumns(
+                        addresses=columns.addresses[mask],
+                        thread_indices=columns.thread_indices[mask],
+                        block_indices=columns.block_indices[mask],
+                        write_flags=columns.write_flags[mask],
                     )
-                )
-        return records
+                addresses = tuple(kept.addresses.tolist())
+                write_flags = tuple(kept.write_flags.tolist())
+                thread_indices = tuple(kept.thread_indices.tolist())
+                block_indices = tuple(kept.block_indices.tolist())
+
+        marker_range = tuple(range(marker_blocks))
+        marker_threads = (0,) * marker_blocks
+        return InstructionBatchRecord(
+            kernel_launch_id=self.launch_id,
+            device_index=self.device_index,
+            pre_kinds=(InstructionKind.BLOCK_ENTRY,) * marker_blocks if want_entry else (),
+            pre_thread_indices=marker_threads if want_entry else (),
+            pre_block_indices=marker_range if want_entry else (),
+            addresses=addresses,
+            sizes=(_DEFAULT_ACCESS_SIZE,) * len(addresses),
+            write_flags=write_flags,
+            access_thread_indices=thread_indices,
+            access_block_indices=block_indices,
+            post_kinds=(InstructionKind.BLOCK_EXIT,) * marker_blocks if want_exit else (),
+            post_thread_indices=marker_threads if want_exit else (),
+            post_block_indices=marker_range if want_exit else (),
+        )
 
     def generate_instructions(
         self,
@@ -250,38 +362,12 @@ class KernelLaunch:
         include_block_markers: bool = True,
     ) -> list[InstructionRecord]:
         """Generate instruction records: block markers, barriers and memory ops."""
-        records: list[InstructionRecord] = []
-        blocks = self.grid_config.total_blocks
-        marker_blocks = min(blocks, 64) if include_block_markers else 0
-        for block in range(marker_blocks):
-            records.append(
-                InstructionRecord(
-                    kind=InstructionKind.BLOCK_ENTRY,
-                    block_index=block,
-                    kernel_launch_id=self.launch_id,
-                )
-            )
-        for access in self.generate_accesses(max_records=max_records):
-            kind = InstructionKind.GLOBAL_STORE if access.is_write else InstructionKind.GLOBAL_LOAD
-            records.append(
-                InstructionRecord(
-                    kind=kind,
-                    thread_index=access.thread_index,
-                    block_index=access.block_index,
-                    address=access.address,
-                    size=access.size,
-                    kernel_launch_id=self.launch_id,
-                )
-            )
-        for block in range(marker_blocks):
-            records.append(
-                InstructionRecord(
-                    kind=InstructionKind.BLOCK_EXIT,
-                    block_index=block,
-                    kernel_launch_id=self.launch_id,
-                )
-            )
-        return records
+        return list(
+            self.generate_instruction_batch(
+                max_records=max_records,
+                include_block_markers=include_block_markers,
+            ).iter_records()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -289,6 +375,23 @@ class KernelLaunch:
             f"grid={self.grid_config.grid}, block={self.grid_config.block}, "
             f"args={len(self.arguments)})"
         )
+
+
+class AccessColumns(NamedTuple):
+    """Parallel numpy arrays describing one launch's sampled accesses."""
+
+    addresses: np.ndarray
+    thread_indices: np.ndarray
+    block_indices: np.ndarray
+    write_flags: np.ndarray
+
+
+_EMPTY_COLUMNS = AccessColumns(
+    addresses=np.empty(0, dtype=np.int64),
+    thread_indices=np.empty(0, dtype=np.int64),
+    block_indices=np.empty(0, dtype=np.int64),
+    write_flags=np.empty(0, dtype=bool),
+)
 
 
 def _write_probability(arg: KernelArgument) -> float:

@@ -88,10 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--list-tools", action="store_true",
                         help="list registered tools and exit")
     replay.add_argument("--json", action="store_true", help="emit reports as JSON")
+    _add_strict_schema_flag(replay)
 
     info = sub.add_parser("info", help="show a trace's header, counts and digest status")
     info.add_argument("trace", help="path to a recorded trace")
     info.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    _add_strict_schema_flag(info)
 
     slice_ = sub.add_parser("slice", help="write a filtered copy of a trace")
     slice_.add_argument("trace", help="path to a recorded trace")
@@ -104,7 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="last kernel-launch index to keep")
     slice_.add_argument("--region", default=None,
                         help="keep only events inside pasta regions with this label")
+    _add_strict_schema_flag(slice_)
     return parser
+
+
+def _add_strict_schema_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--no-strict-schema", dest="strict_schema", action="store_false",
+        help="attempt a best-effort read of traces recorded under older "
+             "event schemas (unknown record fields are ignored)",
+    )
 
 
 def _print_reports(reports: dict[str, dict[str, object]], as_json: bool) -> None:
@@ -153,7 +164,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         range_filter = RangeFilter()
         range_filter.set_grid_window(args.start_grid_id, args.end_grid_id)
     result = replay_trace(
-        args.trace,
+        TraceReader(args.trace, strict_schema=args.strict_schema),
         tools=tools,
         analysis_model=args.analysis_model,
         range_filter=range_filter,
@@ -166,7 +177,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    reader = TraceReader(args.trace)
+    reader = TraceReader(args.trace, strict_schema=args.strict_schema)
     info = reader.info()
     info["digest_ok"] = reader.verify()
     if args.json:
@@ -193,7 +204,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_slice(args: argparse.Namespace) -> int:
-    reader = TraceReader(args.trace)
+    reader = TraceReader(args.trace, strict_schema=args.strict_schema)
     footer = reader.slice_to(
         args.output,
         categories=args.category or None,

@@ -282,6 +282,8 @@ _BUILTIN_EVENT_CLASSES: tuple[type, ...] = (
     _events.SynchronizationEvent,
     _events.MemoryAccessEvent,
     _events.InstructionEvent,
+    _events.MemoryAccessBatch,
+    _events.InstructionBatch,
     _events.KernelMemoryProfile,
     _events.OperatorStartEvent,
     _events.OperatorEndEvent,

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Optional, Union
 
 from repro.core.events import (
+    BATCH_CATEGORY_BASES,
     EventCategory,
     KernelLaunchEvent,
     KernelMemoryProfile,
@@ -54,15 +55,22 @@ def _normalize_categories(categories: CategoryFilter) -> Optional[frozenset[str]
     out = set()
     for category in categories:
         if isinstance(category, EventCategory):
-            out.add(category.value)
+            member = category
         else:
             try:
-                out.add(EventCategory(str(category).strip().lower()).value)
+                member = EventCategory(str(category).strip().lower())
             except ValueError:
                 valid = sorted(c.value for c in EventCategory)
                 raise TraceError(
                     f"unknown event category {category!r}; valid: {valid}"
                 ) from None
+        out.add(member.value)
+        # Slicing for a per-record fine-grained category keeps its batch
+        # form too: the same data may travel in either shape depending on
+        # how the recording backend was configured.
+        for batch, base in BATCH_CATEGORY_BASES.items():
+            if base is member:
+                out.add(batch.value)
     return frozenset(out)
 
 

@@ -7,6 +7,7 @@ they can be selected by name (``PASTA_TOOL=kernel_frequency`` or an explicit
 """
 
 from repro.core.registry import register_tool, registered_tools
+from repro.tools.access_histogram import AccessHistogramTool
 from repro.tools.hotness import BlockClassification, TimeSeriesHotnessTool
 from repro.tools.inefficiency import InefficiencyFinding, InefficiencyLocatorTool
 from repro.tools.kernel_frequency import KernelFrequencyEntry, KernelFrequencyTool
@@ -28,6 +29,7 @@ from repro.tools.uvm_prefetch import (
 )
 
 _BUILTIN_TOOLS = {
+    AccessHistogramTool.tool_name: AccessHistogramTool,
     KernelFrequencyTool.tool_name: KernelFrequencyTool,
     MemoryCharacteristicsTool.tool_name: MemoryCharacteristicsTool,
     MemoryTimelineTool.tool_name: MemoryTimelineTool,
@@ -43,6 +45,7 @@ for _name, _factory in _BUILTIN_TOOLS.items():
 
 __all__ = [
     "ANALYSIS_VARIANTS",
+    "AccessHistogramTool",
     "AddressRange",
     "BlockClassification",
     "DeviceTimeline",

@@ -20,7 +20,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.events import EventCategory, KernelLaunchEvent, KernelMemoryProfile
+from repro.core.events import (
+    EventCategory,
+    KernelLaunchEvent,
+    KernelMemoryProfile,
+    MemoryAccessBatch,
+    MemoryAccessEvent,
+)
 from repro.core.serialization import json_sanitize
 from repro.core.tool import PastaTool
 from repro.gpusim.uvm import UVM_PAGE_BYTES
@@ -45,17 +51,39 @@ class BlockClassification:
 
 
 class TimeSeriesHotnessTool(PastaTool):
-    """Builds a block x time-window access-count matrix."""
+    """Builds a block x time-window access-count matrix.
+
+    By default the matrix is estimated from each launch's argument metadata
+    (address + referenced bytes + access count), which needs no device-side
+    instrumentation.  With ``use_sampled_accesses=True`` the tool instead
+    subscribes to the fine-grained access stream and attributes the *sampled*
+    accesses to blocks — exact per-address attribution at the cost of
+    requiring fine-grained instrumentation.  The sampled path is batch-aware:
+    columnar access batches are consumed directly.
+    """
 
     tool_name = "hotness"
     subscribed_categories = frozenset(
         {EventCategory.KERNEL_LAUNCH, EventCategory.KERNEL_MEMORY_PROFILE}
     )
 
-    def __init__(self, block_bytes: int = UVM_PAGE_BYTES, kernels_per_window: int = 10) -> None:
+    def __init__(
+        self,
+        block_bytes: int = UVM_PAGE_BYTES,
+        kernels_per_window: int = 10,
+        use_sampled_accesses: bool = False,
+    ) -> None:
         super().__init__()
         self.block_bytes = block_bytes
         self.kernels_per_window = kernels_per_window
+        self.use_sampled_accesses = use_sampled_accesses
+        if use_sampled_accesses:
+            # Instance-level subscription: also receive the access stream
+            # (its batch form is implied) and require instrumentation.
+            self.subscribed_categories = self.subscribed_categories | frozenset(
+                {EventCategory.MEMORY_ACCESS}
+            )
+            self.requires_fine_grained = True
         self._kernel_index = 0
         #: window -> block -> accesses
         self._windows: dict[int, dict[int, int]] = defaultdict(lambda: defaultdict(int))
@@ -68,18 +96,43 @@ class TimeSeriesHotnessTool(PastaTool):
         window = self._kernel_index // self.kernels_per_window
         self._launch_window[event.launch_id] = window
         self._kernel_index += 1
+        if self.use_sampled_accesses:
+            # Attribution happens per sampled access (the records arrive
+            # just before their launch's canonical event).
+            return
         # Attribute accesses per 2 MB block from the launch's argument metadata
         # (address + referenced bytes + access count), spreading each
         # argument's accesses uniformly over the blocks it touches.
+        block_bytes = self.block_bytes
+        counts = self._windows[window]
         for arg in event.arguments:
-            if arg.access_count <= 0 or arg.referenced_bytes <= 0:
+            access_count = arg.access_count
+            referenced = arg.referenced_bytes
+            if access_count <= 0 or referenced <= 0:
                 continue
-            first = arg.address // self.block_bytes
-            last = (arg.address + arg.referenced_bytes - 1) // self.block_bytes
-            blocks = last - first + 1
-            per_block = max(1, arg.access_count // blocks)
+            first = arg.address // block_bytes
+            last = (arg.address + referenced - 1) // block_bytes
+            per_block = access_count // (last - first + 1) or 1
             for block in range(first, last + 1):
-                self._windows[window][block] += per_block
+                counts[block] += per_block
+
+    def _current_window(self) -> int:
+        # Device records precede their launch's canonical launch-end event,
+        # so the launch they belong to has the *current* kernel index.
+        return self._kernel_index // self.kernels_per_window
+
+    def on_memory_access(self, event: MemoryAccessEvent) -> None:
+        if not self.use_sampled_accesses:
+            return
+        self._windows[self._current_window()][event.address // self.block_bytes] += 1
+
+    def on_memory_access_batch(self, event: MemoryAccessBatch) -> None:
+        if not self.use_sampled_accesses:
+            return
+        counts = self._windows[self._current_window()]
+        block_bytes = self.block_bytes
+        for address in event.addresses:
+            counts[address // block_bytes] += 1
 
     def on_kernel_memory_profile(self, event: KernelMemoryProfile) -> None:
         # The profile is redundant with the launch-argument attribution above;

@@ -12,8 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from collections import defaultdict
+
 from repro.core.callstack import CrossLayerStack, build_cross_layer_stack
-from repro.core.events import EventCategory, KernelLaunchEvent, OperatorStartEvent
+from repro.core.events import (
+    EventCategory,
+    InstructionBatch,
+    InstructionEvent,
+    KernelLaunchEvent,
+    MemoryAccessBatch,
+    MemoryAccessEvent,
+    OperatorStartEvent,
+)
 from repro.core.knobs import KernelStats, KnobRegistry
 from repro.core.serialization import json_sanitize
 from repro.core.tool import PastaTool
@@ -42,19 +52,37 @@ class InefficiencyFinding:
 
 
 class InefficiencyLocatorTool(PastaTool):
-    """Accumulates per-kernel statistics and answers knob queries."""
+    """Accumulates per-kernel statistics and answers knob queries.
+
+    With ``track_device_records=True`` the tool also subscribes to the
+    fine-grained record stream and attributes the sampled device records to
+    kernels, adding a ``sampled_device_records`` breakdown to the report.
+    The fine-grained path is batch-aware: columnar batches are counted in
+    O(1) instead of being unrolled.
+    """
 
     tool_name = "inefficiency_locator"
     subscribed_categories = frozenset(
         {EventCategory.KERNEL_LAUNCH, EventCategory.OPERATOR_START}
     )
 
-    def __init__(self) -> None:
+    def __init__(self, track_device_records: bool = False) -> None:
         super().__init__()
+        self.track_device_records = track_device_records
+        if track_device_records:
+            self.subscribed_categories = self.subscribed_categories | frozenset(
+                {EventCategory.MEMORY_ACCESS, EventCategory.INSTRUCTION}
+            )
+            self.requires_fine_grained = True
         self.kernel_stats: dict[str, KernelStats] = {}
         self.knobs = KnobRegistry()
         self._current_python_stack: tuple[str, ...] = ()
         self._current_op: str = ""
+        #: launch id -> sampled records seen before the launch's canonical
+        #: event arrived (backends emit device records first).
+        self._pending_records: dict[int, int] = defaultdict(int)
+        #: kernel name -> total sampled device records.
+        self.sampled_records_by_kernel: dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------ #
     # event hooks
@@ -76,6 +104,22 @@ class InefficiencyLocatorTool(PastaTool):
         stats.total_memory_accesses += event.total_memory_accesses
         stats.total_duration_ns += event.duration_ns
         stats.max_working_set_bytes = max(stats.max_working_set_bytes, event.working_set_bytes)
+        if self._pending_records:
+            pending = self._pending_records.pop(event.launch_id, 0)
+            if pending:
+                self.sampled_records_by_kernel[event.kernel_name] += pending
+
+    def on_memory_access(self, event: MemoryAccessEvent) -> None:
+        self._pending_records[event.kernel_launch_id] += 1
+
+    def on_instruction(self, event: InstructionEvent) -> None:
+        self._pending_records[event.kernel_launch_id] += 1
+
+    def on_memory_access_batch(self, event: MemoryAccessBatch) -> None:
+        self._pending_records[event.kernel_launch_id] += len(event)
+
+    def on_instruction_batch(self, event: InstructionBatch) -> None:
+        self._pending_records[event.kernel_launch_id] += len(event)
 
     # ------------------------------------------------------------------ #
     # knob queries
@@ -107,8 +151,15 @@ class InefficiencyLocatorTool(PastaTool):
                     "invocations": finding.invocation_count,
                     "memory_references": finding.total_memory_accesses,
                 }
-        return json_sanitize({
+        out: dict[str, object] = {
             "tool": self.tool_name,
             "distinct_kernels": len(self.kernel_stats),
             "findings": findings,
-        })
+        }
+        if self.track_device_records:
+            out["sampled_device_records"] = sum(self.sampled_records_by_kernel.values())
+            out["top_sampled_kernels"] = sorted(
+                self.sampled_records_by_kernel.items(),
+                key=lambda kv: (-kv[1], kv[0]),
+            )[:5]
+        return json_sanitize(out)

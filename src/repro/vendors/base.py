@@ -18,13 +18,16 @@ The backends differ in exactly the ways the paper describes (Section III-D):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, NamedTuple, Optional
 
 from repro.errors import VendorError
 from repro.gpusim.costmodel import InstrumentationBackend
 from repro.gpusim.device import Vendor
-from repro.gpusim.instruction import InstructionKind, InstructionRecord
+from repro.gpusim.instruction import (
+    InstructionBatchRecord,
+    InstructionKind,
+    InstructionRecord,
+)
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.memory import MemoryObject
 from repro.gpusim.runtime import (
@@ -36,9 +39,11 @@ from repro.gpusim.runtime import (
 )
 
 
-@dataclass(frozen=True)
-class VendorCallback:
+class VendorCallback(NamedTuple):
     """One callback delivered by a vendor profiling backend.
+
+    A named tuple rather than a dataclass: one is constructed per runtime
+    event, so construction cost is on the handler's hot path.
 
     Attributes
     ----------
@@ -47,7 +52,7 @@ class VendorCallback:
         or ``"ROCPROFILER_HIP_API_ID_hipMalloc"``).
     payload:
         The vendor-specific payload object (a kernel launch, memory object,
-        memcpy record, instruction record, ...).
+        memcpy record, instruction batch, ...).
     device_index:
         Device the callback originated from.
     backend:
@@ -81,9 +86,15 @@ class ProfilingBackend(RuntimeCallbacks):
     instrumentable_kinds: frozenset[InstructionKind] = frozenset(InstructionKind)
     #: Maximum sampled device-side records forwarded per kernel launch.
     max_instruction_records_per_kernel: int = 2048
+    #: Accumulate a launch's sampled device records into one columnar
+    #: :class:`~repro.gpusim.instruction.InstructionBatchRecord` callback
+    #: (the collect-and-analyze fast path) instead of one callback per
+    #: record.  Set to False to fall back to the per-record protocol — the
+    #: two modes deliver identical data in identical order.
+    batch_device_records: bool = True
 
     def __init__(self) -> None:
-        self._callbacks: list[VendorCallbackFn] = []
+        self._callbacks: tuple[VendorCallbackFn, ...] = ()
         self._runtime: Optional[AcceleratorRuntime] = None
         self._instruction_tracing_enabled = False
         self.callback_count = 0
@@ -117,12 +128,12 @@ class ProfilingBackend(RuntimeCallbacks):
     def register_callback(self, fn: VendorCallbackFn) -> None:
         """Register a receiver for this backend's callbacks (PASTA's handler)."""
         if fn not in self._callbacks:
-            self._callbacks.append(fn)
+            self._callbacks = self._callbacks + (fn,)
 
     def unregister_callback(self, fn: VendorCallbackFn) -> None:
         """Remove a previously registered receiver."""
         if fn in self._callbacks:
-            self._callbacks.remove(fn)
+            self._callbacks = tuple(f for f in self._callbacks if f != fn)
 
     def enable_instruction_tracing(self, enabled: bool = True) -> None:
         """Turn device-side (fine-grained) instrumentation on or off."""
@@ -137,22 +148,40 @@ class ProfilingBackend(RuntimeCallbacks):
     # emission helpers
     # ------------------------------------------------------------------ #
     def _emit(self, cbid: str, payload: object, device_index: int) -> None:
-        callback = VendorCallback(
-            cbid=cbid, payload=payload, device_index=device_index, backend=self.name
-        )
+        callback = VendorCallback(cbid, payload, device_index, self.name)
         self.callback_count += 1
-        for fn in list(self._callbacks):
+        # The callback tuple is immutable: registration replaces it, so
+        # iterating is safe even if a receiver mutates the registration set.
+        for fn in self._callbacks:
             fn(callback)
 
+    def _device_record_kinds(self) -> frozenset[InstructionKind]:
+        """Instruction kinds this backend forwards (subclasses may narrow)."""
+        return self.instrumentable_kinds
+
     def _emit_instructions(self, launch: KernelLaunch) -> None:
-        """Forward sampled device-side instruction records for a launch."""
+        """Forward sampled device-side records for a launch.
+
+        In the default batched mode the launch's records travel as a single
+        columnar callback; in per-record mode each record is its own
+        callback.  Both modes carry the same records in the same order.
+        """
         if not self._instruction_tracing_enabled:
+            return
+        kinds = self._device_record_kinds()
+        if self.batch_device_records:
+            batch = launch.generate_instruction_batch(
+                max_records=self.max_instruction_records_per_kernel,
+                allowed_kinds=kinds,
+            )
+            if len(batch):
+                self._emit(self._cbid_instruction_batch(batch), batch, launch.device_index)
             return
         records = launch.generate_instructions(
             max_records=self.max_instruction_records_per_kernel
         )
         for record in records:
-            if record.kind not in self.instrumentable_kinds:
+            if record.kind not in kinds:
                 continue
             self._emit(self._cbid_instruction(record), record, launch.device_index)
 
@@ -182,6 +211,9 @@ class ProfilingBackend(RuntimeCallbacks):
 
     def _cbid_instruction(self, record: InstructionRecord) -> str:
         raise NotImplementedError
+
+    def _cbid_instruction_batch(self, batch: InstructionBatchRecord) -> str:
+        return f"{self.name.upper()}_DEVICE_RECORD_BATCH"
 
     # ------------------------------------------------------------------ #
     # RuntimeCallbacks implementation

@@ -105,3 +105,6 @@ class ComputeSanitizerBackend(ProfilingBackend):
         if record.kind in (InstructionKind.BLOCK_ENTRY, InstructionKind.BLOCK_EXIT):
             return "SANITIZER_CBID_BLOCK_BOUNDARY"
         return "SANITIZER_CBID_MEMORY_ACCESS"
+
+    def _cbid_instruction_batch(self, batch) -> str:
+        return "SANITIZER_CBID_DEVICE_RECORD_BATCH"

@@ -58,16 +58,12 @@ class NvbitBackend(ProfilingBackend):
             self.sass_parsed_kernels.add(launch.kernel_name)
         super().on_kernel_launch_begin(runtime, launch)
 
-    def _emit_instructions(self, launch: KernelLaunch) -> None:
-        if not self.instruction_tracing_enabled:
-            return
-        records = launch.generate_instructions(
-            max_records=self.max_instruction_records_per_kernel
-        )
-        for record in records:
-            if self._instruction_filter is not None and record.kind not in self._instruction_filter:
-                continue
-            self._emit(self._cbid_instruction(record), record, launch.device_index)
+    def _device_record_kinds(self) -> frozenset[InstructionKind]:
+        # NVBit instruments everything, then the tool-side filter (if any)
+        # selects the kinds of interest.
+        if self._instruction_filter is None:
+            return self.instrumentable_kinds
+        return self.instrumentable_kinds & self._instruction_filter
 
     # ------------------------------------------------------------------ #
     # callback ids
@@ -95,3 +91,6 @@ class NvbitBackend(ProfilingBackend):
 
     def _cbid_instruction(self, record: InstructionRecord) -> str:
         return f"NVBIT_INSTR_{record.kind.name}"
+
+    def _cbid_instruction_batch(self, batch) -> str:
+        return "NVBIT_INSTR_BATCH"

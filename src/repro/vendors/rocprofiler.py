@@ -85,3 +85,6 @@ class RocprofilerBackend(ProfilingBackend):
 
     def _cbid_instruction(self, record: InstructionRecord) -> str:
         return f"ROCPROFILER_DEVICE_{record.kind.name}"
+
+    def _cbid_instruction_batch(self, batch) -> str:
+        return "ROCPROFILER_DEVICE_RECORD_BATCH"

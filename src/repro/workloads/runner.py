@@ -9,6 +9,7 @@ tests and benchmarks do not repeat the wiring.
 from __future__ import annotations
 
 import dataclasses
+import difflib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
@@ -69,12 +70,37 @@ def _resolve_device(device: Union[str, DeviceSpec]) -> DeviceSpec:
     return get_device_spec(device)
 
 
+#: Valid run modes plus common near-misses mapped to the intended value.
+_RUN_MODES = ("inference", "train")
+_MODE_ALIASES = {
+    "training": "train",
+    "trained": "train",
+    "infer": "inference",
+    "inferencing": "inference",
+    "eval": "inference",
+    "evaluation": "inference",
+    "predict": "inference",
+}
+
+
+def _check_mode(mode: str) -> None:
+    if mode in _RUN_MODES:
+        return
+    valid = ", ".join(repr(m) for m in _RUN_MODES)
+    suggestion = _MODE_ALIASES.get(str(mode).strip().lower())
+    if suggestion is None:
+        close = difflib.get_close_matches(str(mode).strip().lower(), _RUN_MODES, n=1)
+        suggestion = close[0] if close else None
+    hint = f"; did you mean {suggestion!r}?" if suggestion else ""
+    raise ReproError(f"mode must be one of {valid}, got {mode!r}{hint}")
+
+
 def run_workload(
     model_name: str,
     device: Union[str, DeviceSpec] = "a100",
     mode: str = "inference",
     iterations: int = 1,
-    tools: Optional[Sequence[PastaTool]] = None,
+    tools: Optional[Sequence[Union[PastaTool, str]]] = None,
     vendor_backend: Optional[str] = None,
     enable_fine_grained: bool = False,
     batch_size: Optional[int] = None,
@@ -96,7 +122,8 @@ def run_workload(
     iterations:
         Number of inference passes / training steps.
     tools:
-        PASTA tools to attach (may be empty — the session still records
+        PASTA tools to attach: instances and/or registry names such as
+        ``"kernel_frequency"`` (may be empty — the session still records
         overhead statistics).
     vendor_backend:
         Profiling backend name; defaults to the vendor's recommended backend.
@@ -115,8 +142,7 @@ def run_workload(
         Record the session's normalised event stream to this trace file for
         later offline replay (see :mod:`repro.replay`).
     """
-    if mode not in ("inference", "train"):
-        raise ReproError(f"mode must be 'inference' or 'train', got {mode!r}")
+    _check_mode(mode)
     spec = _resolve_device(device)
     runtime = create_runtime(spec)
     ctx = FrameworkContext(runtime)

@@ -77,6 +77,33 @@ class TestReplay:
         assert "error:" in capsys.readouterr().err
 
 
+class TestSchemaEscapeHatch:
+    def test_no_strict_schema_reads_older_traces(self, recorded_trace, capsys):
+        """A trace whose header carries stale fingerprints (e.g. recorded by
+        an older event model) is unreadable by default but opens with
+        --no-strict-schema on every subcommand."""
+        from repro.replay import TraceReader, TraceWriter
+
+        reader = TraceReader(recorded_trace)
+        header = reader.header
+        header.schemas = {tag: "f" * 16 for tag in header.schemas}
+        stale = recorded_trace.parent / "stale.pastatrace"
+        with TraceWriter(stale, header) as writer:
+            for event in reader.events():
+                writer.write(event)
+
+        assert main(["info", str(stale)]) == 1
+        assert "error" in capsys.readouterr().err
+        assert main(["info", str(stale), "--no-strict-schema"]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(stale), "--tool", "kernel_frequency",
+                     "--no-strict-schema"]) == 0
+        capsys.readouterr()
+        out = recorded_trace.parent / "sliced.pastatrace"
+        assert main(["slice", str(stale), "-o", str(out),
+                     "--category", "kernel_launch", "--no-strict-schema"]) == 0
+
+
 class TestInfoAndSlice:
     def test_info_text(self, recorded_trace, capsys):
         assert main(["info", str(recorded_trace)]) == 0
