@@ -34,7 +34,7 @@ from pathlib import Path
 import repro
 import repro.tools  # noqa: F401  (side effect: tool registration)
 from repro.core.registry import create_tools
-from repro.workloads.runner import run_workload
+from repro import api
 
 #: Tool set attached to every benchmark workload: the bundled coarse tools
 #: plus (on fine-grained runs) the batch-native access histogram.
@@ -47,30 +47,30 @@ COARSE_TOOLS = (
 )
 FINE_TOOLS = COARSE_TOOLS + ("access_histogram",)
 
-#: name -> (run_workload kwargs, repeats).  Wall time is the best of
+#: name -> (api.run kwargs, repeats).  Wall time is the best of
 #: ``repeats`` runs, which suppresses scheduler noise.
 WORKLOADS: dict[str, tuple[dict, int]] = {
     "coarse_megatron": (
-        dict(model_name="megatron_gpt2_345m", mode="train", iterations=2,
+        dict(model="megatron_gpt2_345m", mode="train", iterations=2,
              tools=list(COARSE_TOOLS)),
         5,
     ),
     "fine_gpt2": (
-        dict(model_name="gpt2", mode="train", iterations=4,
-             enable_fine_grained=True, tools=list(FINE_TOOLS)),
+        dict(model="gpt2", mode="train", iterations=4,
+             fine_grained=True, tools=list(FINE_TOOLS)),
         3,
     ),
 }
 
 QUICK_WORKLOADS: dict[str, tuple[dict, int]] = {
     "coarse_megatron_quick": (
-        dict(model_name="megatron_gpt2_345m", mode="train", iterations=1,
+        dict(model="megatron_gpt2_345m", mode="train", iterations=1,
              tools=list(COARSE_TOOLS)),
         3,
     ),
     "fine_gpt2_quick": (
-        dict(model_name="gpt2", mode="train", iterations=1,
-             enable_fine_grained=True, tools=list(FINE_TOOLS)),
+        dict(model="gpt2", mode="train", iterations=1,
+             fine_grained=True, tools=list(FINE_TOOLS)),
         3,
     ),
 }
@@ -82,7 +82,8 @@ def run_one(name: str, kwargs: dict, repeats: int) -> dict[str, object]:
     events = 0
     for _ in range(repeats):
         started = time.perf_counter()
-        result = run_workload(**kwargs)
+        result = api.run(kwargs["model"], **{k: v for k, v in kwargs.items()
+                                             if k != "model"})
         elapsed = time.perf_counter() - started
         best = min(best, elapsed)
         events = result.session.processor.events_processed

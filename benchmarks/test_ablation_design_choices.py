@@ -20,7 +20,7 @@ from repro.gpusim.costmodel import CostModelConfig, InstrumentationBackend, Over
 from repro.gpusim.device import A100
 from repro.gpusim.trace import AnalysisModel, TRACE_RECORD_BYTES, TraceBuffer
 from repro.tools import WorkloadProfile
-from repro.workloads import run_workload
+from repro import api
 
 MiB = 1024 * 1024
 
@@ -28,7 +28,7 @@ MiB = 1024 * 1024
 @pytest.fixture(scope="module")
 def bert_profile():
     profile = WorkloadProfile()
-    run_workload("bert", device="a100", tools=[profile], batch_size=bench_batch_size())
+    api.run("bert", device="a100", tools=[profile], batch_size=bench_batch_size())
     return profile
 
 

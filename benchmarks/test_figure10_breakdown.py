@@ -14,7 +14,7 @@ import pytest
 from conftest import bench_batch_size, model_label, print_header, print_row
 from repro.gpusim.device import A100, RTX3060
 from repro.tools import OverheadComparison, WorkloadProfile
-from repro.workloads import run_workload
+from repro import api
 
 DEVICES = {"A100": A100, "3060": RTX3060}
 
@@ -24,7 +24,7 @@ def workload_profiles(paper_models):
     profiles = {}
     for name in paper_models:
         profile = WorkloadProfile()
-        run_workload(name, device="a100", tools=[profile], batch_size=bench_batch_size())
+        api.run(name, device="a100", tools=[profile], batch_size=bench_batch_size())
         profiles[name] = profile
     return profiles
 

@@ -11,12 +11,12 @@ import numpy as np
 
 from conftest import bench_batch_size, print_header
 from repro.tools import TimeSeriesHotnessTool
-from repro.workloads import run_workload
+from repro import api
 
 
 def test_figure13_bert_hotness(benchmark):
     hotness = TimeSeriesHotnessTool(kernels_per_window=10)
-    run_workload("bert", device="a100", mode="inference", tools=[hotness],
+    api.run("bert", device="a100", mode="inference", tools=[hotness],
                  batch_size=bench_batch_size())
 
     blocks, matrix = benchmark(hotness.hotness_matrix)

@@ -10,12 +10,12 @@ import pytest
 
 from conftest import bench_batch_size, model_label, print_header, print_row
 from repro.tools import KernelFrequencyTool
-from repro.workloads import run_workload
+from repro import api
 
 
 def _collect(model_name: str, mode: str) -> KernelFrequencyTool:
     tool = KernelFrequencyTool()
-    run_workload(model_name, device="a100", mode=mode, tools=[tool],
+    api.run(model_name, device="a100", mode=mode, tools=[tool],
                  batch_size=bench_batch_size())
     return tool
 

@@ -14,14 +14,14 @@ import pytest
 from conftest import bench_batch_size, model_label, print_header, print_row
 from repro.gpusim.device import A100, RTX3060
 from repro.tools import OverheadComparison, WorkloadProfile
-from repro.workloads import run_workload
+from repro import api
 
 DEVICES = {"A100": A100, "3060": RTX3060}
 
 
 def _profile(model_name: str) -> WorkloadProfile:
     profile = WorkloadProfile()
-    run_workload(model_name, device="a100", tools=[profile], batch_size=bench_batch_size())
+    api.run(model_name, device="a100", tools=[profile], batch_size=bench_batch_size())
     return profile
 
 

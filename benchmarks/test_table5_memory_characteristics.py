@@ -12,14 +12,14 @@ import pytest
 
 from conftest import bench_batch_size, model_label, print_header, print_row
 from repro.tools import MemoryCharacteristicsTool
-from repro.workloads import run_workload
+from repro import api
 
 MiB = float(1024 * 1024)
 
 
 def _characterise(model_name: str, mode: str) -> MemoryCharacteristicsTool:
     tool = MemoryCharacteristicsTool()
-    run_workload(model_name, device="a100", mode=mode, tools=[tool],
+    api.run(model_name, device="a100", mode=mode, tools=[tool],
                  batch_size=bench_batch_size())
     return tool
 

@@ -1,7 +1,7 @@
 """Mini Figure 9-style sweep driven through the campaign engine.
 
 Figure 9 of the paper compares profiling overhead across workloads, devices
-and analysis models.  Instead of looping over ``run_workload`` by hand, this
+and analysis models.  Instead of looping over ``pasta.run`` by hand, this
 example declares the grid once, lets the campaign scheduler execute it over a
 worker pool with result caching, and aggregates the records into the
 per-device overhead comparison the figure plots.

@@ -45,9 +45,9 @@ from repro.core.events import (
     OperatorStartEvent,
     SynchronizationEvent,
 )
+from repro import pasta
 from repro.core.registry import register_tool
 from repro.core.tool import PastaTool
-from repro.workloads import run_workload
 
 
 class TransferAnalyzerTool(PastaTool):
@@ -92,9 +92,15 @@ def main() -> None:
     # (PASTA_TOOL=transfer_analyzer), exactly like the built-in collection.
     register_tool(TransferAnalyzerTool.tool_name, TransferAnalyzerTool, overwrite=True)
 
-    tool = TransferAnalyzerTool()
-    run_workload("whisper", device="a100", mode="inference", tools=[tool], batch_size=4)
-    report = tool.report()
+    # Once registered, the tool is selectable by name everywhere a built-in
+    # is: the fluent facade, `pasta profile -t transfer_analyzer`, campaign
+    # specs, and trace replay.
+    result = (pasta.profile("whisper")
+                   .on("a100")
+                   .batch_size(4)
+                   .with_tools("transfer_analyzer")
+                   .run())
+    report = result.report("transfer_analyzer")
 
     print(f"synchronisation calls observed: {report['sync_calls']}")
     print("bytes moved per direction:")

@@ -1,51 +1,45 @@
-"""Quickstart: profile a model with PASTA in a dozen lines.
+"""Quickstart: profile a model with PASTA in three lines.
 
-Creates a simulated A100, runs one ResNet-18 inference pass under a PASTA
-session with two built-in tools, and prints their reports.
+The whole framework is driven by one declarative configuration
+(:class:`repro.ProfileSpec`) behind one fluent facade: pick a model, a
+device and a set of analysis tools, call ``.run()``, read the reports.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core.session import PastaSession
-from repro.dlframework.context import FrameworkContext
-from repro.dlframework.engine import ExecutionEngine
-from repro.dlframework.models import create_model
-from repro.gpusim import A100, create_runtime
-from repro.tools import KernelFrequencyTool, MemoryCharacteristicsTool
+from repro import pasta
 
 
 def main() -> None:
-    # 1. A simulated GPU and a DL-framework context bound to it.
-    runtime = create_runtime(A100)
-    ctx = FrameworkContext(runtime)
-    engine = ExecutionEngine(ctx)
+    # One fluent line from model to reports.
+    result = (pasta.profile("resnet18")
+                   .on("a100")
+                   .with_tools("kernel_frequency", "memory_characteristics")
+                   .run())
 
-    # 2. A PASTA session with two analysis tools from the collection.
-    frequency = KernelFrequencyTool()
-    memory = MemoryCharacteristicsTool()
-    session = PastaSession(runtime, tools=[frequency, memory])
-    session.attach_framework(ctx)
-
-    # 3. Run the workload under the session.
-    model = create_model("resnet18")
-    with session:
-        engine.prepare(model)
-        summary = engine.run_inference(model, iterations=1)
-
-    # 4. Inspect the results.
+    summary = result.summary
     print(f"model: {summary.model_name}, kernels launched: {summary.kernel_launches}")
     print(f"peak pool memory: {summary.peak_allocated_bytes / 2**20:.1f} MB")
+
+    # Tools are reachable by their registry names.
+    frequency = result.tool("kernel_frequency")
     print("\nmost frequently invoked kernels:")
     for entry in frequency.top_kernels(5):
         print(f"  {entry.invocations:5d}x  {entry.kernel_name}")
-    ws = memory.summary()
+
+    ws = result.tool("memory_characteristics").summary()
     print(f"\nmemory footprint: {ws.memory_footprint_bytes / 2**20:.1f} MB, "
           f"working set: {ws.working_set_bytes / 2**20:.1f} MB "
           f"(ratio {ws.memory_footprint_bytes / max(1, ws.working_set_bytes):.2f}x)")
+    overhead = result.reports()["overhead"]
     print(f"profiling overhead (GPU-resident analysis): "
-          f"{session.overhead_accountant.normalized_overhead():.1f}x execution time")
+          f"{overhead['normalized_overhead']:.1f}x execution time")
+
+    # The configuration that drove the run is plain, serializable data —
+    # hand it to the campaign engine, a JSON file, or a worker pool unchanged.
+    print(f"\nthe run above as a declarative spec:\n{result.spec.to_json(indent=2)}")
 
 
 if __name__ == "__main__":

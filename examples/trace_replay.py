@@ -18,9 +18,8 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.replay import TraceReader, replay_trace
-from repro.tools import KernelFrequencyTool, MemoryCharacteristicsTool
-from repro.workloads.runner import run_workload
+from repro import pasta
+from repro.replay import TraceReader
 
 
 def main() -> None:
@@ -28,18 +27,22 @@ def main() -> None:
     trace = workdir / "resnet18.pastatrace"
 
     # 1. Simulate once, recording every normalised event the handler emits.
-    result = run_workload(
-        "resnet18", device="a100", batch_size=2,
-        tools=[KernelFrequencyTool(), MemoryCharacteristicsTool()],
-        record_to=trace,
-    )
+    #    The spec that configures the run is the same object that will
+    #    configure each replay.
+    spec = (pasta.profile("resnet18")
+                 .on("a100")
+                 .batch_size(2)
+                 .with_tools("kernel_frequency", "memory_characteristics")
+                 .record(trace)
+                 .build())
+    result = pasta.run(spec)
     reader = TraceReader(trace)
     print(f"recorded {reader.footer.event_count} events "
           f"({trace.stat().st_size} bytes compressed) to {trace}")
 
-    # 2. Replay the identical tool set: reports match the live session's.
-    replayed = replay_trace(trace, tools=[KernelFrequencyTool(),
-                                          MemoryCharacteristicsTool()])
+    # 2. Replay the recording spec unchanged: reports match the live
+    #    session's byte for byte.
+    replayed = pasta.replay(trace, spec)
     live_reports = result.reports()
     for name, report in replayed.reports().items():
         status = "identical" if report == live_reports[name] else "DIFFERENT"
@@ -49,7 +52,7 @@ def main() -> None:
     #    without touching the simulator again.
     overheads = {}
     for model in ("gpu_resident", "cpu_side"):
-        overhead = replay_trace(trace, analysis_model=model).reports()["overhead"]
+        overhead = pasta.replay(trace, analysis_model=model).reports()["overhead"]
         overheads[model] = overhead
         print(f"\n[{model}]")
         for key in ("kernels", "collection_ns", "transfer_ns", "analysis_ns",

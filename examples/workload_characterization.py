@@ -17,7 +17,7 @@ from repro.tools import (
     KernelFrequencyTool,
     MemoryCharacteristicsTool,
 )
-from repro.workloads import run_workload
+from repro import run
 
 MiB = float(2**20)
 
@@ -26,8 +26,8 @@ def characterise(model_name: str, mode: str, batch_size: int | None) -> None:
     frequency = KernelFrequencyTool()
     memory = MemoryCharacteristicsTool()
     locator = InefficiencyLocatorTool()
-    run_workload(model_name, device="a100", mode=mode,
-                 tools=[frequency, memory, locator], batch_size=batch_size)
+    run(model_name, device="a100", mode=mode,
+        tools=[frequency, memory, locator], batch_size=batch_size)
 
     label = MODEL_ABBREVIATIONS.get(model_name, model_name)
     summary = memory.summary()

@@ -1,0 +1,378 @@
+"""The single execution path behind every way of running an analysis.
+
+All four execution styles — live run, record-to-trace, offline replay, and
+campaign jobs (in either simulate or replay mode) — are implemented here, and
+all of them are driven by the same :class:`~repro.api.spec.ProfileSpec`:
+
+* :func:`execute` — simulate a workload under a live
+  :class:`~repro.core.session.PastaSession` (recording a trace when the spec
+  says so);
+* :func:`replay` — re-drive a recorded trace through the spec's tools and
+  analysis model with no simulator attached;
+* :func:`execute_payload` / :func:`record_workload_trace` /
+  :func:`replay_payload` — the module-level, picklable wrappers the campaign
+  scheduler fans out over worker pools (their arguments and results are
+  JSON-native so they survive process boundaries).
+
+Everything above this module — the ``pasta`` CLI, the fluent builder, the
+campaign scheduler, the deprecated ``run_workload`` shim — is sugar over
+these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.api.spec import ProfileSpec
+from repro.core.annotations import RangeFilter
+from repro.core.registry import REGISTRY, create_tool
+from repro.core.serialization import json_sanitize
+from repro.core.session import PastaSession
+from repro.core.tool import PastaTool
+from repro.dlframework.context import FrameworkContext
+from repro.dlframework.engine import ExecutionEngine, RunSummary
+from repro.dlframework.models.base import ModelBase
+from repro.errors import ReproError
+from repro.gpusim.costmodel import CostModelConfig
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.runtime import AcceleratorRuntime, create_runtime
+from repro.gpusim.trace import AnalysisModel
+
+
+@dataclass
+class ProfileResult:
+    """Everything produced by one profiled workload run."""
+
+    spec: ProfileSpec
+    model: ModelBase
+    runtime: AcceleratorRuntime
+    ctx: FrameworkContext
+    session: PastaSession
+    summary: RunSummary
+
+    def reports(self) -> dict[str, dict[str, object]]:
+        """Tool reports collected by the session (plus ``"overhead"``)."""
+        return self.session.reports()
+
+    def tool(self, name: str) -> PastaTool:
+        """Fetch one of the session's tools by its registry name."""
+        for tool in self.session.tools:
+            if tool.tool_name == name:
+                return tool
+        attached = sorted(tool.tool_name for tool in self.session.tools)
+        raise ReproError(
+            f"tool {name!r} was not attached to this session; "
+            f"attached tools: {attached if attached else 'none'}"
+        )
+
+    def report(self, name: str) -> dict[str, object]:
+        """One attached tool's report by registry name."""
+        return self.tool(name).report()
+
+
+def _resolve_tools(
+    spec: ProfileSpec, extra_tools: Sequence[PastaTool]
+) -> list[PastaTool]:
+    tools: list[PastaTool] = [create_tool(name) for name in spec.tools]
+    tools.extend(extra_tools)
+    return tools
+
+
+def execute(
+    spec: ProfileSpec,
+    *,
+    extra_tools: Sequence[PastaTool] = (),
+    device: Optional[DeviceSpec] = None,
+    range_filter: Optional[RangeFilter] = None,
+    cost_config: Optional[CostModelConfig] = None,
+    record_to: Union[str, Path, None] = None,
+) -> ProfileResult:
+    """Simulate ``spec``'s workload under a live PASTA session.
+
+    The spec is authoritative; the keyword arguments are programmatic escape
+    hatches for things a declarative spec cannot carry — already-built tool
+    *instances* (``extra_tools``), a custom :class:`DeviceSpec` not in the
+    device registry, pre-built range/cost overrides (which otherwise come
+    from the spec's knobs), and a ``record_to`` destination overriding the
+    spec's.
+    """
+    spec_range, spec_cost = spec.resolve_overrides()
+    range_filter = range_filter if range_filter is not None else spec_range
+    cost_config = cost_config if cost_config is not None else spec_cost
+    record_to = record_to if record_to is not None else spec.record_to
+
+    # create() (not get()) so the namespace's DeviceSpec product check runs.
+    device_spec = device if device is not None else REGISTRY.create("devices", spec.device)
+    runtime = create_runtime(device_spec)  # type: ignore[arg-type]
+    ctx = FrameworkContext(runtime)
+    engine = ExecutionEngine(ctx)
+    model = REGISTRY.create("models", spec.model)
+
+    session_kwargs: dict[str, object] = {}
+    if record_to is not None:
+        session_kwargs["record_to"] = record_to
+        session_kwargs["trace_metadata"] = spec.canonical()
+    session = PastaSession(
+        runtime,
+        tools=_resolve_tools(spec, extra_tools),
+        vendor_backend=spec.backend,
+        analysis_model=spec.analysis_model,
+        enable_fine_grained=spec.fine_grained,
+        range_filter=range_filter,
+        cost_config=cost_config,
+        **session_kwargs,
+    )
+    session.attach_framework(ctx)
+    with session:
+        engine.prepare(model)
+        if spec.mode == "inference":
+            summary = engine.run_inference(
+                model, iterations=spec.iterations, batch_size=spec.batch_size
+            )
+        else:
+            summary = engine.run_training(
+                model, iterations=spec.iterations, batch_size=spec.batch_size
+            )
+    return ProfileResult(
+        spec=spec, model=model, runtime=runtime, ctx=ctx, session=session, summary=summary
+    )
+
+
+def _split_tools(
+    tools: Optional[Sequence[Union[PastaTool, str]]],
+) -> tuple[tuple[str, ...], list[PastaTool]]:
+    """Separate registry names (spec data) from tool instances (overrides)."""
+    names: list[str] = []
+    instances: list[PastaTool] = []
+    for tool in tools or ():
+        if isinstance(tool, str):
+            names.append(tool)
+        else:
+            instances.append(tool)
+    return tuple(names), instances
+
+
+def _device_name(device: Union[str, DeviceSpec]) -> tuple[str, Optional[DeviceSpec]]:
+    """Map a device argument to ``(spec.device, device_override)``."""
+    if isinstance(device, str):
+        return device, None
+    ns = REGISTRY.namespace("devices")
+    for name in ns.names():
+        if ns.get(name) == device:
+            return name, None
+    return device.name, device  # custom spec: label with its marketing name
+
+
+def run(
+    spec_or_model: Union[ProfileSpec, str],
+    *,
+    device: Union[str, DeviceSpec, None] = None,
+    mode: Optional[str] = None,
+    iterations: Optional[int] = None,
+    tools: Optional[Sequence[Union[PastaTool, str]]] = None,
+    backend: Optional[str] = None,
+    fine_grained: Optional[bool] = None,
+    batch_size: Optional[int] = None,
+    analysis_model: Union[str, AnalysisModel, None] = None,
+    knobs: Optional[Mapping[str, object]] = None,
+    range_filter: Optional[RangeFilter] = None,
+    cost_config: Optional[CostModelConfig] = None,
+    record_to: Union[str, Path, None] = None,
+) -> ProfileResult:
+    """Profile one workload: ``pasta.run("gpt2", tools=["hotness"])``.
+
+    Accepts either a ready :class:`ProfileSpec` or a model name, plus the
+    spec's fields as keywords.  Keywords left at ``None`` are "not given":
+    with a model name they take the spec defaults, with a spec they leave
+    that spec's field untouched, and any keyword actually passed acts as a
+    per-field override (``run(spec, iterations=3)`` profiles
+    ``spec.replace(iterations=3)``).  To *reset* a spec field to a default
+    (e.g. clear ``batch_size``), use :meth:`ProfileSpec.replace` directly.
+    ``tools`` may mix registry names with :class:`PastaTool` instances;
+    names become part of the spec, instances ride along as extras.
+    """
+    names, instances = _split_tools(tools)
+    if isinstance(analysis_model, AnalysisModel):
+        analysis_model = analysis_model.value
+    device_override: Optional[DeviceSpec] = None
+    device_name: Optional[str] = None
+    if device is not None:
+        device_name, device_override = _device_name(device)
+    if isinstance(spec_or_model, ProfileSpec):
+        spec = spec_or_model
+        changes: dict[str, object] = {}
+        if device_name is not None:
+            changes["device"] = device_name
+        if mode is not None:
+            changes["mode"] = mode
+        if iterations is not None:
+            changes["iterations"] = iterations
+        if names:
+            # Passed names replace the spec's tool set; instance-only lists
+            # leave it untouched (instances are always extras on top).
+            changes["tools"] = tuple(names)
+        if backend is not None:
+            changes["backend"] = backend
+        if fine_grained is not None:
+            changes["fine_grained"] = fine_grained
+        if batch_size is not None:
+            changes["batch_size"] = batch_size
+        if analysis_model is not None:
+            changes["analysis_model"] = str(analysis_model)
+        if knobs is not None:
+            changes["knobs"] = tuple((str(k), v) for k, v in knobs.items())
+        if changes:
+            spec = spec.replace(**changes)
+    else:
+        spec = ProfileSpec(
+            model=spec_or_model,
+            device="a100" if device_name is None else device_name,
+            mode="inference" if mode is None else mode,
+            tools=names,
+            iterations=1 if iterations is None else iterations,
+            batch_size=batch_size,
+            backend=backend,
+            analysis_model="gpu_resident" if analysis_model is None else str(analysis_model),
+            fine_grained=bool(fine_grained),
+            knobs=tuple((str(k), v) for k, v in (knobs or {}).items()),  # type: ignore[arg-type]
+            record_to=None if record_to is None else str(record_to),
+        )
+    return execute(
+        spec,
+        extra_tools=instances,
+        device=device_override,
+        range_filter=range_filter,
+        cost_config=cost_config,
+        record_to=record_to,
+    )
+
+
+def replay(
+    trace: object,
+    spec: Optional[ProfileSpec] = None,
+    *,
+    tools: Optional[Sequence[Union[PastaTool, str]]] = None,
+    analysis_model: Union[str, AnalysisModel, None] = None,
+    cost_config: Optional[CostModelConfig] = None,
+    range_filter: Optional[RangeFilter] = None,
+    measure_overhead: bool = True,
+    events: Optional[Sequence[object]] = None,
+):
+    """Re-drive a recorded trace offline, configured by the same spec.
+
+    ``trace`` is a path or an open :class:`~repro.replay.reader.TraceReader`.
+    With a ``spec``, the replayed tool set, analysis model and knob
+    overrides come from it — replaying the spec that recorded a trace
+    reproduces the live session's reports byte for byte.  Explicit keyword
+    arguments override the spec field for field; tool names and instances
+    may be mixed as in :func:`run`.  Returns a
+    :class:`~repro.replay.replayer.ReplayResult`.
+    """
+    # Imported lazily: repro.replay builds on repro.core; keeping the api
+    # module importable without it avoids a hard import cycle.
+    from repro.replay.replayer import replay_trace
+
+    names, instances = _split_tools(tools)
+    if spec is not None and not names:
+        # Instance-only (or absent) tool lists keep the spec's tool set;
+        # passed names replace it.  Instances are always extras on top.
+        names = spec.tools
+    tool_instances = [create_tool(name) for name in names] + instances
+    if spec is not None:
+        spec_range, spec_cost = spec.resolve_overrides()
+        if analysis_model is None:
+            analysis_model = spec.analysis_model
+        if range_filter is None:
+            range_filter = spec_range
+        if cost_config is None:
+            cost_config = spec_cost
+    return replay_trace(
+        trace,  # type: ignore[arg-type]
+        tools=tool_instances,
+        analysis_model=analysis_model,
+        cost_config=cost_config,
+        range_filter=range_filter,
+        measure_overhead=measure_overhead,
+        events=events,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# picklable payload runners (the campaign scheduler's worker functions)
+# ---------------------------------------------------------------------- #
+
+def execute_payload(
+    payload: Mapping[str, object], record_to: Union[str, Path, None] = None
+) -> dict[str, object]:
+    """Run one job described by a plain (picklable) spec dict.
+
+    Invoked by the campaign scheduler — in the calling process or, under the
+    process-pool executor, in a freshly spawned interpreter — so both the
+    argument and the result are JSON-native data, never live simulator
+    objects.  The payload is a :meth:`ProfileSpec.to_dict` dict; the record
+    holds the echoed payload, the run summary, and every tool report.
+    """
+    spec = ProfileSpec.from_dict(payload)
+    result = execute(spec, record_to=record_to)
+    return json_sanitize({
+        "job": dict(payload),
+        "status": "ok",
+        "summary": result.summary.as_dict(),
+        "reports": result.reports(),
+        "execution": "simulate",
+    })
+
+
+def workload_signature(payload: Mapping[str, object]) -> tuple[object, ...]:
+    """Simulation identity of a payload (see :meth:`ProfileSpec.workload_signature`)."""
+    return ProfileSpec.from_dict(payload).workload_signature()
+
+
+def record_workload_trace(
+    payload: Mapping[str, object], trace_path: Union[str, Path]
+) -> dict[str, object]:
+    """Simulate a payload's workload once, recording every event to ``trace_path``.
+
+    The recording run attaches no tools and no knob overrides so the trace
+    carries the complete event stream; any spec with the same
+    :meth:`ProfileSpec.workload_signature` can then be answered by replay.
+    Returns the JSON-native run summary shared by every job of the group.
+    """
+    spec = ProfileSpec.from_dict(payload)
+    fine_grained = spec.needs_fine_grained()
+    base = spec.replace(
+        tools=(),
+        knobs=(),
+        analysis_model="gpu_resident",
+        fine_grained=fine_grained,
+        record_to=str(trace_path),
+    )
+    result = execute(base)
+    return json_sanitize(result.summary.as_dict())
+
+
+def replay_payload(
+    payload: Mapping[str, object],
+    trace: object,
+    summary: Mapping[str, object],
+    events: Optional[Sequence[object]] = None,
+) -> dict[str, object]:
+    """Answer one job by replaying a recorded workload trace.
+
+    Produces a record with the same shape (and, for the shared fields, the
+    same values) as :func:`execute_payload`, but without re-simulating: the
+    spec's tools, analysis model and knobs are re-driven offline.  Pass
+    ``events`` (a pre-decoded list) when replaying several jobs from one
+    trace so the decode cost is paid once.
+    """
+    spec = ProfileSpec.from_dict(payload)
+    result = replay(trace, spec, events=events)
+    return json_sanitize({
+        "job": dict(payload),
+        "status": "ok",
+        "summary": dict(summary),
+        "reports": result.reports(),
+        "execution": "replay",
+    })

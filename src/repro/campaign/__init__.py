@@ -1,8 +1,10 @@
 """Campaign engine: batched, cached, parallel profiling sweeps.
 
 The paper's evaluation is a grid — models x devices x tools x knobs — and
-this package turns the repo's one-shot ``run_workload`` into a throughput
-service over such grids:
+this package turns the repo's one-shot ``pasta profile`` run into a
+throughput service over such grids.  A campaign is campaign metadata (name,
+execution mode, axes) over the same :class:`~repro.api.spec.ProfileSpec`
+that drives live runs, recording and replay:
 
 * :mod:`repro.campaign.spec` — declarative campaign/job specs + grid expansion;
 * :mod:`repro.campaign.scheduler` — worker-pool execution with per-job
@@ -28,8 +30,17 @@ from repro.campaign.scheduler import (
     JobOutcome,
     run_campaign,
 )
-from repro.campaign.spec import CampaignSpec, JobSpec, expand_jobs
+from repro.campaign.spec import CampaignSpec, expand_jobs
 from repro.campaign.store import ResultStore
+
+
+def __getattr__(name: str):
+    if name == "JobSpec":  # deprecated alias; warns via repro.campaign.spec
+        from repro.campaign import spec as _spec
+
+        return _spec.JobSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "CacheStats",

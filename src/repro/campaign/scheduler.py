@@ -1,19 +1,22 @@
 """Parallel campaign scheduler: worker pool, retries, timeouts, cache reuse.
 
 The scheduler is the throughput engine of the campaign subsystem.  It expands
-a :class:`~repro.campaign.spec.CampaignSpec` into jobs, serves any job whose
-digest is already in the :class:`~repro.campaign.cache.ResultCache` without
-re-simulating, and fans the rest out over a ``concurrent.futures`` worker
-pool.  Jobs are isolated: one job crashing (or timing out) is recorded as a
-failed outcome and never takes down the campaign.  Fresh results are written
-to the cache and appended to the :class:`~repro.campaign.store.ResultStore`
-as they complete.
+a :class:`~repro.campaign.spec.CampaignSpec` into
+:class:`~repro.api.spec.ProfileSpec` jobs, serves any job whose digest (the
+spec's canonical serialization salted with the package version) is already in
+the :class:`~repro.campaign.cache.ResultCache` without re-simulating, and
+fans the rest out over a ``concurrent.futures`` worker pool.  Execution goes
+through the unified runner (:mod:`repro.api.runner`) — the same path a live
+``pasta profile`` run takes.  Jobs are isolated: one job crashing (or timing
+out) is recorded as a failed outcome and never takes down the campaign.
+Fresh results are written to the cache and appended to the
+:class:`~repro.campaign.store.ResultStore` as they complete.
 
 Execution modes
 ---------------
 ``"simulate"`` (the default) runs every cache-missing job as a fresh
 simulation.  ``"replay"`` instead groups the cache-missing jobs by their
-:func:`~repro.workloads.runner.job_workload_signature` — the identity of the
+:meth:`~repro.api.spec.ProfileSpec.workload_signature` — the identity of the
 underlying simulation, ignoring tools, analysis model and knobs — records each
 distinct workload **once** as a trace (:mod:`repro.replay`), and answers every
 job in the group by offline replay.  A grid sweeping N tool/analysis-model
@@ -40,18 +43,18 @@ from pathlib import Path
 from typing import Callable, Iterable, Optional, Union
 
 import repro
+from repro.api.runner import (
+    execute_payload,
+    record_workload_trace,
+    replay_payload,
+)
+from repro.api.spec import ProfileSpec
 from repro.campaign.cache import ResultCache
-from repro.campaign.spec import EXECUTION_MODES, CampaignSpec, JobSpec, expand_jobs
+from repro.campaign.spec import EXECUTION_MODES, CampaignSpec, expand_jobs
 from repro.campaign.store import ResultStore
 from repro.core.serialization import json_sanitize
 from repro.errors import ReproError
 from repro.replay.reader import TraceReader
-from repro.workloads.runner import (
-    execute_job_payload,
-    job_workload_signature,
-    record_job_trace,
-    replay_job_payload,
-)
 
 #: Signature of a job runner: canonical job dict in, JSON-native record out.
 JobRunner = Callable[[dict[str, object]], dict[str, object]]
@@ -87,14 +90,14 @@ def _run_with_retries(payload: dict[str, object], retries: int, runner: JobRunne
 
 def _run_default_with_retries(payload: dict[str, object], retries: int) -> dict[str, object]:
     """Module-level (picklable) wrapper used by the process-pool executor."""
-    return _run_with_retries(payload, retries, execute_job_payload)
+    return _run_with_retries(payload, retries, execute_payload)
 
 
 @dataclass
 class JobOutcome:
     """What happened to one job in one campaign run."""
 
-    job: JobSpec
+    job: ProfileSpec
     digest: str
     status: str  # "ok" | "cached" | "failed" | "timeout"
     record: Optional[dict[str, object]] = None
@@ -198,7 +201,9 @@ class CampaignScheduler:
         Replay mode runs inline (one recording then cheap in-memory replays
         per workload group): ``jobs``/``executor`` and ``timeout_s`` apply
         only to simulate-mode execution, while ``retries`` covers the
-        recording step.
+        recording step.  Jobs whose spec sets ``record_to`` are always
+        simulated, even in replay mode — they need a live event stream to
+        produce their trace artifact.
     trace_dir:
         Where replay-mode workload traces are written; defaults to a
         temporary directory discarded after the run.
@@ -235,7 +240,7 @@ class CampaignScheduler:
         self.retries = retries
         self.cache = cache
         self.store = store
-        self.job_runner: JobRunner = job_runner or execute_job_payload
+        self.job_runner: JobRunner = job_runner or execute_payload
         self.version = version if version is not None else repro.__version__
         self.execution = execution
         self.trace_dir = trace_dir
@@ -245,7 +250,7 @@ class CampaignScheduler:
     # ------------------------------------------------------------------ #
     def run(
         self,
-        spec: Union[CampaignSpec, Iterable[JobSpec]],
+        spec: Union[CampaignSpec, Iterable[ProfileSpec]],
         name: Optional[str] = None,
     ) -> CampaignRunResult:
         """Run every job of ``spec`` and return per-job outcomes.
@@ -260,12 +265,16 @@ class CampaignScheduler:
         )
         job_list = expand_jobs(spec)
         outcomes: dict[int, JobOutcome] = {}
-        pending: list[tuple[int, JobSpec, str]] = []
+        pending: list[tuple[int, ProfileSpec, str]] = []
         workloads_recorded = 0
 
         for index, job in enumerate(job_list):
             digest = job.digest(self.version)
-            cached_record = self.cache.get(digest) if self.cache is not None else None
+            # record_to is excluded from the digest (it cannot change the
+            # reports), but a job that asks for a trace file wants that side
+            # artifact produced — never answer it from the cache.
+            use_cache = self.cache is not None and job.record_to is None
+            cached_record = self.cache.get(digest) if use_cache else None
             if cached_record is not None:
                 self._record_outcome(outcomes, index, JobOutcome(
                     job=job, digest=digest, status="cached", record=cached_record
@@ -274,7 +283,24 @@ class CampaignScheduler:
                 pending.append((index, job, digest))
 
         if pending and execution == "replay":
-            workloads_recorded = self._run_replay(pending, outcomes, campaign_name)
+            # A job that asks for its own trace artifact needs a live event
+            # stream to record — replaying the shared group trace would
+            # complete it without ever writing the file.  Such jobs are
+            # simulated (with the default runner, like the rest of replay
+            # mode); everything else goes through record-once/replay-many.
+            recordings = [entry for entry in pending if entry[1].record_to is not None]
+            replayable = [entry for entry in pending if entry[1].record_to is None]
+            for index, job, digest in recordings:
+                self._record_outcome(
+                    outcomes, index,
+                    self._run_one_inline(job, digest, runner=execute_payload),
+                    campaign_name,
+                )
+            workloads_recorded = len(recordings)
+            if replayable:
+                workloads_recorded += self._run_replay(
+                    replayable, outcomes, campaign_name
+                )
         elif pending:
             # The inline path cannot interrupt a job, so any timeout budget
             # forces a (possibly single-worker) pool.
@@ -305,7 +331,7 @@ class CampaignScheduler:
     # ------------------------------------------------------------------ #
     def _run_replay(
         self,
-        pending: list[tuple[int, JobSpec, str]],
+        pending: list[tuple[int, ProfileSpec, str]],
         outcomes: dict[int, JobOutcome],
         campaign_name: str,
     ) -> int:
@@ -318,13 +344,13 @@ class CampaignScheduler:
         are in-memory and cheap, so the worker pool and its per-job timeout
         machinery are simulate-mode concerns (see the class docstring).
         """
-        groups: dict[tuple[object, ...], list[tuple[int, JobSpec, str]]] = {}
+        groups: dict[tuple[object, ...], list[tuple[int, ProfileSpec, str]]] = {}
         order: list[tuple[object, ...]] = []
         for index, job, digest in pending:
             try:
                 # Instantiates the job's tools (to learn their fine-grained
                 # needs), so an unknown tool name must fail this job alone.
-                signature = job_workload_signature(job.to_dict())
+                signature = job.workload_signature()
             except Exception as error:
                 self._record_outcome(outcomes, index, JobOutcome(
                     job=job, digest=digest, status="failed",
@@ -348,7 +374,7 @@ class CampaignScheduler:
                 try:
                     summary = _run_with_retries(
                         base_payload, self.retries,
-                        lambda payload: record_job_trace(payload, trace_path),
+                        lambda payload: record_workload_trace(payload, trace_path),
                     )
                     summary.pop("attempts", None)
                 except Exception as error:
@@ -370,7 +396,7 @@ class CampaignScheduler:
                 for index, job, digest in members:
                     job_started = time.monotonic()
                     try:
-                        record = replay_job_payload(job.to_dict(), reader, summary,
+                        record = replay_payload(job.to_dict(), reader, summary,
                                                     events=events)
                     except Exception as error:
                         self._record_outcome(outcomes, index, JobOutcome(
@@ -387,10 +413,13 @@ class CampaignScheduler:
                         )
         return recorded
 
-    def _run_one_inline(self, job: JobSpec, digest: str) -> JobOutcome:
+    def _run_one_inline(
+        self, job: ProfileSpec, digest: str, runner: Optional[JobRunner] = None
+    ) -> JobOutcome:
         job_started = time.monotonic()
         try:
-            record = _run_with_retries(job.to_dict(), self.retries, self.job_runner)
+            record = _run_with_retries(job.to_dict(), self.retries,
+                                       runner or self.job_runner)
         except Exception as error:
             return JobOutcome(
                 job=job,
@@ -407,7 +436,7 @@ class CampaignScheduler:
             return ProcessPoolExecutor(max_workers=self.jobs)
         return ThreadPoolExecutor(max_workers=self.jobs, thread_name_prefix="pasta-campaign")
 
-    def _submit(self, pool: Executor, job: JobSpec) -> Future:
+    def _submit(self, pool: Executor, job: ProfileSpec) -> Future:
         payload = job.to_dict()
         if self.executor == "process":
             return pool.submit(_run_default_with_retries, payload, self.retries)
@@ -420,7 +449,7 @@ class CampaignScheduler:
 
     def _run_pool(
         self,
-        pending: list[tuple[int, JobSpec, str]],
+        pending: list[tuple[int, ProfileSpec, str]],
         outcomes: dict[int, JobOutcome],
         campaign_name: str,
     ) -> None:
@@ -432,7 +461,7 @@ class CampaignScheduler:
         # final shutdown does not wait for abandoned jobs.
         pool = self._make_pool()
         queue = list(pending)
-        in_flight: dict[Future, tuple[int, JobSpec, str, float]] = {}
+        in_flight: dict[Future, tuple[int, ProfileSpec, str, float]] = {}
         slots = self.jobs
         try:
             while queue or in_flight:
@@ -479,7 +508,7 @@ class CampaignScheduler:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def _outcome_from_future(
-        self, future: Future, job: JobSpec, digest: str, duration_s: float
+        self, future: Future, job: ProfileSpec, digest: str, duration_s: float
     ) -> JobOutcome:
         try:
             record = future.result(timeout=0)
@@ -503,7 +532,7 @@ class CampaignScheduler:
     # bookkeeping
     # ------------------------------------------------------------------ #
     def _ok_outcome(
-        self, job: JobSpec, digest: str, record: dict[str, object], duration_s: float
+        self, job: ProfileSpec, digest: str, record: dict[str, object], duration_s: float
     ) -> JobOutcome:
         attempts = int(record.get("attempts", 1))  # type: ignore[arg-type]
         record = dict(record)
@@ -528,7 +557,15 @@ class CampaignScheduler:
         """
         outcomes[index] = outcome
         if outcome.status == "ok" and outcome.record is not None and self.cache is not None:
-            self.cache.put(outcome.digest, outcome.record)
+            cached = outcome.record
+            job_payload = cached.get("job")
+            # The digest ignores record_to, so this entry may later answer a
+            # non-recording twin: cache the canonical payload, not the trace
+            # destination (the result store keeps the true payload).
+            if isinstance(job_payload, dict) and job_payload.get("record_to") is not None:
+                cached = dict(cached)
+                cached["job"] = {k: v for k, v in job_payload.items() if k != "record_to"}
+            self.cache.put(outcome.digest, cached)
         if self.store is None:
             return
         if outcome.ok and outcome.record is not None:
@@ -549,7 +586,7 @@ class CampaignScheduler:
 
 
 def run_campaign(
-    spec: Union[CampaignSpec, Iterable[JobSpec]],
+    spec: Union[CampaignSpec, Iterable[ProfileSpec]],
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     store_path: Optional[str] = None,

@@ -1,137 +1,36 @@
 """Declarative campaign specifications and grid expansion.
 
-A *campaign* is the batched equivalent of one ``pasta-profile`` invocation:
+A *campaign* is the batched equivalent of one ``pasta profile`` invocation:
 instead of profiling a single (model, device, tool) combination, the user
 declares axes — models x devices x modes x tool sets x analysis models x knob
 overrides — and the spec expands the cartesian product into concrete
-:class:`JobSpec` jobs, exactly the grids behind the paper's Figures 7-15 and
-Table 5.  Specs are plain data: loadable from JSON, hashable into stable
-content digests (the cache key), and picklable for the process-pool scheduler.
+:class:`~repro.api.spec.ProfileSpec` jobs, exactly the grids behind the
+paper's Figures 7-15 and Table 5.  A campaign is therefore *campaign
+metadata* (name, execution mode, the axes) over the same one spec type that
+drives live runs, recording and replay; each job's
+:meth:`~repro.api.spec.ProfileSpec.digest` (its canonical serialization
+salted with the package version) is the result-cache key.
+
+Specs are plain data: loadable from JSON, hashable into stable content
+digests, and picklable for the process-pool scheduler.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from itertools import product
 from pathlib import Path
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
-from repro.core.serialization import content_digest, json_sanitize
+from repro.api.spec import KnobValue, ProfileSpec, RUN_MODES, normalize_knobs
+from repro.core.serialization import json_sanitize
 from repro.errors import ReproError
-
-#: Job/knob values we accept from JSON specs.
-KnobValue = Union[str, int, float, bool]
-
-_MODES = ("inference", "train")
 
 #: How a campaign executes its jobs: fresh simulation per job, or one recorded
 #: simulation per distinct workload with per-job offline replay.
 EXECUTION_MODES = ("simulate", "replay")
-
-
-def _as_knob_items(knobs: Union[Mapping[str, KnobValue], Sequence, None]) -> tuple[tuple[str, KnobValue], ...]:
-    """Normalise a knob mapping into a sorted, hashable tuple of pairs."""
-    if not knobs:
-        return ()
-    if isinstance(knobs, Mapping):
-        items = knobs.items()
-    else:
-        items = [(k, v) for k, v in knobs]
-    out = []
-    for key, value in items:
-        if not isinstance(key, str) or not key:
-            raise ReproError(f"knob names must be non-empty strings, got {key!r}")
-        if not isinstance(value, (str, int, float, bool)):
-            raise ReproError(f"knob {key!r} must be a JSON scalar, got {type(value).__name__}")
-        out.append((key, value))
-    out.sort(key=lambda kv: kv[0])
-    return tuple(out)
-
-
-@dataclass(frozen=True)
-class JobSpec:
-    """One fully-resolved profiling job: a single cell of the campaign grid."""
-
-    model: str
-    device: str = "a100"
-    mode: str = "inference"
-    tools: tuple[str, ...] = ()
-    iterations: int = 1
-    batch_size: Optional[int] = None
-    backend: Optional[str] = None
-    analysis_model: str = "gpu_resident"
-    fine_grained: bool = False
-    #: Extra overrides: ``start_grid_id``/``end_grid_id`` (analysis window) or
-    #: any :class:`~repro.gpusim.costmodel.CostModelConfig` field name.
-    knobs: tuple[tuple[str, KnobValue], ...] = ()
-
-    def __post_init__(self) -> None:
-        if not self.model:
-            raise ReproError("JobSpec.model must be non-empty")
-        if self.mode not in _MODES:
-            raise ReproError(f"JobSpec.mode must be one of {_MODES}, got {self.mode!r}")
-        if self.iterations < 1:
-            raise ReproError(f"JobSpec.iterations must be >= 1, got {self.iterations}")
-        object.__setattr__(self, "tools", tuple(self.tools))
-        object.__setattr__(self, "knobs", _as_knob_items(self.knobs))
-
-    @property
-    def knob_dict(self) -> dict[str, KnobValue]:
-        """Knob overrides as a plain dict."""
-        return dict(self.knobs)
-
-    def label(self) -> str:
-        """Short human-readable identifier used in progress output."""
-        tools = "+".join(self.tools) if self.tools else "overhead-only"
-        return f"{self.model}/{self.device}/{self.mode}/{tools}"
-
-    def to_dict(self) -> dict[str, object]:
-        """Plain JSON-native dict (the canonical form used for hashing)."""
-        return {
-            "model": self.model,
-            "device": self.device,
-            "mode": self.mode,
-            "tools": list(self.tools),
-            "iterations": self.iterations,
-            "batch_size": self.batch_size,
-            "backend": self.backend,
-            "analysis_model": self.analysis_model,
-            "fine_grained": self.fine_grained,
-            "knobs": self.knob_dict,
-        }
-
-    @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "JobSpec":
-        """Build a job from a plain dict (inverse of :meth:`to_dict`)."""
-        unknown = set(data) - {
-            "model", "device", "mode", "tools", "iterations", "batch_size",
-            "backend", "analysis_model", "fine_grained", "knobs",
-        }
-        if unknown:
-            raise ReproError(f"unknown JobSpec fields: {sorted(unknown)}")
-        if "model" not in data:
-            raise ReproError("JobSpec requires a 'model'")
-        return cls(
-            model=str(data["model"]),
-            device=str(data.get("device", "a100")),
-            mode=str(data.get("mode", "inference")),
-            tools=tuple(data.get("tools") or ()),
-            iterations=int(data.get("iterations", 1)),
-            batch_size=None if data.get("batch_size") is None else int(data["batch_size"]),
-            backend=None if data.get("backend") is None else str(data["backend"]),
-            analysis_model=str(data.get("analysis_model", "gpu_resident")),
-            fine_grained=bool(data.get("fine_grained", False)),
-            knobs=_as_knob_items(data.get("knobs")),  # type: ignore[arg-type]
-        )
-
-    def digest(self, version: str) -> str:
-        """Content digest of this job under a given package version.
-
-        Two jobs share a digest iff their canonical dicts are identical *and*
-        they were produced by the same package version — the result-cache key.
-        """
-        return content_digest(self.to_dict(), version)
 
 
 def _as_toolsets(tools: Optional[Sequence[Union[str, Sequence[str]]]]) -> list[tuple[str, ...]]:
@@ -160,8 +59,9 @@ class CampaignSpec:
     """A declarative grid of profiling jobs.
 
     The cartesian product ``models x devices x modes x tools x analysis_models
-    x backends x knob_sweep`` is expanded by :meth:`expand`; ``extra_jobs``
-    adds hand-written one-offs outside the grid.
+    x backends x knob_sweep`` is expanded by :meth:`expand` into
+    :class:`ProfileSpec` jobs; ``extra_jobs`` adds hand-written one-offs
+    outside the grid.
     """
 
     name: str
@@ -177,7 +77,7 @@ class CampaignSpec:
     fine_grained: bool = False
     #: Knob sweep: each entry is one knob-override dict applied to the grid.
     knob_sweep: list[dict[str, KnobValue]] = field(default_factory=lambda: [{}])
-    extra_jobs: list[JobSpec] = field(default_factory=list)
+    extra_jobs: list[ProfileSpec] = field(default_factory=list)
     #: ``"simulate"`` runs every job as a fresh simulation; ``"replay"``
     #: records each distinct workload once and replays it per job (tool set /
     #: analysis model / knob combination) — see the campaign scheduler.
@@ -200,25 +100,25 @@ class CampaignSpec:
                 if not getattr(self, axis):
                     raise ReproError(f"CampaignSpec.{axis} must not be empty")
         for mode in self.modes:
-            if mode not in _MODES:
-                raise ReproError(f"campaign mode must be one of {_MODES}, got {mode!r}")
+            if mode not in RUN_MODES:
+                raise ReproError(f"campaign mode must be one of {RUN_MODES}, got {mode!r}")
         if not self.knob_sweep:
             self.knob_sweep = [{}]
 
     # ------------------------------------------------------------------ #
     # expansion
     # ------------------------------------------------------------------ #
-    def expand(self) -> list[JobSpec]:
+    def expand(self) -> list[ProfileSpec]:
         """Expand the grid into concrete jobs (deduplicated, order-stable)."""
-        jobs: list[JobSpec] = []
-        seen: set[JobSpec] = set()
+        jobs: list[ProfileSpec] = []
+        seen: set[ProfileSpec] = set()
         toolsets = _as_toolsets(self.tools)
         grid = product(
             self.models, self.devices, self.modes, toolsets,
             self.analysis_models, self.backends, self.knob_sweep,
         )
         for model, device, mode, toolset, analysis_model, backend, knobs in grid:
-            job = JobSpec(
+            job = ProfileSpec(
                 model=model,
                 device=device,
                 mode=mode,
@@ -228,7 +128,7 @@ class CampaignSpec:
                 backend=backend,
                 analysis_model=analysis_model,
                 fine_grained=self.fine_grained,
-                knobs=_as_knob_items(knobs),
+                knobs=normalize_knobs(knobs),
             )
             if job not in seen:
                 seen.add(job)
@@ -292,7 +192,7 @@ class CampaignSpec:
         if "fine_grained" in data:
             kwargs["fine_grained"] = bool(data["fine_grained"])
         if "extra_jobs" in data:
-            kwargs["extra_jobs"] = [JobSpec.from_dict(j) for j in data["extra_jobs"]]  # type: ignore[union-attr]
+            kwargs["extra_jobs"] = [ProfileSpec.from_dict(j) for j in data["extra_jobs"]]  # type: ignore[union-attr]
         if "execution" in data:
             kwargs["execution"] = str(data["execution"])
         return cls(**kwargs)  # type: ignore[arg-type]
@@ -321,8 +221,21 @@ class CampaignSpec:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
 
 
-def expand_jobs(spec: Union[CampaignSpec, Iterable[JobSpec]]) -> list[JobSpec]:
+def expand_jobs(spec: Union[CampaignSpec, Iterable[ProfileSpec]]) -> list[ProfileSpec]:
     """Accept either a campaign or an explicit job list and return jobs."""
     if isinstance(spec, CampaignSpec):
         return spec.expand()
     return list(spec)
+
+
+def __getattr__(name: str):
+    if name == "JobSpec":
+        warnings.warn(
+            "JobSpec is deprecated; a campaign job is now a "
+            "repro.api.ProfileSpec (same fields, plus an optional "
+            "record_to)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ProfileSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

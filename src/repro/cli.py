@@ -1,167 +1,52 @@
-"""Command-line interface: the reproduction's ``accelprof`` equivalent.
+"""Deprecated ``pasta-profile`` console script (use ``pasta profile``).
 
-The paper's artifact launches profiled applications as
-``accelprof -t <tool> <executable>``.  Since the workloads here are the
-simulated models of the zoo, the CLI takes a model name instead of an
-executable and otherwise mirrors that interface: pick one or more tools from
-the registry, a device, a mode, and optionally a grid-id analysis window, then
-print each tool's report.
-
-Examples
---------
-::
+Everything this module used to implement lives in the umbrella CLI
+(:mod:`repro.commands`) now; :func:`main` forwards its arguments to
+``pasta profile`` unchanged, emitting a :class:`DeprecationWarning`.  The
+flags are a strict subset of the new subcommand's, so any historical
+invocation keeps producing identical output::
 
     pasta-profile resnet18 --tool kernel_frequency --device a100
-    pasta-profile gpt2 --mode train --tool memory_characteristics --tool memory_timeline
-    pasta-profile bert --tool kernel_frequency --start-grid-id 0 --end-grid-id 49 --json
-    pasta-profile --list-tools
-
-Batch campaigns
----------------
-``pasta-profile`` runs one configuration per invocation.  To sweep a grid of
-models x devices x tools x knobs — the shape of every figure in the paper's
-evaluation — use the campaign engine instead (:mod:`repro.campaign`): write a
-JSON campaign spec and run it with the ``pasta-campaign`` command, which
-executes the expanded grid over a worker pool (``--jobs N``), serves repeated
-configurations from a content-addressed result cache, appends records to a
-JSONL store, and aggregates them into per-model/per-device tables and
-baseline-vs-current regression diffs::
-
-    pasta-campaign run sweep.json --jobs 4 --store results.jsonl
-    pasta-campaign report results.jsonl --by device
-    pasta-campaign diff baseline.jsonl results.jsonl --threshold 0.1
-    pasta-campaign clean
-
-See :mod:`repro.campaign.cli` for the spec format and
-``examples/campaign_sweep.py`` for the programmatic API.
-
-Trace record & replay
----------------------
-Every ``pasta-profile`` run pays for a full simulation and discards the event
-stream when it exits.  To keep the stream for offline analysis — re-running
-different tools or analysis models against one recorded simulation — use the
-trace subsystem (:mod:`repro.replay`) and its ``pasta-trace`` command::
-
-    pasta-trace record resnet18 -o resnet18.pastatrace
-    pasta-trace replay resnet18.pastatrace --tool kernel_frequency
-    pasta-trace replay resnet18.pastatrace --tool hotness --analysis-model cpu_side
-    pasta-trace info resnet18.pastatrace
-    pasta-trace slice resnet18.pastatrace -o window.pastatrace --start-grid-id 0 --end-grid-id 49
+    pasta profile  resnet18 --tool kernel_frequency --device a100   # new
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
+import warnings
 from typing import Optional, Sequence
 
-from repro.core.annotations import RangeFilter
-from repro.core.registry import create_tool, registered_tools
-from repro.core.session import PastaSession
-from repro.dlframework.context import FrameworkContext
-from repro.dlframework.engine import ExecutionEngine
-from repro.dlframework.models import MODEL_REGISTRY, create_model
-from repro.errors import ReproError
-from repro.gpusim.device import get_device_spec
-from repro.gpusim.runtime import create_runtime
-
-# Importing the tools package registers the built-in tool collection.
-import repro.tools  # noqa: F401  (side effect: tool registration)
+from repro.commands.render import print_text_report as _print_text_report  # noqa: F401
+# Re-exported for backward compatibility: callers historically imported the
+# text renderer from this module.
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the CLI argument parser."""
+    """The legacy standalone ``pasta-profile`` parser (same flags as
+    ``pasta profile``, minus the umbrella)."""
+    from repro.commands import profile
+
     parser = argparse.ArgumentParser(
         prog="pasta-profile",
-        description="Profile a simulated DL workload with PASTA analysis tools.",
+        description="Deprecated alias of `pasta profile`.",
     )
-    parser.add_argument("model", nargs="?", choices=sorted(MODEL_REGISTRY),
-                        help="model to profile (from the model zoo)")
-    parser.add_argument("--tool", "-t", action="append", default=[],
-                        help="tool name from the registry; may be repeated")
-    parser.add_argument("--device", "-d", default="a100",
-                        help="device short name: a100, rtx3060, mi300x (default: a100)")
-    parser.add_argument("--mode", choices=["inference", "train"], default="inference")
-    parser.add_argument("--iterations", type=int, default=1)
-    parser.add_argument("--batch-size", type=int, default=None,
-                        help="override the model's paper batch size")
-    parser.add_argument("--backend", default=None,
-                        help="profiling backend: compute_sanitizer, nvbit, rocprofiler")
-    parser.add_argument("--fine-grained", action="store_true",
-                        help="enable device-side (instruction-level) instrumentation")
-    parser.add_argument("--start-grid-id", type=int, default=None,
-                        help="first kernel-launch index to analyse (START_GRID_ID)")
-    parser.add_argument("--end-grid-id", type=int, default=None,
-                        help="last kernel-launch index to analyse (END_GRID_ID)")
-    parser.add_argument("--json", action="store_true", help="emit reports as JSON")
-    parser.add_argument("--list-tools", action="store_true",
-                        help="list registered tools and exit")
+    profile.configure_parser(parser)
     return parser
-
-
-def _print_text_report(reports: dict[str, dict[str, object]]) -> None:
-    for tool_name, report in reports.items():
-        print(f"\n[{tool_name}]")
-        for key, value in report.items():
-            if key == "tool":
-                continue
-            print(f"  {key}: {value}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+    warnings.warn(
+        "the pasta-profile command is deprecated; use `pasta profile ...` "
+        "(same flags)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.commands import main as pasta_main
 
-    if args.list_tools:
-        for name in registered_tools():
-            print(name)
-        return 0
-    if not args.model:
-        parser.error("a model name is required unless --list-tools is given")
-    if not args.tool:
-        parser.error("at least one --tool is required (see --list-tools)")
-
-    try:
-        spec = get_device_spec(args.device)
-        tools = [create_tool(name) for name in args.tool]
-        runtime = create_runtime(spec)
-        ctx = FrameworkContext(runtime)
-        engine = ExecutionEngine(ctx)
-        model = create_model(args.model)
-
-        range_filter = RangeFilter()
-        if args.start_grid_id is not None or args.end_grid_id is not None:
-            range_filter.set_grid_window(args.start_grid_id, args.end_grid_id)
-
-        session = PastaSession(
-            runtime,
-            tools=tools,
-            vendor_backend=args.backend,
-            enable_fine_grained=args.fine_grained,
-            range_filter=range_filter,
-        )
-        session.attach_framework(ctx)
-        with session:
-            engine.prepare(model)
-            if args.mode == "inference":
-                summary = engine.run_inference(model, iterations=args.iterations,
-                                               batch_size=args.batch_size)
-            else:
-                summary = engine.run_training(model, iterations=args.iterations,
-                                              batch_size=args.batch_size)
-        reports = session.reports()
-        reports["run"] = summary.as_dict()
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-
-    if args.json:
-        print(json.dumps(reports, indent=2, default=str))
-    else:
-        _print_text_report(reports)
-    return 0
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return pasta_main(["profile", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -1,0 +1,67 @@
+"""The ``pasta`` umbrella command line.
+
+One entry point for the whole framework, mirroring the facade's shape::
+
+    pasta profile  resnet18 --tool kernel_frequency --device a100
+    pasta campaign run sweep.json --jobs 4 --store results.jsonl
+    pasta trace    replay resnet18.pastatrace --tool hotness
+
+The historical ``pasta-profile`` / ``pasta-campaign`` / ``pasta-trace``
+console scripts still work but are deprecated shims over these subcommands
+(see :mod:`repro.cli`, :mod:`repro.campaign.cli`, :mod:`repro.replay.cli`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+# No side-effect tool import here: the registry lazily seeds the built-in
+# collection on first access (`--list-tools`, name-based selection, ...).
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the umbrella ``pasta`` argument parser."""
+    from repro.commands import campaign, profile, trace
+
+    parser = argparse.ArgumentParser(
+        prog="pasta",
+        description="PASTA: profile, batch-sweep, and trace-replay simulated "
+                    "accelerator workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile_parser = sub.add_parser(
+        "profile", help="profile one workload with PASTA analysis tools")
+    profile.configure_parser(profile_parser)
+    profile_parser.set_defaults(handler=profile.cmd_profile, parser=profile_parser)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="run, report and diff batched profiling campaigns")
+    campaign.configure_parser(campaign_parser)
+    campaign_parser.set_defaults(handler=campaign.cmd_campaign, parser=campaign_parser)
+
+    trace_parser = sub.add_parser(
+        "trace", help="record, inspect, slice and replay event traces")
+    trace.configure_parser(trace_parser)
+    trace_parser.set_defaults(handler=trace.cmd_trace, parser=trace_parser)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, args.parser)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.commands`` to run the ``pasta`` umbrella CLI."""
+
+import sys
+
+from repro.commands import main
+
+if __name__ == "__main__":
+    sys.exit(main())

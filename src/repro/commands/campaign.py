@@ -1,0 +1,216 @@
+"""``pasta campaign``: batch experiment campaigns over the simulated zoo.
+
+Subcommands
+-----------
+
+``run``
+    Expand a JSON campaign spec into its job grid and execute it over a
+    worker pool, serving repeated configurations from the result cache::
+
+        pasta campaign run sweep.json --jobs 4 --store results.jsonl
+
+``report``
+    Aggregate a result store into per-model / per-device tables and the
+    analysis-model overhead comparison::
+
+        pasta campaign report results.jsonl --by device
+
+``diff``
+    Compare two stores job-by-job and flag metric regressions::
+
+        pasta campaign diff baseline.jsonl current.jsonl --threshold 0.1
+
+``clean``
+    Drop the result cache (and optionally a store)::
+
+        pasta campaign clean --cache-dir .pasta-cache
+
+Spec format
+-----------
+A campaign spec is a JSON object with grid axes; every list axis multiplies.
+Each expanded grid cell is one :class:`~repro.api.spec.ProfileSpec` job::
+
+    {
+      "name": "fig9-mini",
+      "models": ["alexnet", "resnet18", "bert"],
+      "devices": ["a100", "rtx3060"],
+      "tools": ["kernel_frequency", ["memory_characteristics", "memory_timeline"]],
+      "analysis_models": ["gpu_resident", "cpu_side"],
+      "batch_size": 2,
+      "knob_sweep": [{}, {"start_grid_id": 0, "end_grid_id": 49}]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.campaign.aggregate import (
+    GROUP_FIELDS,
+    diff_records,
+    overhead_model_comparison,
+    render_table,
+    rollup,
+)
+from repro.campaign.cache import ResultCache
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.errors import ReproError
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".pasta-cache"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Populate the ``campaign`` subcommand's nested subcommands."""
+    sub = parser.add_subparsers(dest="campaign_command", required=True)
+
+    run = sub.add_parser("run", help="execute a campaign spec")
+    run.add_argument("spec", help="path to a campaign spec JSON file")
+    run.add_argument("--jobs", "-j", type=int, default=1,
+                     help="worker-pool width (default: 1)")
+    run.add_argument("--executor", choices=["thread", "process", "serial"],
+                     default="thread", help="worker pool flavour (default: thread)")
+    run.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                     help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the result cache for this run")
+    run.add_argument("--store", default=None,
+                     help="append job records to this JSONL file")
+    run.add_argument("--timeout", type=float, default=None,
+                     help="per-job timeout in seconds")
+    run.add_argument("--retries", type=int, default=0,
+                     help="re-attempts per failing job (default: 0)")
+    run.add_argument("--execution", choices=["simulate", "replay"], default=None,
+                     help="override the spec's execution mode: 'replay' records "
+                          "each distinct workload once and replays it per "
+                          "tool/analysis-model combination (runs inline; "
+                          "--jobs/--executor/--timeout apply to simulate mode)")
+    run.add_argument("--trace-dir", default=None,
+                     help="keep replay-mode workload traces in this directory "
+                          "(default: a discarded temporary directory)")
+    run.add_argument("--dry-run", action="store_true",
+                     help="print the expanded job grid and exit")
+    run.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    run.set_defaults(campaign_handler=_cmd_run)
+
+    report = sub.add_parser("report", help="aggregate a result store")
+    report.add_argument("store", help="path to a JSONL result store")
+    report.add_argument("--by", choices=list(GROUP_FIELDS), default="model",
+                        help="job axis to group by (default: model)")
+    report.add_argument("--json", action="store_true", help="emit tables as JSON")
+    report.set_defaults(campaign_handler=_cmd_report)
+
+    diff = sub.add_parser("diff", help="compare two result stores")
+    diff.add_argument("baseline", help="baseline JSONL result store")
+    diff.add_argument("current", help="current JSONL result store")
+    diff.add_argument("--threshold", type=float, default=0.05,
+                      help="regression threshold as a fraction (default: 0.05)")
+    diff.add_argument("--fail-on-regression", action="store_true",
+                      help="exit non-zero when any metric regresses")
+    diff.add_argument("--json", action="store_true", help="emit the diff as JSON")
+    diff.set_defaults(campaign_handler=_cmd_diff)
+
+    clean = sub.add_parser("clean", help="drop the result cache")
+    clean.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
+    clean.add_argument("--store", default=None,
+                       help="also delete this JSONL result store")
+    clean.set_defaults(campaign_handler=_cmd_clean)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.load(args.spec)
+    jobs = spec.expand()
+    if args.dry_run:
+        print(f"campaign {spec.name!r}: {len(jobs)} jobs")
+        for job in jobs:
+            print(f"  {job.label()}")
+        return 0
+    scheduler = CampaignScheduler(
+        jobs=args.jobs,
+        executor=args.executor,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        store=ResultStore(args.store) if args.store else None,
+        execution=args.execution,
+        trace_dir=args.trace_dir,
+    )
+    result = scheduler.run(spec)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        replay_note = (
+            f", {result.workloads_recorded} workload(s) simulated"
+            if result.execution == "replay" else ""
+        )
+        print(f"campaign {result.name!r}: {result.total} jobs "
+              f"({result.executed} executed, {result.cached} cached, "
+              f"{result.failed} failed{replay_note}) in {result.duration_s:.2f}s")
+        for outcome in result.failures():
+            print(f"  FAILED {outcome.job.label()}: [{outcome.status}] {outcome.error}")
+    return 0 if result.failed == 0 else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    latest = list(ResultStore(args.store).latest_by_digest().values())
+    if not latest:
+        raise ReproError(f"no records in store {args.store!r}")
+    table = rollup(latest, by=args.by)
+    comparison = overhead_model_comparison(latest)
+    if args.json:
+        print(json.dumps({"rollup": table, "analysis_model_comparison": comparison},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"# roll-up by {args.by}")
+    print(render_table(table))
+    if comparison:
+        print("\n# analysis-model overhead comparison")
+        print(render_table(comparison))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    baseline = ResultStore(args.baseline).load()
+    current = ResultStore(args.current).load()
+    result = diff_records(baseline, current, threshold=args.threshold)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(f"matched {result['matched']} jobs; {result['regressions']} regressed "
+              f"(threshold {args.threshold:+.0%}); "
+              f"{result['only_in_baseline']} only in baseline, "
+              f"{result['only_in_current']} only in current")
+        for row in result["rows"]:  # type: ignore[union-attr]
+            if not row["regressed"]:
+                continue
+            tools = "+".join(row["tools"]) if row["tools"] else "overhead-only"
+            for metric, cell in row["metrics"].items():
+                if cell["regressed"]:
+                    print(f"  REGRESSED {row['job']}/{row['device']}/{tools} {metric}: "
+                          f"{cell['baseline']:.4g} -> {cell['current']:.4g} "
+                          f"(x{cell['ratio']:.3f})")
+    if args.fail_on_regression and result["regressions"]:
+        return 1
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    removed = ResultCache(args.cache_dir).clear()
+    print(f"removed {removed} cached result(s) from {args.cache_dir}")
+    if args.store:
+        store = ResultStore(args.store)
+        existed = store.path.exists()
+        store.clear()
+        if existed:
+            print(f"deleted store {args.store}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Dispatch to the selected ``campaign`` subcommand."""
+    return args.campaign_handler(args)

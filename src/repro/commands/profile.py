@@ -1,0 +1,120 @@
+"""``pasta profile``: profile one simulated workload with PASTA tools.
+
+The reproduction's ``accelprof`` equivalent, rebuilt on the unified facade:
+the command-line arguments populate one
+:class:`~repro.api.spec.ProfileSpec`, and execution goes through
+:func:`repro.api.execute` — exactly the path the programmatic API, the
+campaign scheduler and the replay engine share.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.api import ProfileSpec, execute
+from repro.core.registry import REGISTRY, registered_tools
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Populate the ``profile`` subcommand's arguments."""
+    parser.add_argument("model", nargs="?",
+                        help="model to profile (see --list-models)")
+    parser.add_argument("--tool", "-t", action="append", default=[],
+                        help="tool name from the registry; may be repeated")
+    parser.add_argument("--device", "-d", default="a100",
+                        help="device short name (see --list-devices; default: a100)")
+    parser.add_argument("--mode", choices=["inference", "train"], default="inference")
+    parser.add_argument("--iterations", type=int, default=1)
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="override the model's paper batch size")
+    parser.add_argument("--backend", default=None,
+                        help="profiling backend (see --list-backends; "
+                             "default: the device vendor's recommendation)")
+    parser.add_argument("--analysis-model", default="gpu_resident",
+                        help="where fine-grained analysis runs: gpu_resident "
+                             "or cpu_side (default: gpu_resident)")
+    parser.add_argument("--fine-grained", action="store_true",
+                        help="enable device-side (instruction-level) instrumentation")
+    parser.add_argument("--start-grid-id", type=int, default=None,
+                        help="first kernel-launch index to analyse (START_GRID_ID)")
+    parser.add_argument("--end-grid-id", type=int, default=None,
+                        help="last kernel-launch index to analyse (END_GRID_ID)")
+    parser.add_argument("--record", metavar="TRACE", default=None,
+                        help="also record the event stream to this trace file "
+                             "for later `pasta trace replay`")
+    parser.add_argument("--json", action="store_true", help="emit reports as JSON")
+    parser.add_argument("--list-tools", action="store_true",
+                        help="list registered tools and exit")
+    parser.add_argument("--list-models", action="store_true",
+                        help="list registered models and exit")
+    parser.add_argument("--list-devices", action="store_true",
+                        help="list registered devices and exit")
+    parser.add_argument("--list-backends", action="store_true",
+                        help="list registered profiling backends and exit")
+
+
+def spec_from_args(args: argparse.Namespace) -> ProfileSpec:
+    """The :class:`ProfileSpec` described by parsed ``profile`` arguments."""
+    knobs: dict[str, object] = {}
+    if args.start_grid_id is not None:
+        knobs["start_grid_id"] = args.start_grid_id
+    if args.end_grid_id is not None:
+        knobs["end_grid_id"] = args.end_grid_id
+    return ProfileSpec(
+        model=args.model,
+        device=args.device,
+        mode=args.mode,
+        tools=tuple(args.tool),
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        backend=args.backend,
+        analysis_model=args.analysis_model,
+        fine_grained=args.fine_grained,
+        knobs=tuple(knobs.items()),  # type: ignore[arg-type]
+        record_to=args.record,
+    )
+
+
+def _maybe_list(args: argparse.Namespace) -> Optional[int]:
+    from repro.commands.render import print_names
+
+    if args.list_tools:
+        print_names(registered_tools())
+        return 0
+    if args.list_models:
+        print_names(REGISTRY.names("models"))
+        return 0
+    if args.list_devices:
+        print_names(REGISTRY.names("devices"))
+        return 0
+    if args.list_backends:
+        print_names(REGISTRY.names("vendors"))
+        return 0
+    return None
+
+
+def cmd_profile(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Run the ``profile`` subcommand; returns a process exit code."""
+    from repro.commands.render import print_reports
+
+    listed = _maybe_list(args)
+    if listed is not None:
+        return listed
+    if not args.model:
+        parser.error("a model name is required unless --list-tools is given")
+    if not args.tool:
+        parser.error("at least one --tool is required (see --list-tools)")
+
+    result = execute(spec_from_args(args))
+    reports = result.reports()
+    reports["run"] = result.summary.as_dict()
+    if args.record:
+        # In JSON mode the trace path rides inside the document — a bare
+        # text line first would make stdout invalid JSON for pipelines.
+        if args.json:
+            reports["trace"] = {"path": str(result.session.trace_path)}
+        else:
+            print(f"recorded event stream to {result.session.trace_path}")
+    print_reports(reports, args.json)
+    return 0

@@ -1,0 +1,216 @@
+"""``pasta trace``: record, inspect, slice and replay PASTA event traces.
+
+Subcommands
+-----------
+
+``record``
+    Run one simulated workload and persist its normalised event stream::
+
+        pasta trace record resnet18 -o resnet18.pastatrace --device a100
+
+``replay``
+    Re-drive a recorded trace through a tool set — optionally under a
+    different analysis model — and print the reports, exactly as a live
+    ``pasta profile`` run would have::
+
+        pasta trace replay resnet18.pastatrace --tool kernel_frequency
+        pasta trace replay resnet18.pastatrace --tool hotness --analysis-model cpu_side
+
+``info``
+    Show a trace's header, counts and digest-verification status::
+
+        pasta trace info resnet18.pastatrace
+
+``slice``
+    Write a filtered copy of a trace (by category, kernel-launch window, or
+    annotation region)::
+
+        pasta trace slice resnet18.pastatrace -o window.pastatrace \\
+            --start-grid-id 0 --end-grid-id 49
+
+Recording and replay both run through the unified facade: ``record`` is
+:func:`repro.api.execute` with a ``record_to`` destination, ``replay`` is
+:func:`repro.api.replay` with the spec assembled from the flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.api import ProfileSpec, execute, replay
+from repro.core.annotations import RangeFilter
+from repro.core.registry import registered_tools
+from repro.core.serialization import json_sanitize
+from repro.errors import ReproError
+from repro.replay.reader import TraceReader
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Populate the ``trace`` subcommand's nested subcommands."""
+    sub = parser.add_subparsers(dest="trace_command", required=True)
+
+    record = sub.add_parser("record", help="run a workload and record its event stream")
+    # Free-form (validated against the registry at execution time) so that
+    # entry-point plugin models work and building the parser never has to
+    # import the model zoo.
+    record.add_argument("model",
+                        help="model to profile (see `pasta profile --list-models`)")
+    record.add_argument("--output", "-o", required=True, help="trace file to write")
+    record.add_argument("--device", "-d", default="a100",
+                        help="device short name (default: a100)")
+    record.add_argument("--mode", choices=["inference", "train"], default="inference")
+    record.add_argument("--iterations", type=int, default=1)
+    record.add_argument("--batch-size", type=int, default=None,
+                        help="override the model's paper batch size")
+    record.add_argument("--backend", default=None,
+                        help="profiling backend: compute_sanitizer, nvbit, rocprofiler")
+    record.add_argument("--fine-grained", action="store_true",
+                        help="record device-side (instruction-level) events too")
+    record.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    record.set_defaults(trace_handler=_cmd_record)
+
+    replay_p = sub.add_parser("replay", help="replay a trace through a tool set")
+    replay_p.add_argument("trace", nargs="?",
+                          help="path to a recorded trace (optional with --list-tools)")
+    replay_p.add_argument("--tool", "-t", action="append", default=[],
+                          help="tool name from the registry; may be repeated")
+    replay_p.add_argument("--analysis-model", default=None,
+                          help="override the recorded analysis model: "
+                               "gpu_resident, cpu_side, or a registered plugin name")
+    replay_p.add_argument("--start-grid-id", type=int, default=None,
+                          help="first kernel-launch index to analyse")
+    replay_p.add_argument("--end-grid-id", type=int, default=None,
+                          help="last kernel-launch index to analyse")
+    replay_p.add_argument("--list-tools", action="store_true",
+                          help="list registered tools and exit")
+    replay_p.add_argument("--json", action="store_true", help="emit reports as JSON")
+    _add_strict_schema_flag(replay_p)
+    replay_p.set_defaults(trace_handler=_cmd_replay)
+
+    info = sub.add_parser("info", help="show a trace's header, counts and digest status")
+    info.add_argument("trace", help="path to a recorded trace")
+    info.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    _add_strict_schema_flag(info)
+    info.set_defaults(trace_handler=_cmd_info)
+
+    slice_ = sub.add_parser("slice", help="write a filtered copy of a trace")
+    slice_.add_argument("trace", help="path to a recorded trace")
+    slice_.add_argument("--output", "-o", required=True, help="sliced trace file to write")
+    slice_.add_argument("--category", action="append", default=[],
+                        help="event category to keep; may be repeated")
+    slice_.add_argument("--start-grid-id", type=int, default=None,
+                        help="first kernel-launch index to keep")
+    slice_.add_argument("--end-grid-id", type=int, default=None,
+                        help="last kernel-launch index to keep")
+    slice_.add_argument("--region", default=None,
+                        help="keep only events inside pasta regions with this label")
+    _add_strict_schema_flag(slice_)
+    slice_.set_defaults(trace_handler=_cmd_slice)
+
+
+def _add_strict_schema_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--no-strict-schema", dest="strict_schema", action="store_false",
+        help="attempt a best-effort read of traces recorded under older "
+             "event schemas (unknown record fields are ignored)",
+    )
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    spec = ProfileSpec(
+        model=args.model,
+        device=args.device,
+        mode=args.mode,
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        backend=args.backend,
+        fine_grained=args.fine_grained,
+        record_to=args.output,
+    )
+    result = execute(spec)
+    reader = TraceReader(args.output)
+    summary = {
+        "trace": str(reader.path),
+        "events": reader.footer.event_count,
+        "chunks": reader.footer.chunk_count,
+        "run": result.summary.as_dict(),
+    }
+    if args.json:
+        print(json.dumps(json_sanitize(summary), indent=2, sort_keys=True))
+    else:
+        print(f"recorded {summary['events']} events "
+              f"({summary['chunks']} chunks) to {summary['trace']}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.commands.render import print_names, print_reports
+
+    if args.list_tools:
+        print_names(registered_tools())
+        return 0
+    if not args.trace:
+        raise ReproError("a trace path is required unless --list-tools is given")
+    range_filter = None
+    if args.start_grid_id is not None or args.end_grid_id is not None:
+        range_filter = RangeFilter()
+        range_filter.set_grid_window(args.start_grid_id, args.end_grid_id)
+    reader = TraceReader(args.trace, strict_schema=args.strict_schema)
+    result = replay(
+        reader,
+        tools=args.tool,
+        analysis_model=args.analysis_model,
+        range_filter=range_filter,
+    )
+    reports = result.reports()
+    if not args.json:
+        print(f"replayed {result.events_replayed} events from {args.trace}")
+    print_reports(reports, args.json)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    reader = TraceReader(args.trace, strict_schema=args.strict_schema)
+    info = reader.info()
+    info["digest_ok"] = reader.verify()
+    if args.json:
+        print(json.dumps(json_sanitize(info), indent=2, sort_keys=True))
+        return 0 if info["digest_ok"] else 1
+    header, footer = info["header"], info["footer"]
+    print(f"trace:        {info['path']} ({info['file_bytes']} bytes, "
+          f"{'indexed' if info['indexed'] else 'no index'})")
+    print(f"recorded by:  repro {header['repro_version']} "
+          f"(format v{header['format_version']})")
+    print(f"device:       {header['device'].get('name')}")
+    print(f"backend:      {header['backend']} / {header['analysis_model']}"
+          f"{' / fine-grained' if header['fine_grained'] else ''}")
+    if header["workload"]:
+        print(f"workload:     {header['workload']}")
+    print(f"events:       {footer['event_count']} in {info['chunks']} chunks")
+    for category, count in footer["category_counts"].items():
+        print(f"  {category}: {count}")
+    if not footer["complete"]:
+        print(f"status:       INCOMPLETE (recording aborted: "
+              f"{footer['abort_reason'] or 'unknown'})")
+    print(f"digest:       {'ok' if info['digest_ok'] else 'MISMATCH'}")
+    return 0 if info["digest_ok"] else 1
+
+
+def _cmd_slice(args: argparse.Namespace) -> int:
+    reader = TraceReader(args.trace, strict_schema=args.strict_schema)
+    footer = reader.slice_to(
+        args.output,
+        categories=args.category or None,
+        start_grid_id=args.start_grid_id,
+        end_grid_id=args.end_grid_id,
+        region=args.region,
+    )
+    print(f"wrote {footer.event_count} of {reader.footer.event_count} events "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Dispatch to the selected ``trace`` subcommand."""
+    return args.trace_handler(args)

@@ -50,9 +50,13 @@ from repro.core.overhead import OverheadAccountant
 from repro.core.processor import DispatchUnit, PastaEventProcessor
 from repro.core.registry import (
     PASTA_TOOL_ENV,
+    REGISTRY,
+    Registry,
+    RegistryNamespace,
     clear_registry,
     create_tool,
     create_tools,
+    discover_plugins,
     register_tool,
     registered_tools,
     select_tool,
@@ -83,6 +87,10 @@ __all__ = [
     "OverheadAccountant",
     "PASTA_TOOL_ENV",
     "PROFILER_RESERVED_BYTES",
+    "REGISTRY",
+    "Registry",
+    "RegistryNamespace",
+    "discover_plugins",
     "PastaEvent",
     "PastaEventHandler",
     "PastaEventProcessor",

@@ -1,64 +1,570 @@
-"""Tool registry and selection.
+"""Typed multi-namespace registry: the framework's single extension point.
 
-The paper's artifact selects a tool with ``accelprof -t <tool> <executable>``
-or via an environment variable.  The registry maps tool names to tool factories
-and resolves the user's selection (explicit name, ``PASTA_TOOL`` environment
-variable, or a default).
+The paper's pitch is a *modular* framework: tools, vendor backends, devices,
+models and analysis models all plug into one session abstraction.  This module
+is the plug board.  A :class:`Registry` holds one :class:`RegistryNamespace`
+per extension kind; each namespace is typed (it validates what registrants
+hand it), raises the domain's own error class, and can populate itself from
+three sources:
+
+* **built-ins** — seeded lazily on first access, so importing the registry
+  never drags in the simulator, the model zoo, or the tool collection;
+* **explicit registration** — :meth:`Registry.register` or the
+  :meth:`Registry.provider` decorator::
+
+      @REGISTRY.provider("tools", "my_tool")
+      class MyTool(PastaTool): ...
+
+* **entry points** — third-party distributions advertise plugins under the
+  ``pasta.<namespace>`` entry-point groups (``pasta.tools``,
+  ``pasta.vendors``, ``pasta.devices``, ``pasta.models``,
+  ``pasta.analysis_models``) and are discovered via
+  :mod:`importlib.metadata` without touching ``repro.*``::
+
+      [project.entry-points."pasta.tools"]
+      my_tool = "my_package.tools:MyTool"
+
+The historical tool-only helpers (``register_tool``, ``create_tool``,
+``registered_tools``, ``select_tool``, the ``PASTA_TOOL`` environment
+variable) remain the supported convenience surface for the ``tools``
+namespace — they are thin views over :data:`REGISTRY`.
 """
 
 from __future__ import annotations
 
+import importlib
+import importlib.metadata
 import os
-from typing import Callable, Iterable, Optional
+import sys
+import threading
+import warnings
+from typing import Callable, Iterable, Iterator, Optional, Sequence, TYPE_CHECKING
 
-from repro.errors import ToolError
-from repro.core.tool import PastaTool
+from repro.errors import (
+    DeviceError,
+    ModelError,
+    PastaError,
+    RegistryError,
+    ToolError,
+    VendorError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.tool import PastaTool
 
 #: Environment variable used to select a tool (the CLI's ``-t`` equivalent).
 PASTA_TOOL_ENV = "PASTA_TOOL"
 
 #: Factory signature for registered tools.
-ToolFactory = Callable[[], PastaTool]
+ToolFactory = Callable[[], "PastaTool"]
 
-_registry: dict[str, ToolFactory] = {}
+#: Prefix shared by every entry-point group the registry scans.
+ENTRY_POINT_PREFIX = "pasta"
 
 
+def _seed_tools(ns: "RegistryNamespace") -> Optional[bool]:
+    # Importing the package registers the bundled tool collection.  If the
+    # module is already (or still) being imported on another thread, calling
+    # import_module here could deadlock against the import lock; fall back to
+    # its idempotent registration hook instead.
+    module = sys.modules.get("repro.tools")
+    if module is None:
+        importlib.import_module("repro.tools")
+        return None
+    register = getattr(module, "register_builtin_tools", None)
+    if register is None:
+        # Mid-import on another thread and the hook is not defined yet:
+        # report "not seeded" so the next access retries instead of
+        # latching the namespace empty.
+        return False
+    register()
+    return None
+
+
+def _seed_vendors(ns: "RegistryNamespace") -> None:
+    from repro.vendors import BUILTIN_BACKENDS, BACKEND_ALIASES
+
+    for name, factory in BUILTIN_BACKENDS.items():
+        aliases = tuple(a for a, target in BACKEND_ALIASES.items() if target == name)
+        ns.register(name, factory, aliases=aliases, skip_existing=True)
+
+
+def _seed_devices(ns: "RegistryNamespace") -> None:
+    from repro.gpusim.device import BUILTIN_DEVICE_SPECS, DEVICE_ALIASES
+
+    for name, spec in BUILTIN_DEVICE_SPECS.items():
+        aliases = tuple(a for a, target in DEVICE_ALIASES.items() if target == name)
+        ns.register(name, spec, aliases=aliases, skip_existing=True)
+
+
+def _seed_models(ns: "RegistryNamespace") -> None:
+    from repro.dlframework.models import MODEL_REGISTRY
+
+    for name, factory in MODEL_REGISTRY.items():
+        ns.register(name, factory, skip_existing=True)
+
+
+def _seed_analysis_models(ns: "RegistryNamespace") -> None:
+    from repro.gpusim.trace import AnalysisModel
+
+    for member in AnalysisModel:
+        ns.register(member.value, member, skip_existing=True)
+
+
+def _product_check(dotted: str) -> Callable[[object], bool]:
+    """Lazily-resolved ``isinstance`` check against ``module:attr``."""
+
+    def check(obj: object) -> bool:
+        module_name, _, attr = dotted.partition(":")
+        base = getattr(importlib.import_module(module_name), attr)
+        return isinstance(obj, base)
+
+    return check
+
+
+class RegistryNamespace:
+    """One typed name -> entry mapping inside a :class:`Registry`.
+
+    Parameters
+    ----------
+    name:
+        Namespace identifier (``"tools"``, ``"devices"``, ...); also the
+        plural noun used in error messages.
+    kind:
+        ``"factory"`` entries are zero-argument callables instantiated by
+        :meth:`create`; ``"value"`` entries are returned as-is.
+    noun:
+        Singular noun for error messages (``"tool"``, ``"device"``).
+    error:
+        Domain error class raised for lookup/registration failures.
+    entry_point_group:
+        :mod:`importlib.metadata` group scanned for plugins
+        (``"pasta.tools"``); empty disables discovery for this namespace.
+    seed:
+        Callback registering the built-in entries; invoked lazily on first
+        access so the registry itself stays import-light.
+    product_check:
+        Optional predicate applied to whatever :meth:`create` produced;
+        a failing check raises the namespace's error class.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        kind: str = "factory",
+        noun: Optional[str] = None,
+        error: type = RegistryError,
+        entry_point_group: str = "",
+        seed: Optional[Callable[["RegistryNamespace"], Optional[bool]]] = None,
+        product_check: Optional[Callable[[object], bool]] = None,
+        registry: Optional["Registry"] = None,
+    ) -> None:
+        if kind not in ("factory", "value"):
+            raise RegistryError(f"namespace kind must be 'factory' or 'value', got {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.noun = noun or name.rstrip("s").replace("_", " ")
+        self.error = error
+        self.entry_point_group = entry_point_group
+        self._seed = seed
+        self._seeded = seed is None
+        self._seeding = False
+        self._seed_lock = threading.RLock()
+        self._product_check = product_check
+        self._registry = registry
+        self._entries: dict[str, object] = {}
+        self._aliases: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key(name: str) -> str:
+        key = str(name).strip().lower()
+        return key
+
+    def register(
+        self,
+        name: str,
+        entry: object,
+        *,
+        overwrite: bool = False,
+        skip_existing: bool = False,
+        aliases: Sequence[str] = (),
+    ) -> object:
+        """Register ``entry`` under ``name`` (plus optional aliases).
+
+        A duplicate name raises the namespace's error class unless
+        ``overwrite=True`` (replace) or ``skip_existing=True`` (keep the
+        existing entry — used by built-in seeding and plugin discovery so
+        an explicit registration always wins).  Returns the entry so the
+        method can back a decorator.
+        """
+        self._ensure_seeded()
+        key = self._key(name)
+        if not key:
+            raise self.error(f"{self.noun} name must be non-empty")
+        if self.kind == "factory" and not callable(entry):
+            raise self.error(
+                f"{self.noun} {name!r} must be registered as a zero-argument "
+                f"factory (a class or function), got {type(entry).__name__}"
+            )
+        if key in self._entries or key in self._aliases:
+            if skip_existing:
+                return self._entries.get(key, entry)
+            if not overwrite:
+                raise self.error(
+                    f"{self.noun} {name!r} is already registered; pass "
+                    f"overwrite=True to replace it"
+                )
+            self._aliases.pop(key, None)
+        self._entries[key] = entry
+        for alias in aliases:
+            alias_key = self._key(alias)
+            if not alias_key or alias_key == key:
+                continue
+            if alias_key in self._entries:
+                raise self.error(
+                    f"alias {alias!r} for {self.noun} {name!r} collides with a "
+                    f"registered {self.noun}"
+                )
+            self._aliases[alias_key] = key
+        return entry
+
+    def unregister(self, name: str) -> bool:
+        """Remove one entry (and its aliases); True if it existed."""
+        self._ensure_seeded()
+        key = self._key(name)
+        key = self._aliases.get(key, key)
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self._aliases = {a: t for a, t in self._aliases.items() if t != key}
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry and alias (built-ins will not auto-reseed)."""
+        self._seeded = True  # an explicit clear means "empty", not "unseeded"
+        self._entries.clear()
+        self._aliases.clear()
+
+    def reset(self) -> None:
+        """Drop everything and allow built-ins to reseed on next access."""
+        self._entries.clear()
+        self._aliases.clear()
+        self._seeded = self._seed is None
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def _ensure_seeded(self) -> None:
+        if self._seeded:
+            return
+        # Double-checked locking: concurrent first accesses (e.g. campaign
+        # worker threads) must block until seeding completes rather than see
+        # a half-populated namespace.  The seeding thread itself re-enters
+        # through register() and is let through by the _seeding flag.
+        with self._seed_lock:
+            if self._seeded or self._seeding:
+                return
+            self._seeding = True
+            try:
+                assert self._seed is not None
+                done = self._seed(self)
+            finally:
+                self._seeding = False
+            # Latch only on success: a raising seed (e.g. a transient
+            # ImportError) propagates and is retried on the next access
+            # instead of leaving the namespace permanently empty; a seed may
+            # also return False to request a retry explicitly.
+            self._seeded = done is not False
+
+    def resolve(self, name: str) -> str:
+        """Canonical key for ``name`` (follows aliases); raises if unknown."""
+        self._ensure_seeded()
+        key = self._key(name)
+        key = self._aliases.get(key, key)
+        if key not in self._entries:
+            if self._registry is not None and self._registry.discover_on_miss(self):
+                return self.resolve(name)
+            raise self.error(
+                f"unknown {self.noun} {name!r}; registered {self.name}: {self.names()}"
+            )
+        return key
+
+    def get(self, name: str) -> object:
+        """The raw registered entry (factory or value) for ``name``."""
+        return self._entries[self.resolve(name)]
+
+    def create(self, name: str) -> object:
+        """Instantiate (``kind="factory"``) or fetch (``kind="value"``) ``name``."""
+        entry = self.get(name)
+        product = entry() if self.kind == "factory" else entry
+        if self._product_check is not None and not self._product_check(product):
+            raise self.error(
+                f"{self.noun} {name!r} produced a {type(product).__name__}, "
+                f"which is not a valid {self.noun} for the {self.name!r} namespace"
+            )
+        return product
+
+    def names(self) -> list[str]:
+        """Sorted canonical names (aliases excluded), plugins included.
+
+        Listing triggers the one-shot entry-point scan so installed plugins
+        show up in ``--list-...`` output, not only on lookup misses.
+        """
+        self._ensure_seeded()
+        if self._registry is not None and self.entry_point_group:
+            self._registry.discover()
+        return sorted(self._entries)
+
+    def aliases(self) -> dict[str, str]:
+        """Alias -> canonical-name mapping."""
+        self._ensure_seeded()
+        return dict(self._aliases)
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_seeded()
+        key = self._key(name)
+        return key in self._entries or key in self._aliases
+
+    def __len__(self) -> int:
+        self._ensure_seeded()
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RegistryNamespace {self.name!r} ({len(self)} entries)>"
+
+
+class Registry:
+    """A set of typed namespaces with decorator and entry-point registration."""
+
+    def __init__(self) -> None:
+        self._namespaces: dict[str, RegistryNamespace] = {}
+        self._discovered = False
+
+    # ------------------------------------------------------------------ #
+    # namespaces
+    # ------------------------------------------------------------------ #
+    def add_namespace(self, namespace: RegistryNamespace) -> RegistryNamespace:
+        if namespace.name in self._namespaces:
+            raise RegistryError(f"namespace {namespace.name!r} already exists")
+        namespace._registry = self
+        self._namespaces[namespace.name] = namespace
+        return namespace
+
+    def namespace(self, name: str) -> RegistryNamespace:
+        ns = self._namespaces.get(name)
+        if ns is None:
+            raise RegistryError(
+                f"unknown registry namespace {name!r}; namespaces: {self.namespaces()}"
+            )
+        return ns
+
+    def namespaces(self) -> list[str]:
+        return sorted(self._namespaces)
+
+    # ------------------------------------------------------------------ #
+    # convenience passthroughs
+    # ------------------------------------------------------------------ #
+    def register(self, namespace: str, name: str, entry: object, **kwargs: object) -> object:
+        return self.namespace(namespace).register(name, entry, **kwargs)  # type: ignore[arg-type]
+
+    def get(self, namespace: str, name: str) -> object:
+        return self.namespace(namespace).get(name)
+
+    def create(self, namespace: str, name: str) -> object:
+        return self.namespace(namespace).create(name)
+
+    def names(self, namespace: str) -> list[str]:
+        return self.namespace(namespace).names()
+
+    def provider(
+        self,
+        namespace: str,
+        name: Optional[str] = None,
+        *,
+        overwrite: bool = False,
+        aliases: Sequence[str] = (),
+    ) -> Callable:
+        """Decorator registering a class or factory in ``namespace``.
+
+        The registered name defaults to the decorated object's ``tool_name``
+        attribute, falling back to its lowercased ``__name__``::
+
+            @REGISTRY.provider("tools")
+            class CacheLineTool(PastaTool):
+                tool_name = "cache_lines"
+        """
+
+        def decorate(obj):
+            registered = name or getattr(obj, "tool_name", None) or obj.__name__.lower()
+            self.namespace(namespace).register(
+                str(registered), obj, overwrite=overwrite, aliases=aliases
+            )
+            return obj
+
+        return decorate
+
+    # ------------------------------------------------------------------ #
+    # entry-point discovery
+    # ------------------------------------------------------------------ #
+    def discover(
+        self,
+        *,
+        path: Optional[Sequence[str]] = None,
+        force: bool = False,
+    ) -> dict[str, list[str]]:
+        """Scan ``pasta.*`` entry points and register every plugin found.
+
+        With ``path`` the scan is restricted to distributions importable from
+        those directories (used by tests to point at a synthetic
+        distribution); otherwise the interpreter's installed distributions
+        are scanned once per process (pass ``force=True`` to re-scan).
+        Existing registrations always win: a plugin can never silently
+        shadow a built-in or an explicitly registered entry.  A plugin whose
+        ``load()`` fails is skipped with a :class:`RuntimeWarning` rather
+        than breaking the host application.  Returns the names registered,
+        keyed by namespace.
+        """
+        if path is None:
+            if self._discovered and not force:
+                return {}
+            self._discovered = True
+        groups = {
+            ns.entry_point_group: ns
+            for ns in self._namespaces.values()
+            if ns.entry_point_group
+        }
+        found: dict[str, list[str]] = {}
+        for group, ns in groups.items():
+            for ep in self._entry_points(group, path):
+                if ep.name in ns:
+                    continue
+                try:
+                    entry = ep.load()
+                except Exception as error:  # pragma: no cover - plugin bug path
+                    warnings.warn(
+                        f"failed to load {group} entry point {ep.name!r} "
+                        f"({ep.value}): {type(error).__name__}: {error}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                ns.register(ep.name, entry, skip_existing=True)
+                found.setdefault(ns.name, []).append(ep.name)
+        return found
+
+    def discover_on_miss(self, namespace: RegistryNamespace) -> bool:
+        """Run one lazy discovery pass after a lookup miss; True if it ran."""
+        if self._discovered or not namespace.entry_point_group:
+            return False
+        return bool(self.discover()) or True
+
+    @staticmethod
+    def _entry_points(group: str, path: Optional[Sequence[str]]) -> Iterable:
+        if path is None:
+            return importlib.metadata.entry_points(group=group)
+        eps = []
+        for dist in importlib.metadata.distributions(path=list(path)):
+            eps.extend(ep for ep in dist.entry_points if ep.group == group)
+        return eps
+
+
+def _default_registry() -> Registry:
+    registry = Registry()
+    registry.add_namespace(RegistryNamespace(
+        "tools",
+        kind="factory",
+        noun="tool",
+        error=ToolError,
+        entry_point_group=f"{ENTRY_POINT_PREFIX}.tools",
+        seed=_seed_tools,
+        product_check=_product_check("repro.core.tool:PastaTool"),
+    ))
+    registry.add_namespace(RegistryNamespace(
+        "vendors",
+        kind="factory",
+        noun="profiling backend",
+        error=VendorError,
+        entry_point_group=f"{ENTRY_POINT_PREFIX}.vendors",
+        seed=_seed_vendors,
+        product_check=_product_check("repro.vendors.base:ProfilingBackend"),
+    ))
+    registry.add_namespace(RegistryNamespace(
+        "devices",
+        kind="value",
+        noun="device",
+        error=DeviceError,
+        entry_point_group=f"{ENTRY_POINT_PREFIX}.devices",
+        seed=_seed_devices,
+        product_check=_product_check("repro.gpusim.device:DeviceSpec"),
+    ))
+    registry.add_namespace(RegistryNamespace(
+        "models",
+        kind="factory",
+        noun="model",
+        error=ModelError,
+        entry_point_group=f"{ENTRY_POINT_PREFIX}.models",
+        seed=_seed_models,
+        product_check=_product_check("repro.dlframework.models.base:ModelBase"),
+    ))
+    registry.add_namespace(RegistryNamespace(
+        "analysis_models",
+        kind="value",
+        noun="analysis model",
+        error=PastaError,
+        entry_point_group=f"{ENTRY_POINT_PREFIX}.analysis_models",
+        seed=_seed_analysis_models,
+    ))
+    return registry
+
+
+#: The process-wide registry every framework component consults.
+REGISTRY = _default_registry()
+
+
+def discover_plugins(
+    path: Optional[Sequence[str]] = None, force: bool = True
+) -> dict[str, list[str]]:
+    """Explicitly scan for ``pasta.*`` entry-point plugins (see README)."""
+    return REGISTRY.discover(path=path, force=force)
+
+
+# ---------------------------------------------------------------------- #
+# historical tool-namespace helpers (the supported convenience surface)
+# ---------------------------------------------------------------------- #
 def register_tool(name: str, factory: ToolFactory, overwrite: bool = False) -> None:
     """Register a tool factory under ``name``."""
-    key = name.strip().lower()
-    if not key:
-        raise ToolError("tool name must be non-empty")
-    if key in _registry and not overwrite:
-        raise ToolError(f"tool {name!r} is already registered")
-    _registry[key] = factory
+    REGISTRY.namespace("tools").register(name, factory, overwrite=overwrite)
 
 
 def registered_tools() -> list[str]:
     """Names of all registered tools."""
-    return sorted(_registry)
+    return REGISTRY.names("tools")
 
 
-def create_tool(name: str) -> PastaTool:
+def create_tool(name: str) -> "PastaTool":
     """Instantiate a registered tool by name."""
-    key = name.strip().lower()
-    factory = _registry.get(key)
-    if factory is None:
-        raise ToolError(f"unknown tool {name!r}; registered tools: {registered_tools()}")
-    return factory()
+    return REGISTRY.create("tools", name)  # type: ignore[return-value]
 
 
-def create_tools(names: Iterable[str]) -> list[PastaTool]:
+def create_tools(names: Iterable[str]) -> list["PastaTool"]:
     """Instantiate several registered tools."""
     return [create_tool(name) for name in names]
 
 
 def select_tool(
     explicit: Optional[str] = None, env: Optional[dict[str, str]] = None
-) -> PastaTool:
+) -> "PastaTool":
     """Resolve the user's tool selection.
 
-    Precedence: an explicit name, then the ``PASTA_TOOL`` environment variable.
-    Raises :class:`~repro.errors.ToolError` if neither is set.
+    Precedence: an explicit name, then the ``PASTA_TOOL`` environment
+    variable.  Raises :class:`~repro.errors.ToolError` if neither is set.
     """
     env = dict(os.environ if env is None else env)
     name = explicit or env.get(PASTA_TOOL_ENV)
@@ -70,6 +576,12 @@ def select_tool(
     return create_tool(name)
 
 
-def clear_registry() -> None:
-    """Remove all registered tools (used by tests)."""
-    _registry.clear()
+def clear_registry(namespace: str = "tools") -> None:
+    """Remove every entry of one namespace (used by tests).
+
+    Clearing is sticky — built-ins do not silently reseed — so a test that
+    clears the tool namespace sees exactly what it registers afterwards.
+    Use :meth:`RegistryNamespace.reset` (or re-register the built-ins, e.g.
+    ``repro.tools.register_builtin_tools()``) to restore the defaults.
+    """
+    REGISTRY.namespace(namespace).clear()

@@ -23,7 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence, Union
 
-from repro.errors import PastaError, VendorError
+from repro.errors import PastaError
 from repro.core.annotations import RangeFilter, _set_active_session
 from repro.core.handler import PastaEventHandler
 from repro.core.overhead import OverheadAccountant
@@ -34,11 +34,10 @@ from repro.gpusim.costmodel import CostModelConfig
 from repro.gpusim.device import MiB
 from repro.gpusim.runtime import AcceleratorRuntime
 from repro.gpusim.trace import AnalysisModel
+from repro.core.registry import REGISTRY
 from repro.vendors import (
     ComputeSanitizerBackend,
-    NvbitBackend,
     ProfilingBackend,
-    RocprofilerBackend,
     default_backend_for_vendor,
 )
 
@@ -49,27 +48,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replay imports core)
 #: Device memory PASTA reserves for its profiling buffers (Section VI-A).
 PROFILER_RESERVED_BYTES = 4 * MiB
 
-_BACKEND_NAMES = {
-    "compute_sanitizer": ComputeSanitizerBackend,
-    "sanitizer": ComputeSanitizerBackend,
-    "nvbit": NvbitBackend,
-    "rocprofiler": RocprofilerBackend,
-}
-
 
 def _make_analysis_model(spec: Union[str, AnalysisModel]) -> AnalysisModel:
-    """Accept an :class:`AnalysisModel` member or its string value.
+    """Accept an :class:`AnalysisModel` member or a registered name.
 
     Campaign job specs are plain JSON, so sessions must be constructible from
-    ``"gpu_resident"`` / ``"cpu_side"`` strings as well as enum members.
+    ``"gpu_resident"`` / ``"cpu_side"`` strings as well as enum members; the
+    string form resolves through the ``analysis_models`` registry namespace
+    so plugins can register aliases.
     """
     if isinstance(spec, AnalysisModel):
         return spec
-    try:
-        return AnalysisModel(spec.strip().lower())
-    except (ValueError, AttributeError):
-        valid = sorted(m.value for m in AnalysisModel)
-        raise PastaError(f"unknown analysis model {spec!r}; valid: {valid}") from None
+    if not isinstance(spec, str):
+        valid = REGISTRY.names("analysis_models")
+        raise PastaError(f"unknown analysis model {spec!r}; valid: {valid}")
+    resolved = REGISTRY.get("analysis_models", spec)
+    if not isinstance(resolved, AnalysisModel):
+        resolved = AnalysisModel(str(resolved))
+    return resolved
 
 
 def collect_reports(
@@ -112,10 +108,7 @@ def _make_backend(spec: Union[str, ProfilingBackend, None], runtime: Accelerator
         return spec
     if spec is None:
         return default_backend_for_vendor(runtime.vendor)
-    cls = _BACKEND_NAMES.get(spec.strip().lower())
-    if cls is None:
-        raise VendorError(f"unknown profiling backend {spec!r}; known: {sorted(_BACKEND_NAMES)}")
-    return cls()
+    return REGISTRY.create("vendors", spec)  # type: ignore[return-value]
 
 
 class PastaSession:
@@ -192,10 +185,7 @@ class PastaSession:
         the same name would silently shadow the first's report.
         """
         if isinstance(tool, str):
-            # Imported lazily: the bundled tool collection builds on
-            # repro.core, so a module-level import would be cyclic.  The
-            # import also registers the bundled tools.
-            import repro.tools  # noqa: F401  (side effect: tool registration)
+            # The registry seeds the bundled tool collection on first use.
             from repro.core.registry import create_tool
 
             tool = create_tool(tool)

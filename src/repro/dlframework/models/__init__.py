@@ -3,7 +3,6 @@ Megatron GPT-2 345M for the multi-GPU parallelism study (Figure 15)."""
 
 from typing import Callable
 
-from repro.errors import ModelError
 from repro.dlframework.models.alexnet import AlexNet
 from repro.dlframework.models.base import ModelBase
 from repro.dlframework.models.bert import Bert
@@ -39,12 +38,24 @@ PAPER_MODELS: tuple[str, ...] = ("alexnet", "resnet18", "resnet34", "bert", "gpt
 
 
 def create_model(name: str) -> ModelBase:
-    """Instantiate a model from the registry by name."""
-    key = name.strip().lower()
-    factory = MODEL_REGISTRY.get(key)
-    if factory is None:
-        raise ModelError(f"unknown model {name!r}; known models: {sorted(MODEL_REGISTRY)}")
-    return factory()
+    """Instantiate a model by name from the ``models`` registry namespace.
+
+    The built-in zoo above is seeded automatically; plugin models registered
+    via :mod:`repro.core.registry` (decorator or ``pasta.models`` entry
+    points) resolve the same way.
+    """
+    # Imported lazily: the registry seeds itself from this module, so a
+    # module-level import would be cyclic.
+    from repro.core.registry import REGISTRY
+
+    return REGISTRY.create("models", name)  # type: ignore[return-value]
+
+
+def registered_models() -> list[str]:
+    """Names of every registered model (built-ins plus plugins)."""
+    from repro.core.registry import REGISTRY
+
+    return REGISTRY.names("models")
 
 
 __all__ = [
@@ -63,4 +74,5 @@ __all__ = [
     "ResNet34",
     "Whisper",
     "create_model",
+    "registered_models",
 ]

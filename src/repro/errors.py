@@ -59,6 +59,10 @@ class ModelError(FrameworkError):
     """Raised for invalid model configuration."""
 
 
+class RegistryError(ReproError):
+    """Raised for registry namespace configuration and lookup problems."""
+
+
 class PastaError(ReproError):
     """Base class for errors raised by the PASTA core framework."""
 

@@ -143,26 +143,35 @@ MI300X = DeviceSpec(
     compute_capability="gfx942",
 )
 
-_KNOWN_SPECS = {
+#: Built-in specs seeded into the ``devices`` registry namespace.
+BUILTIN_DEVICE_SPECS: dict[str, DeviceSpec] = {
     "a100": A100,
     "rtx3060": RTX3060,
-    "3060": RTX3060,
     "mi300x": MI300X,
 }
 
+#: Short-name aliases accepted alongside the canonical names above.
+DEVICE_ALIASES: dict[str, str] = {"3060": "rtx3060"}
+
+# Kept for backward compatibility with callers that peeked at the old ad-hoc
+# mapping; the registry namespace is the authoritative view.
+_KNOWN_SPECS = {**BUILTIN_DEVICE_SPECS,
+                **{alias: BUILTIN_DEVICE_SPECS[t] for alias, t in DEVICE_ALIASES.items()}}
+
 
 def get_device_spec(name: str) -> DeviceSpec:
-    """Look up a built-in :class:`DeviceSpec` by a short name.
+    """Look up a :class:`DeviceSpec` by short name in the device registry.
 
-    Accepted names (case-insensitive): ``"a100"``, ``"rtx3060"``/``"3060"``,
-    ``"mi300x"``.
+    Built-ins (case-insensitive): ``"a100"``, ``"rtx3060"``/``"3060"``,
+    ``"mi300x"``; plugins may register more (see
+    :mod:`repro.core.registry`).
     """
-    spec = _KNOWN_SPECS.get(name.strip().lower())
-    if spec is None:
-        raise DeviceError(
-            f"unknown device {name!r}; known devices: {sorted(set(_KNOWN_SPECS))}"
-        )
-    return spec
+    # Imported lazily: the registry seeds itself from this module, so a
+    # module-level import would be cyclic.  create() (not get()) so the
+    # namespace's DeviceSpec product check runs on plugin entries.
+    from repro.core.registry import REGISTRY
+
+    return REGISTRY.create("devices", name)  # type: ignore[return-value]
 
 
 _device_ids = itertools.count(0)

@@ -1,6 +1,6 @@
-"""The user-facing ``pasta`` annotation package (Listing 1 of the paper).
+"""The user-facing ``pasta`` facade: annotations plus the profiling API.
 
-Users bracket regions of interest with::
+Annotation API (Listing 1 of the paper) — bracket regions of interest::
 
     from repro import pasta
     ...
@@ -10,8 +10,28 @@ Users bracket regions of interest with::
 
 Both calls are no-ops when no PASTA session is active, so annotated code runs
 unmodified without the profiler attached.
+
+Profiling API — one fluent line from model to reports::
+
+    pasta.profile("gpt2").on("a100").mode("train") \\
+         .with_tools("hotness", "access_histogram") \\
+         .record("trace.pasta").run()
+
+plus the plain-call equivalents :func:`run` (live execution) and
+:func:`replay` (offline re-analysis of a recorded trace), both driven by the
+same :class:`ProfileSpec`.
 """
 
+from repro.api import ProfileBuilder, ProfileResult, ProfileSpec, profile, replay, run
 from repro.core.annotations import start, stop
 
-__all__ = ["start", "stop"]
+__all__ = [
+    "ProfileBuilder",
+    "ProfileResult",
+    "ProfileSpec",
+    "profile",
+    "replay",
+    "run",
+    "start",
+    "stop",
+]

@@ -1,239 +1,33 @@
-"""``pasta-trace``: record, inspect, slice and replay PASTA event traces.
+"""Deprecated ``pasta-trace`` console script (use ``pasta trace``).
 
-Subcommands
------------
+The implementation lives in :mod:`repro.commands.trace`; :func:`main`
+forwards its arguments to the ``pasta trace`` subcommand unchanged, emitting
+a :class:`DeprecationWarning`.  Trace files are unaffected — both spellings
+read and write the same format::
 
-``record``
-    Run one simulated workload and persist its normalised event stream::
-
-        pasta-trace record resnet18 -o resnet18.pastatrace --device a100
-
-``replay``
-    Re-drive a recorded trace through a tool set — optionally under a
-    different analysis model — and print the reports, exactly as a live
-    ``pasta-profile`` run would have::
-
-        pasta-trace replay resnet18.pastatrace --tool kernel_frequency
-        pasta-trace replay resnet18.pastatrace --tool hotness --analysis-model cpu_side
-
-``info``
-    Show a trace's header, counts and digest-verification status::
-
-        pasta-trace info resnet18.pastatrace
-
-``slice``
-    Write a filtered copy of a trace (by category, kernel-launch window, or
-    annotation region)::
-
-        pasta-trace slice resnet18.pastatrace -o window.pastatrace \\
-            --start-grid-id 0 --end-grid-id 49
+    pasta-trace replay resnet18.pastatrace --tool kernel_frequency
+    pasta trace  replay resnet18.pastatrace --tool kernel_frequency   # new
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
+import warnings
 from typing import Optional, Sequence
-
-from repro.cli import _print_text_report
-from repro.core.annotations import RangeFilter
-from repro.core.registry import create_tool, registered_tools
-from repro.core.serialization import json_sanitize
-from repro.dlframework.models import MODEL_REGISTRY
-from repro.errors import ReproError
-from repro.replay.reader import TraceReader
-from repro.replay.replayer import replay_trace
-from repro.workloads.runner import run_workload
-
-# Importing the tools package registers the built-in tool collection.
-import repro.tools  # noqa: F401  (side effect: tool registration)
-
-
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the ``pasta-trace`` argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="pasta-trace",
-        description="Record, inspect, slice and replay PASTA event traces.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    record = sub.add_parser("record", help="run a workload and record its event stream")
-    record.add_argument("model", choices=sorted(MODEL_REGISTRY),
-                        help="model to profile (from the model zoo)")
-    record.add_argument("--output", "-o", required=True, help="trace file to write")
-    record.add_argument("--device", "-d", default="a100",
-                        help="device short name: a100, rtx3060, mi300x (default: a100)")
-    record.add_argument("--mode", choices=["inference", "train"], default="inference")
-    record.add_argument("--iterations", type=int, default=1)
-    record.add_argument("--batch-size", type=int, default=None,
-                        help="override the model's paper batch size")
-    record.add_argument("--backend", default=None,
-                        help="profiling backend: compute_sanitizer, nvbit, rocprofiler")
-    record.add_argument("--fine-grained", action="store_true",
-                        help="record device-side (instruction-level) events too")
-    record.add_argument("--json", action="store_true", help="emit the summary as JSON")
-
-    replay = sub.add_parser("replay", help="replay a trace through a tool set")
-    replay.add_argument("trace", nargs="?",
-                        help="path to a recorded trace (optional with --list-tools)")
-    replay.add_argument("--tool", "-t", action="append", default=[],
-                        help="tool name from the registry; may be repeated")
-    replay.add_argument("--analysis-model", choices=["gpu_resident", "cpu_side"],
-                        default=None, help="override the recorded analysis model")
-    replay.add_argument("--start-grid-id", type=int, default=None,
-                        help="first kernel-launch index to analyse")
-    replay.add_argument("--end-grid-id", type=int, default=None,
-                        help="last kernel-launch index to analyse")
-    replay.add_argument("--list-tools", action="store_true",
-                        help="list registered tools and exit")
-    replay.add_argument("--json", action="store_true", help="emit reports as JSON")
-    _add_strict_schema_flag(replay)
-
-    info = sub.add_parser("info", help="show a trace's header, counts and digest status")
-    info.add_argument("trace", help="path to a recorded trace")
-    info.add_argument("--json", action="store_true", help="emit the summary as JSON")
-    _add_strict_schema_flag(info)
-
-    slice_ = sub.add_parser("slice", help="write a filtered copy of a trace")
-    slice_.add_argument("trace", help="path to a recorded trace")
-    slice_.add_argument("--output", "-o", required=True, help="sliced trace file to write")
-    slice_.add_argument("--category", action="append", default=[],
-                        help="event category to keep; may be repeated")
-    slice_.add_argument("--start-grid-id", type=int, default=None,
-                        help="first kernel-launch index to keep")
-    slice_.add_argument("--end-grid-id", type=int, default=None,
-                        help="last kernel-launch index to keep")
-    slice_.add_argument("--region", default=None,
-                        help="keep only events inside pasta regions with this label")
-    _add_strict_schema_flag(slice_)
-    return parser
-
-
-def _add_strict_schema_flag(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument(
-        "--no-strict-schema", dest="strict_schema", action="store_false",
-        help="attempt a best-effort read of traces recorded under older "
-             "event schemas (unknown record fields are ignored)",
-    )
-
-
-def _print_reports(reports: dict[str, dict[str, object]], as_json: bool) -> None:
-    if as_json:
-        print(json.dumps(json_sanitize(reports), indent=2, sort_keys=True))
-    else:
-        _print_text_report(reports)
-
-
-def _cmd_record(args: argparse.Namespace) -> int:
-    result = run_workload(
-        args.model,
-        device=args.device,
-        mode=args.mode,
-        iterations=args.iterations,
-        batch_size=args.batch_size,
-        vendor_backend=args.backend,
-        enable_fine_grained=args.fine_grained,
-        record_to=args.output,
-    )
-    reader = TraceReader(args.output)
-    summary = {
-        "trace": str(reader.path),
-        "events": reader.footer.event_count,
-        "chunks": reader.footer.chunk_count,
-        "run": result.summary.as_dict(),
-    }
-    if args.json:
-        print(json.dumps(json_sanitize(summary), indent=2, sort_keys=True))
-    else:
-        print(f"recorded {summary['events']} events "
-              f"({summary['chunks']} chunks) to {summary['trace']}")
-    return 0
-
-
-def _cmd_replay(args: argparse.Namespace) -> int:
-    if args.list_tools:
-        for name in registered_tools():
-            print(name)
-        return 0
-    if not args.trace:
-        raise ReproError("a trace path is required unless --list-tools is given")
-    tools = [create_tool(name) for name in args.tool]
-    range_filter = None
-    if args.start_grid_id is not None or args.end_grid_id is not None:
-        range_filter = RangeFilter()
-        range_filter.set_grid_window(args.start_grid_id, args.end_grid_id)
-    result = replay_trace(
-        TraceReader(args.trace, strict_schema=args.strict_schema),
-        tools=tools,
-        analysis_model=args.analysis_model,
-        range_filter=range_filter,
-    )
-    reports = result.reports()
-    if not args.json:
-        print(f"replayed {result.events_replayed} events from {args.trace}")
-    _print_reports(reports, args.json)
-    return 0
-
-
-def _cmd_info(args: argparse.Namespace) -> int:
-    reader = TraceReader(args.trace, strict_schema=args.strict_schema)
-    info = reader.info()
-    info["digest_ok"] = reader.verify()
-    if args.json:
-        print(json.dumps(json_sanitize(info), indent=2, sort_keys=True))
-        return 0 if info["digest_ok"] else 1
-    header, footer = info["header"], info["footer"]
-    print(f"trace:        {info['path']} ({info['file_bytes']} bytes, "
-          f"{'indexed' if info['indexed'] else 'no index'})")
-    print(f"recorded by:  repro {header['repro_version']} "
-          f"(format v{header['format_version']})")
-    print(f"device:       {header['device'].get('name')}")
-    print(f"backend:      {header['backend']} / {header['analysis_model']}"
-          f"{' / fine-grained' if header['fine_grained'] else ''}")
-    if header["workload"]:
-        print(f"workload:     {header['workload']}")
-    print(f"events:       {footer['event_count']} in {info['chunks']} chunks")
-    for category, count in footer["category_counts"].items():
-        print(f"  {category}: {count}")
-    if not footer["complete"]:
-        print(f"status:       INCOMPLETE (recording aborted: "
-              f"{footer['abort_reason'] or 'unknown'})")
-    print(f"digest:       {'ok' if info['digest_ok'] else 'MISMATCH'}")
-    return 0 if info["digest_ok"] else 1
-
-
-def _cmd_slice(args: argparse.Namespace) -> int:
-    reader = TraceReader(args.trace, strict_schema=args.strict_schema)
-    footer = reader.slice_to(
-        args.output,
-        categories=args.category or None,
-        start_grid_id=args.start_grid_id,
-        end_grid_id=args.end_grid_id,
-        region=args.region,
-    )
-    print(f"wrote {footer.event_count} of {reader.footer.event_count} events "
-          f"to {args.output}")
-    return 0
-
-
-_COMMANDS = {
-    "record": _cmd_record,
-    "replay": _cmd_replay,
-    "info": _cmd_info,
-    "slice": _cmd_slice,
-}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    try:
-        return _COMMANDS[args.command](args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    warnings.warn(
+        "the pasta-trace command is deprecated; use `pasta trace ...` "
+        "(same subcommands and flags)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.commands import main as pasta_main
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return pasta_main(["trace", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

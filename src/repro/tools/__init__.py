@@ -39,9 +39,18 @@ _BUILTIN_TOOLS = {
     WorkloadProfile.tool_name: WorkloadProfile,
 }
 
-for _name, _factory in _BUILTIN_TOOLS.items():
-    if _name not in registered_tools():
-        register_tool(_name, _factory)
+def register_builtin_tools(overwrite: bool = False) -> None:
+    """(Re-)register the bundled tool collection with the tool registry.
+
+    Runs automatically when this package is imported; call it explicitly to
+    restore the built-ins after ``clear_registry()`` in tests.
+    """
+    for name, factory in _BUILTIN_TOOLS.items():
+        if overwrite or name not in registered_tools():
+            register_tool(name, factory, overwrite=overwrite)
+
+
+register_builtin_tools()
 
 __all__ = [
     "ANALYSIS_VARIANTS",
@@ -65,4 +74,5 @@ __all__ = [
     "UvmRunResult",
     "WorkingSetSummary",
     "WorkloadProfile",
+    "register_builtin_tools",
 ]

@@ -14,6 +14,25 @@ from repro.vendors.rocprofiler import ROCPROFILER_INSTRUMENTABLE, RocprofilerBac
 from repro.errors import VendorError
 from repro.gpusim.device import Vendor
 
+#: Built-in backend factories seeded into the ``vendors`` registry namespace.
+BUILTIN_BACKENDS = {
+    "compute_sanitizer": ComputeSanitizerBackend,
+    "nvbit": NvbitBackend,
+    "rocprofiler": RocprofilerBackend,
+}
+
+#: Short-name aliases accepted alongside the canonical names above.
+BACKEND_ALIASES = {"sanitizer": "compute_sanitizer"}
+
+
+def create_backend(name: str) -> ProfilingBackend:
+    """Instantiate a profiling backend by name from the vendor registry."""
+    # Imported lazily: the registry seeds itself from this module, so a
+    # module-level import would be cyclic.
+    from repro.core.registry import REGISTRY
+
+    return REGISTRY.create("vendors", name)  # type: ignore[return-value]
+
 
 def default_backend_for_vendor(vendor: Vendor) -> ProfilingBackend:
     """Return the default profiling backend for a device vendor.
@@ -29,6 +48,8 @@ def default_backend_for_vendor(vendor: Vendor) -> ProfilingBackend:
 
 
 __all__ = [
+    "BACKEND_ALIASES",
+    "BUILTIN_BACKENDS",
     "ComputeSanitizerBackend",
     "NvbitBackend",
     "ProfilingBackend",
@@ -37,5 +58,6 @@ __all__ = [
     "SANITIZER_INSTRUMENTABLE",
     "VendorCallback",
     "VendorCallbackFn",
+    "create_backend",
     "default_backend_for_vendor",
 ]

@@ -1,98 +1,41 @@
-"""Workload runner: glue for profiling a model on a simulated device.
+"""Legacy workload-runner surface (deprecated shims over :mod:`repro.api`).
 
-Wraps the common experiment recipe — create a runtime, a framework context and
-an execution engine, attach a PASTA session with a set of tools, run inference
-or training, and return everything the caller needs to inspect — so examples,
-tests and benchmarks do not repeat the wiring.
+Everything this module used to implement lives in the unified runner now:
+:func:`repro.api.run` / :func:`repro.api.execute` take a
+:class:`~repro.api.spec.ProfileSpec` (or build one from keywords) and drive
+the single execution path shared with recording, replay and campaigns.  The
+functions here keep the historical signatures working, each emitting a
+:class:`DeprecationWarning` that names its replacement; they produce exactly
+the same results as the new API.
+
+:func:`record_uvm_schedule` remains a supported convenience (it is a helper
+around the UVM prefetch case study, not an execution path of its own).
 """
 
 from __future__ import annotations
 
-import dataclasses
-import difflib
-from dataclasses import dataclass
+import warnings
 from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
-from repro.errors import ReproError
+from repro import api
+from repro.api.runner import ProfileResult
 from repro.core.annotations import RangeFilter
-from repro.core.serialization import json_sanitize
-from repro.core.session import PastaSession
 from repro.core.tool import PastaTool
-from repro.dlframework.context import FrameworkContext
-from repro.dlframework.engine import ExecutionEngine, RunSummary
-from repro.dlframework.models import create_model
-from repro.dlframework.models.base import ModelBase
 from repro.gpusim.costmodel import CostModelConfig
-from repro.gpusim.device import DeviceSpec, get_device_spec
-from repro.gpusim.runtime import AcceleratorRuntime, create_runtime
+from repro.gpusim.device import DeviceSpec
 from repro.tools.uvm_prefetch import KernelScheduleEntry, UvmPrefetchAdvisor
 
-
-@dataclass
-class WorkloadResult:
-    """Everything produced by one profiled workload run."""
-
-    model: ModelBase
-    runtime: AcceleratorRuntime
-    ctx: FrameworkContext
-    session: PastaSession
-    summary: RunSummary
-
-    def reports(self) -> dict[str, dict[str, object]]:
-        """Tool reports collected by the session."""
-        return self.session.reports()
-
-    def tool(self, name: str) -> PastaTool:
-        """Fetch one of the session's tools by its registry name."""
-        for tool in self.session.tools:
-            if tool.tool_name == name:
-                return tool
-        attached = sorted(tool.tool_name for tool in self.session.tools)
-        raise ReproError(
-            f"tool {name!r} was not attached to this session; "
-            f"attached tools: {attached if attached else 'none'}"
-        )
-
-    def report(self, name: str) -> dict[str, object]:
-        """One attached tool's report by registry name.
-
-        Convenience for campaign-style callers that only need the report
-        payload: ``result.report("kernel_frequency")`` instead of
-        ``result.tool("kernel_frequency").report()``.
-        """
-        return self.tool(name).report()
+#: Deprecated name for the unified result type (same class, same fields).
+WorkloadResult = ProfileResult
 
 
-def _resolve_device(device: Union[str, DeviceSpec]) -> DeviceSpec:
-    if isinstance(device, DeviceSpec):
-        return device
-    return get_device_spec(device)
-
-
-#: Valid run modes plus common near-misses mapped to the intended value.
-_RUN_MODES = ("inference", "train")
-_MODE_ALIASES = {
-    "training": "train",
-    "trained": "train",
-    "infer": "inference",
-    "inferencing": "inference",
-    "eval": "inference",
-    "evaluation": "inference",
-    "predict": "inference",
-}
-
-
-def _check_mode(mode: str) -> None:
-    if mode in _RUN_MODES:
-        return
-    valid = ", ".join(repr(m) for m in _RUN_MODES)
-    suggestion = _MODE_ALIASES.get(str(mode).strip().lower())
-    if suggestion is None:
-        close = difflib.get_close_matches(str(mode).strip().lower(), _RUN_MODES, n=1)
-        suggestion = close[0] if close else None
-    hint = f"; did you mean {suggestion!r}?" if suggestion else ""
-    raise ReproError(f"mode must be one of {valid}, got {mode!r}{hint}")
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_workload(
@@ -108,74 +51,31 @@ def run_workload(
     range_filter: Optional[RangeFilter] = None,
     cost_config: Optional[CostModelConfig] = None,
     record_to: Union[str, Path, None] = None,
-) -> WorkloadResult:
-    """Profile one model on one device with the given PASTA tools.
+) -> ProfileResult:
+    """Deprecated: use ``repro.api.run(...)`` / ``pasta.profile(...).run()``.
 
-    Parameters
-    ----------
-    model_name:
-        A name from the model registry (``"alexnet"``, ``"bert"``, ...).
-    device:
-        Device short name (``"a100"``, ``"rtx3060"``, ``"mi300x"``) or a spec.
-    mode:
-        ``"inference"`` or ``"train"``.
-    iterations:
-        Number of inference passes / training steps.
-    tools:
-        PASTA tools to attach: instances and/or registry names such as
-        ``"kernel_frequency"`` (may be empty — the session still records
-        overhead statistics).
-    vendor_backend:
-        Profiling backend name; defaults to the vendor's recommended backend.
-    enable_fine_grained:
-        Enable device-side (instruction-level) instrumentation.
-    batch_size:
-        Override the model's paper batch size.
-    analysis_model:
-        Where fine-grained analysis runs: ``"gpu_resident"`` (default) or
-        ``"cpu_side"``.
-    range_filter:
-        Restrict analysis to a kernel-launch window (grid-id filter).
-    cost_config:
-        Override the overhead cost-model constants.
-    record_to:
-        Record the session's normalised event stream to this trace file for
-        later offline replay (see :mod:`repro.replay`).
+    Same behaviour and result as the new facade — this wrapper only remaps
+    the historical parameter names (``vendor_backend`` -> ``backend``,
+    ``enable_fine_grained`` -> ``fine_grained``).
     """
-    _check_mode(mode)
-    spec = _resolve_device(device)
-    runtime = create_runtime(spec)
-    ctx = FrameworkContext(runtime)
-    engine = ExecutionEngine(ctx)
-    model = create_model(model_name)
-    session_kwargs: dict[str, object] = {}
-    if analysis_model is not None:
-        session_kwargs["analysis_model"] = analysis_model
-    if record_to is not None:
-        session_kwargs["record_to"] = record_to
-        session_kwargs["trace_metadata"] = {
-            "model": model_name,
-            "mode": mode,
-            "iterations": iterations,
-            "batch_size": batch_size,
-        }
-    session = PastaSession(
-        runtime,
+    _deprecated(
+        "run_workload()",
+        'repro.api.run(model, ...) or pasta.profile(model).on(device).run()',
+    )
+    return api.run(
+        model_name,
+        device=device,
+        mode=mode,
+        iterations=iterations,
         tools=tools,
-        vendor_backend=vendor_backend,
-        enable_fine_grained=enable_fine_grained,
+        backend=vendor_backend,
+        fine_grained=enable_fine_grained,
+        batch_size=batch_size,
+        analysis_model=analysis_model,
         range_filter=range_filter,
         cost_config=cost_config,
-        **session_kwargs,
+        record_to=record_to,
     )
-    session.attach_framework(ctx)
-    with session:
-        engine.prepare(model)
-        if mode == "inference":
-            summary = engine.run_inference(model, iterations=iterations, batch_size=batch_size)
-        else:
-            summary = engine.run_training(model, iterations=iterations, batch_size=batch_size)
-    return WorkloadResult(model=model, runtime=runtime, ctx=ctx, session=session, summary=summary)
 
 
 def record_uvm_schedule(
@@ -184,7 +84,7 @@ def record_uvm_schedule(
     mode: str = "inference",
     iterations: int = 1,
     batch_size: Optional[int] = None,
-) -> tuple[list[KernelScheduleEntry], UvmPrefetchAdvisor, WorkloadResult]:
+) -> tuple[list[KernelScheduleEntry], UvmPrefetchAdvisor, ProfileResult]:
     """Profile a model with the UVM prefetch advisor and return its schedule.
 
     The schedule (kernel launches with their object- and tensor-level address
@@ -192,7 +92,7 @@ def record_uvm_schedule(
     replays under different prefetch policies for Figures 11 and 12.
     """
     advisor = UvmPrefetchAdvisor()
-    result = run_workload(
+    result = api.run(
         model_name,
         device=device,
         mode=mode,
@@ -204,148 +104,32 @@ def record_uvm_schedule(
 
 
 # ---------------------------------------------------------------------- #
-# spec-driven execution (campaign subsystem)
+# deprecated payload-runner names (now in repro.api.runner)
 # ---------------------------------------------------------------------- #
-
-#: Job-payload knob names that configure the grid-id analysis window rather
-#: than the cost model.
-_RANGE_KNOBS = ("start_grid_id", "end_grid_id")
-
-_COST_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(CostModelConfig))
-
-
-def _knobs_to_overrides(
-    knobs: Mapping[str, object],
-) -> tuple[Optional[RangeFilter], Optional[CostModelConfig]]:
-    """Split a job's knob dict into a range filter and a cost-config override."""
-    range_values = {name: knobs.get(name) for name in _RANGE_KNOBS}
-    cost_overrides = {k: v for k, v in knobs.items() if k not in _RANGE_KNOBS}
-    unknown = set(cost_overrides) - _COST_CONFIG_FIELDS
-    if unknown:
-        raise ReproError(
-            f"unknown job knobs {sorted(unknown)}; expected {sorted(_RANGE_KNOBS)} "
-            f"or a CostModelConfig field ({sorted(_COST_CONFIG_FIELDS)})"
-        )
-    for name, value in cost_overrides.items():
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise ReproError(f"cost-model knob {name!r} must be numeric, got {value!r}")
-    for name, value in range_values.items():
-        if value is not None and (isinstance(value, bool) or not isinstance(value, int)):
-            raise ReproError(f"knob {name!r} must be an integer grid id, got {value!r}")
-    range_filter = None
-    if any(v is not None for v in range_values.values()):
-        range_filter = RangeFilter()
-        range_filter.set_grid_window(
-            None if range_values["start_grid_id"] is None else int(range_values["start_grid_id"]),  # type: ignore[arg-type]
-            None if range_values["end_grid_id"] is None else int(range_values["end_grid_id"]),  # type: ignore[arg-type]
-        )
-    cost_config = CostModelConfig(**cost_overrides) if cost_overrides else None  # type: ignore[arg-type]
-    return range_filter, cost_config
-
 
 def execute_job_payload(
     payload: Mapping[str, object], record_to: Union[str, Path, None] = None
 ) -> dict[str, object]:
-    """Run one campaign job described by a plain (picklable) dict.
+    """Deprecated: use :func:`repro.api.execute_payload`."""
+    _deprecated("execute_job_payload()", "repro.api.execute_payload(payload)")
+    return api.execute_payload(payload, record_to=record_to)
 
-    This is the module-level worker invoked by the campaign scheduler — in
-    the calling process or, under the process-pool executor, in a freshly
-    spawned interpreter — so both its argument and its return value are
-    JSON-native data, never live simulator objects.  The payload is a
-    :meth:`repro.campaign.spec.JobSpec.to_dict` dict; the returned record
-    holds the echoed job, the run summary, and every tool report.  Pass
-    ``record_to`` to also persist the job's event stream as a replayable
-    trace (see :mod:`repro.replay`).
-    """
-    # Imported lazily (and inside the worker process) so that registering the
-    # built-in tools happens wherever the job actually runs.
-    import repro.tools  # noqa: F401  (side effect: tool registration)
-    from repro.core.registry import create_tool
-
-    job = dict(payload)
-    knobs = job.get("knobs") or {}
-    if not isinstance(knobs, Mapping):
-        raise ReproError(f"job knobs must be a mapping, got {type(knobs).__name__}")
-    range_filter, cost_config = _knobs_to_overrides(knobs)
-    tools = [create_tool(str(name)) for name in (job.get("tools") or ())]
-    result = run_workload(
-        str(job["model"]),
-        device=str(job.get("device", "a100")),
-        mode=str(job.get("mode", "inference")),
-        iterations=int(job.get("iterations", 1)),
-        tools=tools,
-        vendor_backend=None if job.get("backend") is None else str(job["backend"]),
-        enable_fine_grained=bool(job.get("fine_grained", False)),
-        batch_size=None if job.get("batch_size") is None else int(job["batch_size"]),
-        analysis_model=str(job.get("analysis_model", "gpu_resident")),
-        range_filter=range_filter,
-        cost_config=cost_config,
-        record_to=record_to,
-    )
-    return json_sanitize({
-        "job": job,
-        "status": "ok",
-        "summary": result.summary.as_dict(),
-        "reports": result.reports(),
-        "execution": "simulate",
-    })
-
-
-# ---------------------------------------------------------------------- #
-# trace-backed execution (campaign replay mode)
-# ---------------------------------------------------------------------- #
 
 def job_workload_signature(payload: Mapping[str, object]) -> tuple[object, ...]:
-    """Identity of the simulation a job needs, ignoring analysis-only fields.
-
-    Two jobs share a signature iff a single recorded trace can serve both:
-    the tool set, analysis model and knobs only affect offline analysis
-    (dispatch, overhead accounting and range filtering), while these fields —
-    plus whether any requested tool needs device-side instrumentation —
-    determine the event stream itself.
-    """
-    import repro.tools  # noqa: F401  (side effect: tool registration)
-    from repro.core.registry import create_tool
-
-    fine_grained = bool(payload.get("fine_grained", False)) or any(
-        create_tool(str(name)).requires_fine_grained for name in (payload.get("tools") or ())
+    """Deprecated: use :func:`repro.api.workload_signature`."""
+    _deprecated(
+        "job_workload_signature()",
+        "repro.api.workload_signature(payload) or ProfileSpec.workload_signature()",
     )
-    return (
-        str(payload["model"]),
-        str(payload.get("device", "a100")),
-        str(payload.get("mode", "inference")),
-        int(payload.get("iterations", 1)),
-        None if payload.get("batch_size") is None else int(payload["batch_size"]),
-        None if payload.get("backend") is None else str(payload["backend"]),
-        fine_grained,
-    )
+    return api.workload_signature(payload)
 
 
 def record_job_trace(
     payload: Mapping[str, object], trace_path: Union[str, Path]
 ) -> dict[str, object]:
-    """Simulate a job's workload once, recording every event to ``trace_path``.
-
-    The recording session attaches no tools and no range filter so the trace
-    carries the complete event stream; any job with the same
-    :func:`job_workload_signature` can then be answered by replay.  Returns
-    the JSON-native run summary shared by every job of the group.
-    """
-    model, device, mode, iterations, batch_size, backend, fine_grained = (
-        job_workload_signature(payload)
-    )
-    result = run_workload(
-        str(model),
-        device=str(device),
-        mode=str(mode),
-        iterations=int(iterations),  # type: ignore[arg-type]
-        tools=(),
-        vendor_backend=None if backend is None else str(backend),
-        enable_fine_grained=bool(fine_grained),
-        batch_size=None if batch_size is None else int(batch_size),  # type: ignore[arg-type]
-        record_to=trace_path,
-    )
-    return json_sanitize(result.summary.as_dict())
+    """Deprecated: use :func:`repro.api.record_workload_trace`."""
+    _deprecated("record_job_trace()", "repro.api.record_workload_trace(payload, path)")
+    return api.record_workload_trace(payload, trace_path)
 
 
 def replay_job_payload(
@@ -354,38 +138,6 @@ def replay_job_payload(
     summary: Mapping[str, object],
     events: Optional[Sequence[object]] = None,
 ) -> dict[str, object]:
-    """Answer one campaign job by replaying a recorded workload trace.
-
-    ``trace`` is a path or an open :class:`~repro.replay.reader.TraceReader`;
-    pass ``events`` (a pre-decoded list) when replaying several jobs from the
-    same trace so the decode cost is paid once.  Produces a record with the
-    same shape (and, for the shared fields, the same values) as
-    :func:`execute_job_payload`, but without re-simulating: the job's tools,
-    analysis model and knobs are re-driven offline through
-    :func:`~repro.replay.replayer.replay_trace`.
-    """
-    import repro.tools  # noqa: F401  (side effect: tool registration)
-    from repro.core.registry import create_tool
-    from repro.replay.replayer import replay_trace
-
-    job = dict(payload)
-    knobs = job.get("knobs") or {}
-    if not isinstance(knobs, Mapping):
-        raise ReproError(f"job knobs must be a mapping, got {type(knobs).__name__}")
-    range_filter, cost_config = _knobs_to_overrides(knobs)
-    tools = [create_tool(str(name)) for name in (job.get("tools") or ())]
-    result = replay_trace(
-        trace,  # type: ignore[arg-type]
-        tools=tools,
-        analysis_model=str(job.get("analysis_model", "gpu_resident")),
-        cost_config=cost_config,
-        range_filter=range_filter,
-        events=events,
-    )
-    return json_sanitize({
-        "job": job,
-        "status": "ok",
-        "summary": dict(summary),
-        "reports": result.reports(),
-        "execution": "replay",
-    })
+    """Deprecated: use :func:`repro.api.replay_payload`."""
+    _deprecated("replay_job_payload()", "repro.api.replay_payload(payload, trace, summary)")
+    return api.replay_payload(payload, trace, summary, events=events)

@@ -9,10 +9,11 @@ import time
 import pytest
 
 import repro
+from repro import api
+from repro.api import ProfileSpec, execute_payload
 from repro.campaign import (
     CampaignScheduler,
     CampaignSpec,
-    JobSpec,
     ResultCache,
     ResultStore,
     diff_records,
@@ -20,10 +21,15 @@ from repro.campaign import (
     render_table,
     rollup,
 )
-from repro.campaign.cli import main as campaign_main
 from repro.core.serialization import content_digest, json_roundtrip, json_sanitize
 from repro.errors import ReproError
-from repro.workloads.runner import execute_job_payload, run_workload
+
+
+def campaign_main(argv):
+    """Run the `pasta campaign` subcommand of the umbrella CLI."""
+    from repro.commands import main
+
+    return main(["campaign", *argv])
 
 
 # ---------------------------------------------------------------------- #
@@ -93,7 +99,7 @@ class TestSpecs:
             tools=["hotness"],
             analysis_models=["gpu_resident", "cpu_side"],
             batch_size=2,
-            extra_jobs=[JobSpec(model="bert", tools=("kernel_frequency",))],
+            extra_jobs=[ProfileSpec(model="bert", tools=("kernel_frequency",))],
         )
         path = tmp_path / "spec.json"
         spec.save(path)
@@ -108,9 +114,9 @@ class TestSpecs:
         with pytest.raises(ReproError):
             CampaignSpec(name="x", models=["alexnet"], modes=["predict"])
         with pytest.raises(ReproError):
-            JobSpec(model="alexnet", mode="nope")
+            ProfileSpec(model="alexnet", mode="nope")
         with pytest.raises(ReproError):
-            JobSpec(model="alexnet", knobs={"k": [1, 2]})  # type: ignore[dict-item]
+            ProfileSpec(model="alexnet", knobs={"k": [1, 2]})  # type: ignore[dict-item]
         with pytest.raises(ReproError):
             CampaignSpec.from_dict({"name": "x", "models": ["a"], "wat": 1})
         with pytest.raises(ReproError, match="devices"):
@@ -119,12 +125,12 @@ class TestSpecs:
             CampaignSpec(name="x", models=["alexnet"], modes=[])
 
     def test_digest_is_stable_and_version_salted(self):
-        a = JobSpec(model="alexnet", knobs={"b": 1, "a": 2})
-        b = JobSpec(model="alexnet", knobs={"a": 2, "b": 1})
+        a = ProfileSpec(model="alexnet", knobs={"b": 1, "a": 2})
+        b = ProfileSpec(model="alexnet", knobs={"a": 2, "b": 1})
         assert a == b
         assert a.digest("1.0.0") == b.digest("1.0.0")
         assert a.digest("1.0.0") != a.digest("1.0.1")
-        assert a.digest("1.0.0") != JobSpec(model="resnet18").digest("1.0.0")
+        assert a.digest("1.0.0") != ProfileSpec(model="resnet18").digest("1.0.0")
 
 
 # ---------------------------------------------------------------------- #
@@ -190,7 +196,7 @@ def _stub_runner(payload):
 
 class TestScheduler:
     def _jobs(self, *models):
-        return [JobSpec(model=m, tools=("kernel_frequency",)) for m in models]
+        return [ProfileSpec(model=m, tools=("kernel_frequency",)) for m in models]
 
     def test_failure_isolation_in_parallel_pool(self, tmp_path):
         store = ResultStore(tmp_path / "r.jsonl")
@@ -338,33 +344,33 @@ class TestEndToEnd:
             assert outcome.record == firsts[outcome.digest]
 
     def test_spec_driven_payload_matches_direct_run(self):
-        payload = JobSpec(
+        payload = ProfileSpec(
             model="alexnet", device="rtx3060", tools=("kernel_frequency",),
             batch_size=2, knobs={"start_grid_id": 0, "end_grid_id": 4},
         ).to_dict()
-        record = execute_job_payload(payload)
+        record = execute_payload(payload)
         assert record["status"] == "ok"
         assert record["reports"]["kernel_frequency"]["total_launches"] == 5
         assert record["job"]["model"] == "alexnet"
 
     def test_analysis_model_knob_changes_overhead(self):
-        gpu = execute_job_payload(JobSpec(model="alexnet", batch_size=2).to_dict())
-        cpu = execute_job_payload(
-            JobSpec(model="alexnet", batch_size=2, analysis_model="cpu_side").to_dict()
+        gpu = execute_payload(ProfileSpec(model="alexnet", batch_size=2).to_dict())
+        cpu = execute_payload(
+            ProfileSpec(model="alexnet", batch_size=2, analysis_model="cpu_side").to_dict()
         )
         assert (cpu["reports"]["overhead"]["normalized_overhead"]
                 > gpu["reports"]["overhead"]["normalized_overhead"])
 
     def test_unknown_knob_is_a_clean_error(self):
-        with pytest.raises(ReproError, match="unknown job knobs"):
-            execute_job_payload(JobSpec(model="alexnet", knobs={"warp_speed": 9}).to_dict())
+        with pytest.raises(ReproError, match="unknown knobs"):
+            execute_payload(ProfileSpec(model="alexnet", knobs={"warp_speed": 9}).to_dict())
         with pytest.raises(ReproError, match="must be numeric"):
-            execute_job_payload(
-                JobSpec(model="alexnet", knobs={"collection_ns_per_record": "2.5"}).to_dict()
+            execute_payload(
+                ProfileSpec(model="alexnet", knobs={"collection_ns_per_record": "2.5"}).to_dict()
             )
         with pytest.raises(ReproError, match="integer grid id"):
-            execute_job_payload(
-                JobSpec(model="alexnet", knobs={"start_grid_id": "zero"}).to_dict()
+            execute_payload(
+                ProfileSpec(model="alexnet", knobs={"start_grid_id": "zero"}).to_dict()
             )
 
 
@@ -480,7 +486,7 @@ class TestWorkloadResult:
     def test_tool_error_lists_attached_tools(self):
         from repro.tools.kernel_frequency import KernelFrequencyTool
 
-        result = run_workload("alexnet", device="rtx3060", batch_size=2,
+        result = api.run("alexnet", device="rtx3060", batch_size=2,
                               tools=[KernelFrequencyTool()])
         assert result.report("kernel_frequency")["total_launches"] > 0
         with pytest.raises(ReproError) as excinfo:
@@ -489,6 +495,6 @@ class TestWorkloadResult:
         assert "hotness" in str(excinfo.value)
 
     def test_version_is_the_cache_salt(self):
-        job = JobSpec(model="alexnet")
+        job = ProfileSpec(model="alexnet")
         assert job.digest(repro.__version__) == job.digest(repro.__version__)
         assert job.digest(repro.__version__) != job.digest("v-next")

@@ -24,7 +24,7 @@ from repro.tools import (
     MemoryTimelineTool,
     TimeSeriesHotnessTool,
 )
-from repro.workloads import run_workload
+from repro import api
 
 SMALL_CONFIG = MegatronConfig(
     vocab_size=2048, hidden=256, num_layers=4, num_heads=8, seq_length=128, batch_size=2
@@ -37,7 +37,7 @@ class TestFigure7Shape:
     @pytest.mark.parametrize("model_name", ["alexnet", "bert", "gpt2"])
     def test_top_kernels_dominate(self, model_name):
         freq = KernelFrequencyTool()
-        run_workload(model_name, device="a100", tools=[freq], batch_size=2)
+        api.run(model_name, device="a100", tools=[freq], batch_size=2)
         assert freq.total_launches > 20
         # The top-5 kernels account for the majority of launches even though
         # many distinct kernels exist.
@@ -46,7 +46,7 @@ class TestFigure7Shape:
 
     def test_alexnet_hot_kernels_include_im2col_and_gemm(self):
         freq = KernelFrequencyTool()
-        run_workload("alexnet", device="a100", tools=[freq], batch_size=2)
+        api.run("alexnet", device="a100", tools=[freq], batch_size=2)
         top_names = " ".join(entry.kernel_name for entry in freq.top_kernels(5))
         assert "im2col" in top_names or "gemm" in top_names
 
@@ -57,7 +57,7 @@ class TestTableVShape:
     @pytest.mark.parametrize("model_name", PAPER_MODELS)
     def test_footprint_exceeds_working_set(self, model_name):
         mem = MemoryCharacteristicsTool()
-        run_workload(model_name, device="a100", tools=[mem], batch_size=2)
+        api.run(model_name, device="a100", tools=[mem], batch_size=2)
         summary = mem.summary()
         assert summary.kernel_count > 20
         assert summary.memory_footprint_bytes > summary.working_set_bytes > 0
@@ -69,14 +69,14 @@ class TestTableVShape:
     def test_training_footprint_exceeds_inference_footprint(self):
         inference = MemoryCharacteristicsTool()
         training = MemoryCharacteristicsTool()
-        run_workload("resnet18", device="a100", mode="inference", tools=[inference], batch_size=2)
-        run_workload("resnet18", device="a100", mode="train", tools=[training], batch_size=2)
+        api.run("resnet18", device="a100", mode="inference", tools=[inference], batch_size=2)
+        api.run("resnet18", device="a100", mode="train", tools=[training], batch_size=2)
         assert training.memory_footprint_bytes > inference.memory_footprint_bytes
         assert training.summary().kernel_count > inference.summary().kernel_count
 
     def test_underutilized_memory_exists(self):
         mem = MemoryCharacteristicsTool()
-        run_workload("bert", device="a100", tools=[mem], batch_size=2)
+        api.run("bert", device="a100", tools=[mem], batch_size=2)
         # A substantial fraction of allocated memory is never referenced by any
         # kernel (the swapping/offloading insight of Section V-B2).
         assert mem.underutilized_bytes() > 0
@@ -87,7 +87,7 @@ class TestFigure13Shape:
 
     def test_bert_hotness_classification(self):
         hotness = TimeSeriesHotnessTool(kernels_per_window=10)
-        run_workload("bert", device="a100", tools=[hotness], batch_size=2)
+        api.run("bert", device="a100", tools=[hotness], batch_size=2)
         blocks, matrix = hotness.hotness_matrix()
         assert len(blocks) > 10
         assert matrix.shape == (len(blocks), hotness.window_count)
@@ -105,7 +105,7 @@ class TestFigure14Shape:
 
     def test_timeline_tool_reconstructs_allocator_curve(self):
         timeline = MemoryTimelineTool()
-        result = run_workload("gpt2", device="a100", mode="train", tools=[timeline], batch_size=2)
+        result = api.run("gpt2", device="a100", mode="train", tools=[timeline], batch_size=2)
         device_timeline = timeline.timeline(result.runtime.device.index)
         assert device_timeline.event_count > 500
         usages = [usage for _t, usage in device_timeline.samples]
@@ -146,7 +146,7 @@ class TestGpuPreprocessingConsistency:
 
     def test_profiles_match_launch_metadata(self):
         mem = MemoryCharacteristicsTool()
-        result = run_workload("resnet18", device="a100", tools=[mem], batch_size=2)
+        result = api.run("resnet18", device="a100", tools=[mem], batch_size=2)
         launches = result.runtime.kernel_launches
         assert len(mem.kernel_working_sets) == len(launches)
         assert sum(mem.kernel_working_sets) == sum(l.working_set_bytes for l in launches)

@@ -15,7 +15,7 @@ from repro.dlframework.parallel import (
 from repro.gpusim.device import A100
 from repro.gpusim.multigpu import DeviceSet
 from repro.tools import KernelFrequencyTool
-from repro.workloads import run_workload
+from repro import api
 
 #: A deliberately small Megatron configuration so parallelism tests stay fast.
 SMALL_CONFIG = MegatronConfig(
@@ -78,25 +78,25 @@ class TestParallelRunners:
 class TestWorkloadRunner:
     def test_invalid_mode_rejected(self):
         with pytest.raises(ReproError):
-            run_workload("alexnet", mode="finetune")
+            api.run("alexnet", mode="finetune")
 
     def test_returns_summary_tools_and_reports(self):
         freq = KernelFrequencyTool()
-        result = run_workload("alexnet", device="rtx3060", tools=[freq], batch_size=2)
+        result = api.run("alexnet", device="rtx3060", tools=[freq], batch_size=2)
         assert result.summary.kernel_launches == freq.total_launches
         assert result.tool("kernel_frequency") is freq
         assert "overhead" in result.reports()
 
     def test_missing_tool_lookup_raises(self):
-        result = run_workload("alexnet", device="rtx3060", batch_size=2)
+        result = api.run("alexnet", device="rtx3060", batch_size=2)
         with pytest.raises(ReproError):
             result.tool("kernel_frequency")
 
     def test_train_mode_runs(self):
-        result = run_workload("resnet18", mode="train", batch_size=2)
+        result = api.run("resnet18", mode="train", batch_size=2)
         assert result.summary.mode == "train"
         assert result.summary.kernel_launches > 100
 
     def test_device_can_be_a_spec(self):
-        result = run_workload("alexnet", device=A100, batch_size=2)
+        result = api.run("alexnet", device=A100, batch_size=2)
         assert result.runtime.device.spec is A100

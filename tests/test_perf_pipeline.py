@@ -36,7 +36,7 @@ from repro.gpusim.instruction import InstructionKind
 from repro.gpusim.runtime import create_runtime
 from repro.replay import TraceReader, replay_trace
 from repro.vendors.base import ProfilingBackend
-from repro.workloads.runner import run_workload
+from repro import api
 
 #: Bundled tool instances exercising their fine-grained/batch paths where
 #: the tool has one (instances with the sampled modes enabled), plus the
@@ -83,7 +83,7 @@ def _force_unrolled(tool: PastaTool) -> PastaTool:
 def fine_grained_events(tmp_path_factory):
     """One fine-grained recording, decoded once for every equivalence case."""
     trace = tmp_path_factory.mktemp("pipeline") / "fine.pastatrace"
-    run_workload("alexnet", device="a100", tools=(), enable_fine_grained=True,
+    api.run("alexnet", device="a100", tools=(), fine_grained=True,
                  batch_size=2, record_to=trace)
     reader = TraceReader(trace)
     events = list(reader.events())
@@ -162,11 +162,11 @@ class TestSessionParityAcrossDeliveryModes:
         tools = lambda: [create_tool("access_histogram"),  # noqa: E731
                          create_tool("kernel_frequency")]
         batched_trace = tmp_path / "batched.pastatrace"
-        run_workload("alexnet", device="a100", tools=(), enable_fine_grained=True,
+        api.run("alexnet", device="a100", tools=(), fine_grained=True,
                      batch_size=2, record_to=batched_trace)
         monkeypatch.setattr(ProfilingBackend, "batch_device_records", False)
         record_trace = tmp_path / "records.pastatrace"
-        run_workload("alexnet", device="a100", tools=(), enable_fine_grained=True,
+        api.run("alexnet", device="a100", tools=(), fine_grained=True,
                      batch_size=2, record_to=record_trace)
         monkeypatch.undo()
 
@@ -187,7 +187,7 @@ class TestSessionParityAcrossDeliveryModes:
     def test_per_record_trace_category_counts(self, monkeypatch, tmp_path):
         monkeypatch.setattr(ProfilingBackend, "batch_device_records", False)
         trace = tmp_path / "records.pastatrace"
-        run_workload("alexnet", device="a100", tools=(), enable_fine_grained=True,
+        api.run("alexnet", device="a100", tools=(), fine_grained=True,
                      batch_size=2, record_to=trace)
         counts = TraceReader(trace).footer.category_counts
         assert counts.get("memory_access", 0) > 0

@@ -1,0 +1,234 @@
+"""Hardening tests for the multi-namespace plugin registry."""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+
+import pytest
+
+import repro.tools
+from repro.core.registry import (
+    REGISTRY,
+    Registry,
+    RegistryNamespace,
+    clear_registry,
+    create_tool,
+    discover_plugins,
+    register_tool,
+    registered_tools,
+)
+from repro.core.tool import PastaTool
+from repro.errors import (
+    DeviceError,
+    ModelError,
+    RegistryError,
+    ToolError,
+    VendorError,
+)
+
+
+class FakeTool(PastaTool):
+    tool_name = "fake_tool"
+
+
+@pytest.fixture
+def restore_tools():
+    """Snapshot nothing, but guarantee the built-in tools are back afterwards."""
+    yield
+    clear_registry("tools")
+    repro.tools.register_builtin_tools()
+
+
+# ---------------------------------------------------------------------- #
+# per-namespace registration semantics
+# ---------------------------------------------------------------------- #
+class TestNamespaces:
+    def test_every_extension_kind_has_a_namespace(self):
+        assert set(REGISTRY.namespaces()) == {
+            "tools", "vendors", "devices", "models", "analysis_models",
+        }
+
+    def test_unknown_namespace_is_a_registry_error(self):
+        with pytest.raises(RegistryError, match="unknown registry namespace"):
+            REGISTRY.namespace("gadgets")
+
+    def test_duplicate_rejection_per_namespace(self, restore_tools):
+        with pytest.raises(ToolError, match="already registered"):
+            register_tool("kernel_frequency", FakeTool)
+        with pytest.raises(DeviceError, match="already registered"):
+            REGISTRY.register("devices", "a100",
+                              REGISTRY.get("devices", "rtx3060"))
+        with pytest.raises(ModelError, match="already registered"):
+            REGISTRY.register("models", "alexnet", FakeTool)
+        with pytest.raises(VendorError, match="already registered"):
+            REGISTRY.register("vendors", "nvbit", FakeTool)
+
+    def test_same_name_in_different_namespaces_is_fine(self, restore_tools):
+        REGISTRY.register("tools", "shared_name", FakeTool)
+        REGISTRY.register("models", "shared_name",
+                          REGISTRY.get("models", "alexnet"), overwrite=False)
+        assert "shared_name" in REGISTRY.namespace("tools")
+        assert "shared_name" in REGISTRY.namespace("models")
+        REGISTRY.namespace("models").unregister("shared_name")
+
+    def test_overwrite_semantics(self, restore_tools):
+        register_tool("fake_tool", FakeTool)
+        class FakeTool2(PastaTool):
+            tool_name = "fake_tool"
+        with pytest.raises(ToolError):
+            register_tool("fake_tool", FakeTool2)
+        register_tool("fake_tool", FakeTool2, overwrite=True)
+        assert type(create_tool("fake_tool")) is FakeTool2
+
+    def test_factory_must_be_callable(self):
+        with pytest.raises(ToolError, match="factory"):
+            REGISTRY.register("tools", "not_callable", 42)
+
+    def test_product_type_is_validated(self, restore_tools):
+        REGISTRY.register("tools", "lying_factory", lambda: object())
+        with pytest.raises(ToolError, match="not a valid tool"):
+            create_tool("lying_factory")
+
+    def test_aliases_resolve_to_canonical_entries(self):
+        devices = REGISTRY.namespace("devices")
+        assert devices.get("3060") is devices.get("rtx3060")
+        assert "3060" not in devices.names()  # canonical names only
+        assert devices.aliases()["3060"] == "rtx3060"
+        vendors = REGISTRY.namespace("vendors")
+        assert vendors.resolve("sanitizer") == "compute_sanitizer"
+
+    def test_lookup_is_case_insensitive(self):
+        assert REGISTRY.namespace("devices").resolve("A100") == "a100"
+        assert create_tool("Kernel_Frequency").tool_name == "kernel_frequency"
+
+    def test_unknown_name_error_lists_namespace_contents(self):
+        with pytest.raises(DeviceError, match="registered devices"):
+            REGISTRY.get("devices", "h100")
+        with pytest.raises(ToolError, match="registered tools"):
+            create_tool("no_such_tool")
+
+    def test_decorator_registration(self, restore_tools):
+        @REGISTRY.provider("tools", "decorated_tool")
+        class DecoratedTool(PastaTool):
+            tool_name = "decorated_tool"
+
+        assert create_tool("decorated_tool").tool_name == "decorated_tool"
+
+        @REGISTRY.provider("tools")
+        class InferredTool(PastaTool):
+            tool_name = "inferred_tool"
+
+        assert "inferred_tool" in registered_tools()
+
+
+# ---------------------------------------------------------------------- #
+# clear/reset isolation
+# ---------------------------------------------------------------------- #
+class TestClearIsolation:
+    def test_clear_registry_empties_only_the_tool_namespace(self, restore_tools):
+        clear_registry()
+        assert registered_tools() == []
+        # other namespaces are untouched
+        assert "a100" in REGISTRY.namespace("devices")
+        assert "alexnet" in REGISTRY.namespace("models")
+
+    def test_cleared_namespace_does_not_silently_reseed(self, restore_tools):
+        clear_registry()
+        register_tool("fake_tool", FakeTool)
+        assert registered_tools() == ["fake_tool"]
+
+    def test_builtins_restore_explicitly(self, restore_tools):
+        clear_registry()
+        repro.tools.register_builtin_tools()
+        assert "kernel_frequency" in registered_tools()
+
+    def test_reset_reseeds_lazily(self, restore_tools):
+        ns = REGISTRY.namespace("tools")
+        ns.reset()
+        assert "kernel_frequency" in registered_tools()
+
+    def test_isolation_between_tests_first_half(self, restore_tools):
+        # Pairs with ...second_half: whichever order pytest runs them in,
+        # neither may observe the other's scratch registration.
+        assert "leak_probe" not in registered_tools()
+        register_tool("leak_probe", FakeTool)
+
+    def test_isolation_between_tests_second_half(self, restore_tools):
+        assert "leak_probe" not in registered_tools()
+        register_tool("leak_probe", FakeTool)
+
+
+# ---------------------------------------------------------------------- #
+# entry-point discovery (synthetic in-test distribution)
+# ---------------------------------------------------------------------- #
+def _make_plugin_dist(tmp_path, *, tool_name="ep_demo_tool", broken=False):
+    """Lay out an installed-distribution skeleton importlib.metadata can read."""
+    module = tmp_path / "pasta_demo_plugin.py"
+    module.write_text(textwrap.dedent(
+        """
+        from repro.core.tool import PastaTool
+
+
+        class DemoTool(PastaTool):
+            tool_name = "%s"
+        """ % tool_name
+    ))
+    dist_info = tmp_path / "pasta_demo-0.1.dist-info"
+    dist_info.mkdir()
+    (dist_info / "METADATA").write_text(
+        "Metadata-Version: 2.1\nName: pasta-demo\nVersion: 0.1\n"
+    )
+    target = "pasta_demo_plugin:MissingTool" if broken else "pasta_demo_plugin:DemoTool"
+    (dist_info / "entry_points.txt").write_text(
+        f"[pasta.tools]\n{tool_name} = {target}\n"
+    )
+    return tmp_path
+
+
+class TestEntryPointDiscovery:
+    @pytest.fixture
+    def plugin_path(self, tmp_path, restore_tools):
+        _make_plugin_dist(tmp_path)
+        sys.path.insert(0, str(tmp_path))
+        try:
+            yield tmp_path
+        finally:
+            sys.path.remove(str(tmp_path))
+            sys.modules.pop("pasta_demo_plugin", None)
+
+    def test_discover_registers_plugin_tools(self, plugin_path):
+        found = discover_plugins(path=[str(plugin_path)])
+        assert found == {"tools": ["ep_demo_tool"]}
+        tool = create_tool("ep_demo_tool")
+        assert tool.tool_name == "ep_demo_tool"
+        assert isinstance(tool, PastaTool)
+
+    def test_discovery_never_shadows_existing_registrations(self, plugin_path):
+        register_tool("ep_demo_tool", FakeTool)
+        found = discover_plugins(path=[str(plugin_path)])
+        assert found == {}
+        assert type(create_tool("ep_demo_tool")) is FakeTool
+
+    def test_broken_plugin_warns_and_is_skipped(self, tmp_path, restore_tools):
+        _make_plugin_dist(tmp_path, tool_name="ep_broken_tool", broken=True)
+        sys.path.insert(0, str(tmp_path))
+        try:
+            with pytest.warns(RuntimeWarning, match="ep_broken_tool"):
+                found = discover_plugins(path=[str(tmp_path)])
+            assert found == {}
+            assert "ep_broken_tool" not in registered_tools()
+        finally:
+            sys.path.remove(str(tmp_path))
+            sys.modules.pop("pasta_demo_plugin", None)
+
+    def test_isolated_registry_discovers_independently(self, plugin_path):
+        registry = Registry()
+        registry.add_namespace(RegistryNamespace(
+            "tools", kind="factory", noun="tool", error=ToolError,
+            entry_point_group="pasta.tools",
+        ))
+        registry.discover(path=[str(plugin_path)])
+        assert "ep_demo_tool" in registry.names("tools")
+        # the global registry was not touched by the isolated one
+        assert "ep_demo_tool" not in registered_tools()

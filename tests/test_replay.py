@@ -9,7 +9,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 import repro
-import repro.workloads.runner as runner_module
+import repro.api.runner as api_runner
+from repro import api
 from repro.campaign import CampaignScheduler, CampaignSpec
 from repro.core.events import (
     EventCategory,
@@ -55,11 +56,10 @@ from repro.tools import (
     MemoryTimelineTool,
     TimeSeriesHotnessTool,
 )
-from repro.workloads.runner import (
-    job_workload_signature,
-    record_job_trace,
-    replay_job_payload,
-    run_workload,
+from repro.api import (
+    record_workload_trace,
+    replay_payload,
+    workload_signature,
 )
 
 ALL_EVENT_CLASSES = [
@@ -368,7 +368,7 @@ class TestContainer:
 
     def test_grid_window_slice_of_fine_grained_recording(self, tmp_path):
         trace = tmp_path / "fine.pastatrace"
-        run_workload("alexnet", device="a100", tools=(), enable_fine_grained=True,
+        api.run("alexnet", device="a100", tools=(), fine_grained=True,
                      batch_size=2, record_to=trace)
         out = tmp_path / "window.pastatrace"
         TraceReader(trace).slice_to(out, start_grid_id=0, end_grid_id=3)
@@ -502,7 +502,7 @@ class TestTraceAddressResolver:
 class TestRecordReplayParity:
     def test_replay_reports_equal_live_session(self, tmp_path):
         trace = tmp_path / "alexnet.pastatrace"
-        live = run_workload("alexnet", device="a100", tools=DEFAULT_TOOLSET(),
+        live = api.run("alexnet", device="a100", tools=DEFAULT_TOOLSET(),
                             batch_size=2, record_to=trace)
         replayed = replay_trace(trace, tools=DEFAULT_TOOLSET())
         assert json_roundtrip(replayed.reports()) == json_roundtrip(live.reports())
@@ -510,7 +510,7 @@ class TestRecordReplayParity:
 
     def test_replay_parity_on_amd_backend(self, tmp_path):
         trace = tmp_path / "amd.pastatrace"
-        live = run_workload("alexnet", device="mi300x",
+        live = api.run("alexnet", device="mi300x",
                             tools=[KernelFrequencyTool(), MemoryCharacteristicsTool()],
                             batch_size=2, record_to=trace)
         replayed = replay_trace(
@@ -521,8 +521,8 @@ class TestRecordReplayParity:
 
     def test_replay_parity_fine_grained(self, tmp_path):
         trace = tmp_path / "fine.pastatrace"
-        live = run_workload("alexnet", device="a100", tools=[KernelFrequencyTool()],
-                            enable_fine_grained=True, batch_size=2, record_to=trace)
+        live = api.run("alexnet", device="a100", tools=[KernelFrequencyTool()],
+                            fine_grained=True, batch_size=2, record_to=trace)
         counts = TraceReader(trace).footer.category_counts
         assert fine_grained_event_count(counts) > 0
         replayed = replay_trace(trace, tools=[KernelFrequencyTool()])
@@ -530,7 +530,7 @@ class TestRecordReplayParity:
 
     def test_replay_with_other_analysis_model_changes_overhead(self, tmp_path):
         trace = tmp_path / "t.pastatrace"
-        run_workload("alexnet", device="a100", tools=(), batch_size=2, record_to=trace)
+        api.run("alexnet", device="a100", tools=(), batch_size=2, record_to=trace)
         gpu = replay_trace(trace).reports()["overhead"]
         cpu = replay_trace(trace, analysis_model="cpu_side").reports()["overhead"]
         assert gpu["analysis_model"] == "gpu_resident"
@@ -544,7 +544,7 @@ class TestRecordReplayParity:
         trace = tmp_path / "t.pastatrace"
         window = RangeFilter()
         window.set_grid_window(0, 4)
-        live = run_workload("alexnet", device="a100", tools=[KernelFrequencyTool()],
+        live = api.run("alexnet", device="a100", tools=[KernelFrequencyTool()],
                             batch_size=2, range_filter=window, record_to=trace)
         # The tap records upstream of the range filter, so the full stream is
         # on disk and any window can be re-applied offline.
@@ -560,12 +560,12 @@ class TestRecordReplayParity:
             requires_fine_grained = True
 
         trace = tmp_path / "coarse.pastatrace"
-        run_workload("alexnet", device="a100", tools=(), batch_size=2, record_to=trace)
+        api.run("alexnet", device="a100", tools=(), batch_size=2, record_to=trace)
         with pytest.raises(TraceError, match="fine-grained"):
             replay_trace(trace, tools=[FineTool()])
         # A fine-grained recording accepts the same tool.
         fine = tmp_path / "fine.pastatrace"
-        run_workload("alexnet", device="a100", tools=(), enable_fine_grained=True,
+        api.run("alexnet", device="a100", tools=(), fine_grained=True,
                      batch_size=2, record_to=fine)
         assert replay_trace(fine, tools=[FineTool()]).events_replayed > 0
 
@@ -645,32 +645,32 @@ class TestJobTraceHelpers:
         base = {"model": "alexnet", "device": "a100", "mode": "inference",
                 "iterations": 1, "batch_size": 2, "backend": None,
                 "fine_grained": False}
-        a = job_workload_signature({**base, "tools": ["kernel_frequency"],
+        a = workload_signature({**base, "tools": ["kernel_frequency"],
                                     "analysis_model": "gpu_resident"})
-        b = job_workload_signature({**base, "tools": ["hotness", "memory_timeline"],
+        b = workload_signature({**base, "tools": ["hotness", "memory_timeline"],
                                     "analysis_model": "cpu_side",
                                     "knobs": {"start_grid_id": 0}})
         assert a == b
-        c = job_workload_signature({**base, "device": "rtx3060"})
+        c = workload_signature({**base, "device": "rtx3060"})
         assert c != a
 
-    def test_execute_job_payload_can_emit_a_trace(self, tmp_path):
-        from repro.workloads.runner import execute_job_payload
+    def test_execute_payload_can_emit_a_trace(self, tmp_path):
+        from repro.api import execute_payload
 
         trace = tmp_path / "job.pastatrace"
         payload = {"model": "alexnet", "batch_size": 2, "tools": ["kernel_frequency"]}
-        record = execute_job_payload(payload, record_to=trace)
+        record = execute_payload(payload, record_to=trace)
         assert record["execution"] == "simulate"
         replayed = replay_trace(trace, tools=[KernelFrequencyTool()])
         assert json_roundtrip(replayed.reports()) == record["reports"]
 
-    def test_record_then_replay_job_payload(self, tmp_path):
+    def test_record_then_replay_payload(self, tmp_path):
         trace = tmp_path / "job.pastatrace"
         payload = {"model": "alexnet", "device": "a100", "batch_size": 2,
                    "tools": ["kernel_frequency"], "analysis_model": "gpu_resident"}
-        summary = record_job_trace(payload, trace)
+        summary = record_workload_trace(payload, trace)
         assert summary["model"] == "alexnet" and summary["kernel_launches"] > 0
-        record = replay_job_payload(payload, trace, summary)
+        record = replay_payload(payload, trace, summary)
         assert record["status"] == "ok"
         assert record["execution"] == "replay"
         assert record["summary"] == summary
@@ -682,19 +682,19 @@ class TestJobTraceHelpers:
 # campaign replay execution mode (the acceptance criterion)
 # --------------------------------------------------------------------------- #
 class TestCampaignReplayMode:
-    def _counting_run_workload(self, monkeypatch):
+    def _counting_execute(self, monkeypatch):
         calls = {"n": 0}
-        original = runner_module.run_workload
+        original = api_runner.execute
 
         def counting(*args, **kwargs):
             calls["n"] += 1
             return original(*args, **kwargs)
 
-        monkeypatch.setattr(runner_module, "run_workload", counting)
+        monkeypatch.setattr(api_runner, "execute", counting)
         return calls
 
     def test_replay_mode_simulates_each_workload_once(self, monkeypatch):
-        calls = self._counting_run_workload(monkeypatch)
+        calls = self._counting_execute(monkeypatch)
         spec = CampaignSpec(
             name="replay-acceptance",
             models=["alexnet"],
@@ -734,7 +734,7 @@ class TestCampaignReplayMode:
             assert sim["reports"] == rep["reports"]
 
     def test_replay_mode_groups_distinct_workloads(self, monkeypatch):
-        calls = self._counting_run_workload(monkeypatch)
+        calls = self._counting_execute(monkeypatch)
         spec = CampaignSpec(
             name="two-workloads", models=["alexnet"], devices=["a100", "rtx3060"],
             tools=["kernel_frequency", "memory_timeline"], batch_size=2,
@@ -749,7 +749,7 @@ class TestCampaignReplayMode:
     def test_replay_mode_respects_cache(self, tmp_path, monkeypatch):
         from repro.campaign import ResultCache
 
-        calls = self._counting_run_workload(monkeypatch)
+        calls = self._counting_execute(monkeypatch)
         spec = CampaignSpec(
             name="cached-replay", models=["alexnet"], devices=["a100"],
             tools=["kernel_frequency", "hotness"], batch_size=2, execution="replay",
@@ -777,7 +777,7 @@ class TestCampaignReplayMode:
         def broken(*args, **kwargs):
             raise RuntimeError("simulator exploded")
 
-        monkeypatch.setattr(runner_module, "run_workload", broken)
+        monkeypatch.setattr(api_runner, "execute", broken)
         spec = CampaignSpec(
             name="broken", models=["alexnet"], devices=["a100"],
             tools=["kernel_frequency", "hotness"], execution="replay",

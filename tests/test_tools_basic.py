@@ -21,7 +21,7 @@ from repro.tools import (
     MemoryTimelineTool,
     TimeSeriesHotnessTool,
 )
-from repro.workloads import run_workload
+from repro import api
 
 
 def launch(name="k", accesses=0, working=0, footprint=0, grid_index=0, args=(), duration=1000):
@@ -209,7 +209,7 @@ class TestFigure4Scenario:
         """Figure 4: the most memory-referenced kernel during BERT inference is
         the cuBLAS GEMM-with-bias, and its cross-layer stack spans Python and C++."""
         locator = InefficiencyLocatorTool()
-        run_workload("bert", device="a100", mode="inference", tools=[locator], batch_size=4)
+        api.run("bert", device="a100", mode="inference", tools=[locator], batch_size=4)
         finding = locator.locate("MAX_MEM_REFERENCED_KERNEL")
         assert "gemm" in finding.kernel_name.lower()
         languages = {frame.language for frame in finding.stack.frames}

@@ -18,7 +18,8 @@ from repro.tools import (
     UvmPrefetchExecutor,
     WorkloadProfile,
 )
-from repro.workloads import record_uvm_schedule, run_workload
+from repro import api
+from repro.workloads import record_uvm_schedule
 
 MB = 1024 * 1024
 
@@ -131,14 +132,14 @@ class TestUvmPrefetchExecutor:
 class TestOverheadComparisonTool:
     def test_workload_profile_records_launches(self):
         profile = WorkloadProfile()
-        run_workload("alexnet", device="a100", tools=[profile], batch_size=4)
+        api.run("alexnet", device="a100", tools=[profile], batch_size=4)
         assert len(profile.launches) > 10
         assert profile.total_accesses() > 0
         assert profile.total_execution_ns() > 0
 
     def test_variant_ordering_matches_figure9(self):
         profile = WorkloadProfile()
-        run_workload("resnet18", device="a100", tools=[profile], batch_size=2)
+        api.run("resnet18", device="a100", tools=[profile], batch_size=2)
         comparison = OverheadComparison()
         rows = comparison.evaluate(profile.launches, A100)
         assert set(rows) == {name for name, _m, _b in ANALYSIS_VARIANTS}
@@ -148,14 +149,14 @@ class TestOverheadComparisonTool:
 
     def test_speedups_are_orders_of_magnitude(self):
         profile = WorkloadProfile()
-        run_workload("resnet18", device="a100", tools=[profile], batch_size=2)
+        api.run("resnet18", device="a100", tools=[profile], batch_size=2)
         speedups = OverheadComparison().speedup_of_gpu_analysis(profile.launches, A100)
         assert speedups["CS-CPU"] > 50
         assert speedups["NVBIT-CPU"] > speedups["CS-CPU"]
 
     def test_a100_benefits_more_than_3060(self):
         profile = WorkloadProfile()
-        run_workload("resnet18", device="a100", tools=[profile], batch_size=2)
+        api.run("resnet18", device="a100", tools=[profile], batch_size=2)
         comparison = OverheadComparison()
         a100 = comparison.speedup_of_gpu_analysis(profile.launches, A100)
         r3060 = comparison.speedup_of_gpu_analysis(profile.launches, RTX3060)
@@ -163,7 +164,7 @@ class TestOverheadComparisonTool:
 
     def test_breakdown_shapes_match_figure10(self):
         profile = WorkloadProfile()
-        run_workload("resnet18", device="a100", tools=[profile], batch_size=2)
+        api.run("resnet18", device="a100", tools=[profile], batch_size=2)
         rows = OverheadComparison().evaluate(profile.launches, A100)
         assert rows["CS-GPU"].fractions["collection"] > 0.5
         assert rows["CS-CPU"].fractions["analysis"] > 0.5
