@@ -18,7 +18,7 @@ import pytest
 from conftest import bench_batch_size, print_header, print_row
 from repro.gpusim.costmodel import CostModelConfig, InstrumentationBackend, OverheadModel
 from repro.gpusim.device import A100
-from repro.gpusim.trace import AnalysisModel, TRACE_RECORD_BYTES, TraceBuffer
+from repro.gpusim.trace import AnalysisModel, TraceBuffer
 from repro.tools import WorkloadProfile
 from repro import api
 

@@ -1,9 +1,12 @@
 """Figure 15: per-GPU memory usage of Megatron GPT-2 345M under DP, TP and PP.
 
 Runs one training iteration of the Megatron GPT-2 model on two simulated A100s
-under data, tensor and pipeline parallelism and compares the per-GPU memory
-timelines: DP and TP are symmetric, TP's peak is roughly half of DP's, and PP
-is asymmetric with the last stage (final layers + LM head) carrying the tail.
+under data, tensor and pipeline parallelism — through the unified
+:class:`~repro.api.spec.ProfileSpec` facade, exactly as ``pasta profile
+megatron-gpt2-345m --parallel tp`` would — and compares the per-GPU memory
+timelines from the aggregated cross-rank report: DP and TP are symmetric, TP's
+peak is roughly half of DP's, and PP is asymmetric with the last stage (final
+layers + LM head) carrying the tail.
 """
 
 from __future__ import annotations
@@ -13,19 +16,18 @@ import os
 import pytest
 
 from conftest import print_header, print_row
-from repro.dlframework.models.megatron import MegatronConfig
-from repro.dlframework.parallel import (
-    DataParallelRunner,
-    PipelineParallelRunner,
-    TensorParallelRunner,
-)
-from repro.gpusim.device import A100
-from repro.gpusim.multigpu import DeviceSet
+from repro import pasta
+from repro.core.registry import REGISTRY
+from repro.dlframework.models.megatron import MegatronConfig, MegatronGpt2
 
 MiB = float(1024 * 1024)
 
-#: Full Megatron GPT-2 345M configuration, reduced unless PASTA_BENCH_FULL=1.
+#: Registry name of the (possibly reduced) benchmark model.
+BENCH_MODEL = "megatron_gpt2_345m_fig15"
+
+
 def _config() -> MegatronConfig:
+    """Full Megatron GPT-2 345M configuration, reduced unless PASTA_BENCH_FULL=1."""
     if os.environ.get("PASTA_BENCH_FULL"):
         return MegatronConfig()
     return MegatronConfig(vocab_size=8192, hidden=512, num_layers=8, num_heads=8,
@@ -35,21 +37,24 @@ def _config() -> MegatronConfig:
 @pytest.fixture(scope="module")
 def parallel_results():
     config = _config()
-    return {
-        "DP": DataParallelRunner(DeviceSet([A100, A100]), config).run_iteration(),
-        "TP": TensorParallelRunner(DeviceSet([A100, A100]), config).run_iteration(),
-        "PP": PipelineParallelRunner(DeviceSet([A100, A100]), config).run_iteration(),
-    }
+    REGISTRY.register("models", BENCH_MODEL, lambda: MegatronGpt2(config),
+                      overwrite=True)
+    try:
+        yield {
+            label: (pasta.profile(BENCH_MODEL)
+                    .parallel(strategy, world_size=2)
+                    .run())
+            for label, strategy in (("DP", "dp"), ("TP", "tp"), ("PP", "pp"))
+        }
+    finally:
+        REGISTRY.namespace("models").unregister(BENCH_MODEL)
 
 
 def test_figure15_parallelism_memory_usage(benchmark, parallel_results):
     def summarise():
         return {
-            strategy: {
-                "peaks": result.peak_bytes(),
-                "events": result.allocation_event_counts(),
-            }
-            for strategy, result in parallel_results.items()
+            label: result.reports()["cross_rank"]
+            for label, result in parallel_results.items()
         }
 
     summary = benchmark(summarise)
@@ -57,23 +62,26 @@ def test_figure15_parallelism_memory_usage(benchmark, parallel_results):
     print_header("Figure 15 — Megatron GPT-2 per-GPU memory usage (one training iteration)")
     print_row("strategy", "GPU0 peak MB", "GPU1 peak MB", "GPU0 events", "GPU1 events",
               widths=(9, 13, 13, 12, 12))
-    for strategy, data in summary.items():
-        peaks, events = data["peaks"], data["events"]
-        print_row(strategy, peaks[0] / MiB, peaks[1] / MiB, events[0], events[1],
+    for label, cross in summary.items():
+        peaks = cross["peak_bytes_per_rank"]
+        events = cross["allocation_events_per_rank"]
+        print_row(label, peaks[0] / MiB, peaks[1] / MiB, events[0], events[1],
                   widths=(9, 13, 13, 12, 12))
 
-    dp_peaks = summary["DP"]["peaks"]
-    tp_peaks = summary["TP"]["peaks"]
-    pp_peaks = summary["PP"]["peaks"]
+    dp_peaks = summary["DP"]["peak_bytes_per_rank"]
+    tp_peaks = summary["TP"]["peak_bytes_per_rank"]
+    pp_peaks = summary["PP"]["peak_bytes_per_rank"]
     print(f"\nTP peak / DP peak = {max(tp_peaks) / max(dp_peaks):.2f} "
           f"(paper: ~0.5, consistent with model sharding)")
-    print(f"PP asymmetry (GPU1/GPU0) = {pp_peaks[1] / max(1, pp_peaks[0]):.2f} "
+    print(f"PP asymmetry (GPU1/GPU0) = {summary['PP']['last_over_first_peak']:.2f} "
           f"(last stage carries the LM head and logits)")
 
     # DP and TP are symmetric across the two GPUs.
     assert dp_peaks[0] == pytest.approx(dp_peaks[1], rel=0.02)
     assert tp_peaks[0] == pytest.approx(tp_peaks[1], rel=0.02)
+    assert summary["DP"]["peak_symmetry"] == pytest.approx(1.0, rel=0.02)
     # TP's peak is clearly below DP's.
     assert max(tp_peaks) < 0.8 * max(dp_peaks)
     # PP is asymmetric with the heavier last stage.
     assert pp_peaks[1] > pp_peaks[0]
+    assert summary["PP"]["last_over_first_peak"] > 1.0

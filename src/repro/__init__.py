@@ -42,6 +42,8 @@ Package layout
 
 from repro import pasta
 from repro.api import (
+    ParallelismSpec,
+    ParallelProfileResult,
     ProfileBuilder,
     ProfileResult,
     ProfileSpec,
@@ -61,9 +63,11 @@ from repro.core.session import PastaSession
 from repro.core.tool import PastaTool
 from repro.errors import PastaError, ReproError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "ParallelProfileResult",
+    "ParallelismSpec",
     "PastaError",
     "PastaSession",
     "PastaTool",

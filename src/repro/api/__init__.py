@@ -21,29 +21,48 @@ and its canonical serialization is the campaign cache key.
 
 from repro.api.builder import ProfileBuilder, profile
 from repro.api.runner import (
+    ParallelProfileResult,
+    ParallelReplayResult,
     ProfileResult,
     execute,
+    execute_parallel,
     execute_payload,
     record_workload_trace,
     replay,
+    replay_parallel,
     replay_payload,
     run,
     workload_signature,
 )
-from repro.api.spec import KnobValue, ProfileSpec, RUN_MODES, normalize_knobs
+from repro.api.spec import (
+    KnobValue,
+    PARALLEL_STRATEGIES,
+    ParallelismSpec,
+    ProfileSpec,
+    RUN_MODES,
+    normalize_knobs,
+    normalize_parallelism,
+)
 
 __all__ = [
     "KnobValue",
+    "PARALLEL_STRATEGIES",
+    "ParallelismSpec",
+    "ParallelProfileResult",
+    "ParallelReplayResult",
     "ProfileBuilder",
     "ProfileResult",
     "ProfileSpec",
     "RUN_MODES",
     "execute",
+    "execute_parallel",
     "execute_payload",
     "normalize_knobs",
+    "normalize_parallelism",
     "profile",
     "record_workload_trace",
     "replay",
+    "replay_parallel",
     "replay_payload",
     "run",
     "workload_signature",

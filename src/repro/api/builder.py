@@ -23,7 +23,9 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.api.spec import KnobValue, ProfileSpec
+from typing import Sequence
+
+from repro.api.spec import KnobValue, ParallelismSpec, ProfileSpec
 from repro.core.tool import PastaTool
 from repro.errors import ReproError
 from repro.gpusim.trace import AnalysisModel
@@ -125,6 +127,32 @@ class ProfileBuilder:
             self._knobs["end_grid_id"] = int(end_grid_id)
         return self
 
+    def parallel(
+        self,
+        strategy: Union[str, ParallelismSpec],
+        world_size: int = 2,
+        devices: Sequence[str] = (),
+        microbatches: int = 2,
+    ) -> "ProfileBuilder":
+        """Run as a multi-GPU parallel profile (DP/TP/PP over ``world_size``).
+
+        ``strategy`` is ``"dp"``, ``"tp"`` or ``"pp"`` (or a ready
+        :class:`ParallelismSpec`, in which case the other arguments are
+        ignored); ``devices`` optionally names one device per rank,
+        defaulting to the builder's device replicated.  Parallel profiles
+        train, so the mode defaults to ``"train"`` unless set explicitly.
+        """
+        if isinstance(strategy, ParallelismSpec):
+            parallelism = strategy
+        else:
+            parallelism = ParallelismSpec(
+                strategy=strategy, world_size=world_size,
+                devices=tuple(devices), microbatches=microbatches,
+            )
+        self._fields["parallelism"] = parallelism
+        self._fields.setdefault("mode", "train")
+        return self
+
     def record(self, path: Union[str, Path]) -> "ProfileBuilder":
         """Record the event stream to ``path`` for later offline replay."""
         self._fields["record_to"] = str(path)
@@ -170,6 +198,13 @@ class ProfileBuilder:
         from repro.api.runner import replay as replay_fn
 
         spec = self._spec()
+        if spec.parallelism is not None:
+            if self._tool_instances:
+                raise ReproError(
+                    "parallel replays attach one fresh tool instance per rank; "
+                    "register tools and add them by name"
+                )
+            return replay_fn(trace, spec)
         tools: list[Union[str, PastaTool]] = list(spec.tools) + list(self._tool_instances)
         return replay_fn(trace, spec, tools=tools if tools else None)
 

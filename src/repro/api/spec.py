@@ -50,9 +50,25 @@ _MODE_ALIASES = {
 #: cost model.
 RANGE_KNOBS = ("start_grid_id", "end_grid_id")
 
+#: Canonical multi-GPU parallelism strategies (Section V-D2 / Figure 15),
+#: plus the long-form names the runner classes historically used.
+PARALLEL_STRATEGIES = ("dp", "tp", "pp")
+_STRATEGY_ALIASES = {
+    "dp": "dp",
+    "tp": "tp",
+    "pp": "pp",
+    "data_parallel": "dp",
+    "data-parallel": "dp",
+    "tensor_parallel": "tp",
+    "tensor-parallel": "tp",
+    "pipeline_parallel": "pp",
+    "pipeline-parallel": "pp",
+}
+
 _SPEC_FIELDS = (
     "model", "device", "mode", "tools", "iterations", "batch_size",
-    "backend", "analysis_model", "fine_grained", "knobs", "record_to",
+    "backend", "analysis_model", "fine_grained", "knobs", "parallelism",
+    "record_to",
 )
 
 #: Fields excluded from :meth:`ProfileSpec.canonical`: they direct where
@@ -94,6 +110,131 @@ def normalize_knobs(
     return tuple(out)
 
 
+def normalize_strategy(strategy: str) -> str:
+    """Canonical short name (``dp``/``tp``/``pp``) for a strategy spelling."""
+    key = str(strategy).strip().lower()
+    canonical = _STRATEGY_ALIASES.get(key)
+    if canonical is None:
+        valid = ", ".join(repr(s) for s in PARALLEL_STRATEGIES)
+        close = difflib.get_close_matches(key, sorted(_STRATEGY_ALIASES), n=1)
+        hint = f"; did you mean {_STRATEGY_ALIASES[close[0]]!r}?" if close else ""
+        raise ReproError(
+            f"parallelism strategy must be one of {valid}, got {strategy!r}{hint}"
+        )
+    return canonical
+
+
+@dataclass(frozen=True)
+class ParallelismSpec:
+    """Multi-GPU parallelism configuration of one profiling run.
+
+    Mirrors the paper's Section V-D2 setup: one training workload spread
+    over ``world_size`` ranks under data (``dp``), tensor (``tp``) or
+    pipeline (``pp``) parallelism.  Like :class:`ProfileSpec` it is plain,
+    hashable, JSON-native data; it is part of the spec's canonical identity,
+    so campaigns can sweep it like any other axis.
+
+    Attributes
+    ----------
+    strategy:
+        ``"dp"``, ``"tp"`` or ``"pp"`` (long-form spellings such as
+        ``"tensor_parallel"`` are normalised).
+    world_size:
+        Number of ranks (devices); at least 2.
+    devices:
+        Per-rank device registry names.  Empty means "replicate the spec's
+        ``device`` on every rank" — the common homogeneous case.
+    microbatches:
+        Pipeline-parallel micro-batch count.  ``dp``/``tp`` runs ignore it,
+        so it is normalised to 1 there — two dp specs differing only in
+        microbatches are the *same* configuration and must share a cache
+        entry and workload signature.
+    """
+
+    strategy: str
+    world_size: int = 2
+    devices: Tuple[str, ...] = ()
+    microbatches: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "strategy", normalize_strategy(self.strategy))
+        if self.world_size < 2:
+            raise ReproError(
+                f"parallelism world_size must be >= 2, got {self.world_size}"
+            )
+        if self.strategy != "pp":
+            object.__setattr__(self, "microbatches", 1)
+        if isinstance(self.devices, (str, bytes)):
+            raise ReproError(
+                f"ParallelismSpec.devices must be a sequence of device names, "
+                f"got the string {self.devices!r}"
+            )
+        object.__setattr__(self, "devices", tuple(str(name) for name in self.devices))
+        if self.devices and len(self.devices) != self.world_size:
+            raise ReproError(
+                f"parallelism lists {len(self.devices)} per-rank devices for a "
+                f"world size of {self.world_size}; give one device per rank "
+                f"(or none to replicate the spec's device)"
+            )
+        if self.microbatches < 1:
+            raise ReproError(
+                f"parallelism microbatches must be >= 1, got {self.microbatches}"
+            )
+
+    def resolved_devices(self, default_device: str) -> Tuple[str, ...]:
+        """Per-rank device names, replicating ``default_device`` when unset."""
+        if self.devices:
+            return self.devices
+        return (str(default_device),) * self.world_size
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain JSON-native dict (inverse of :meth:`from_dict`)."""
+        return {
+            "strategy": self.strategy,
+            "world_size": self.world_size,
+            "devices": list(self.devices),
+            "microbatches": self.microbatches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ParallelismSpec":
+        """Build from a plain dict, validating field names."""
+        known = {"strategy", "world_size", "devices", "microbatches"}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(f"unknown ParallelismSpec fields: {sorted(unknown)}")
+        if "strategy" not in data:
+            raise ReproError("ParallelismSpec requires a 'strategy'")
+        devices = data.get("devices") or ()
+        if isinstance(devices, (str, bytes)):
+            raise ReproError(
+                f"ParallelismSpec 'devices' must be a list of device names, "
+                f"got the string {devices!r}"
+            )
+        return cls(
+            strategy=str(data["strategy"]),
+            world_size=int(data.get("world_size", 2)),
+            devices=tuple(str(name) for name in devices),
+            microbatches=int(data.get("microbatches", 2)),
+        )
+
+
+def normalize_parallelism(
+    parallelism: Union["ParallelismSpec", Mapping[str, object], str, None],
+) -> Optional[ParallelismSpec]:
+    """Accept a :class:`ParallelismSpec`, a dict, a bare strategy name, or None."""
+    if parallelism is None or isinstance(parallelism, ParallelismSpec):
+        return parallelism
+    if isinstance(parallelism, str):
+        return ParallelismSpec(strategy=parallelism)
+    if isinstance(parallelism, Mapping):
+        return ParallelismSpec.from_dict(parallelism)
+    raise ReproError(
+        f"parallelism must be a ParallelismSpec, a dict, a strategy name or "
+        f"None, got {type(parallelism).__name__}"
+    )
+
+
 @dataclass(frozen=True)
 class ProfileSpec:
     """One fully-resolved profiling configuration.
@@ -126,6 +267,12 @@ class ProfileSpec:
         Extra overrides as sorted ``(name, value)`` pairs:
         ``start_grid_id``/``end_grid_id`` (the grid-window) or any
         :class:`~repro.gpusim.costmodel.CostModelConfig` field.
+    parallelism:
+        Multi-GPU parallelism configuration (:class:`ParallelismSpec`), or
+        None for a single-GPU run.  Parallel profiles train (the Figure-15
+        scenario), drive one instrumented session per rank over a shared
+        :class:`~repro.gpusim.multigpu.DeviceSet`, and report per-rank plus
+        cross-rank results.
     record_to:
         Persist the run's event stream to this trace file for later offline
         replay.  Excluded from :meth:`canonical` — where a trace is written
@@ -142,6 +289,7 @@ class ProfileSpec:
     analysis_model: str = "gpu_resident"
     fine_grained: bool = False
     knobs: Tuple[Tuple[str, KnobValue], ...] = ()
+    parallelism: Optional[ParallelismSpec] = None
     record_to: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -159,6 +307,13 @@ class ProfileSpec:
             )
         object.__setattr__(self, "tools", tuple(str(name) for name in self.tools))
         object.__setattr__(self, "knobs", normalize_knobs(self.knobs))
+        object.__setattr__(self, "parallelism", normalize_parallelism(self.parallelism))
+        if self.parallelism is not None and self.mode != "train":
+            raise ReproError(
+                f"multi-GPU parallelism profiles one training iteration per "
+                f"rank (the Figure-15 scenario); set mode='train' instead of "
+                f"{self.mode!r}"
+            )
         if self.record_to is not None:
             object.__setattr__(self, "record_to", str(self.record_to))
 
@@ -173,7 +328,10 @@ class ProfileSpec:
     def label(self) -> str:
         """Short human-readable identifier used in progress output."""
         tools = "+".join(self.tools) if self.tools else "overhead-only"
-        return f"{self.model}/{self.device}/{self.mode}/{tools}"
+        base = f"{self.model}/{self.device}/{self.mode}/{tools}"
+        if self.parallelism is not None:
+            base += f"/{self.parallelism.strategy}x{self.parallelism.world_size}"
+        return base
 
     def replace(self, **changes: object) -> "ProfileSpec":
         """A copy with ``changes`` applied (knobs are re-normalised)."""
@@ -182,6 +340,31 @@ class ProfileSpec:
     def with_record(self, path: Union[str, Path, None]) -> "ProfileSpec":
         """A copy recording its event stream to ``path`` (None disables)."""
         return self.replace(record_to=None if path is None else str(path))
+
+    def with_parallelism(
+        self,
+        strategy: Union["ParallelismSpec", Mapping[str, object], str, None],
+        world_size: int = 2,
+        devices: Sequence[str] = (),
+        microbatches: int = 2,
+    ) -> "ProfileSpec":
+        """A copy running under multi-GPU parallelism (None disables).
+
+        ``strategy`` may be a ready :class:`ParallelismSpec` (or dict), in
+        which case the other arguments are ignored, or a bare strategy name
+        combined with ``world_size``/``devices``/``microbatches``.  Parallel
+        profiles train, so the mode is switched to ``"train"`` alongside.
+        """
+        if strategy is None:
+            return self.replace(parallelism=None)
+        if isinstance(strategy, str):
+            parallelism = ParallelismSpec(
+                strategy=strategy, world_size=world_size,
+                devices=tuple(devices), microbatches=microbatches,
+            )
+        else:
+            parallelism = normalize_parallelism(strategy)
+        return self.replace(parallelism=parallelism, mode="train")
 
     # ------------------------------------------------------------------ #
     # (de)serialization
@@ -199,6 +382,7 @@ class ProfileSpec:
             "analysis_model": self.analysis_model,
             "fine_grained": self.fine_grained,
             "knobs": self.knob_dict,
+            "parallelism": None if self.parallelism is None else self.parallelism.to_dict(),
             "record_to": self.record_to,
         }
 
@@ -239,6 +423,7 @@ class ProfileSpec:
             analysis_model=str(data.get("analysis_model", "gpu_resident")),
             fine_grained=bool(data.get("fine_grained", False)),
             knobs=normalize_knobs(data.get("knobs")),  # type: ignore[arg-type]
+            parallelism=normalize_parallelism(data.get("parallelism")),  # type: ignore[arg-type]
             record_to=None if data.get("record_to") is None else str(data["record_to"]),
         )
 
@@ -329,4 +514,5 @@ class ProfileSpec:
             self.batch_size,
             self.backend,
             self.needs_fine_grained(),
+            None if self.parallelism is None else self.parallelism,
         )

@@ -24,7 +24,14 @@ from itertools import product
 from pathlib import Path
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
-from repro.api.spec import KnobValue, ProfileSpec, RUN_MODES, normalize_knobs
+from repro.api.spec import (
+    KnobValue,
+    ParallelismSpec,
+    ProfileSpec,
+    RUN_MODES,
+    normalize_knobs,
+    normalize_parallelism,
+)
 from repro.core.serialization import json_sanitize
 from repro.errors import ReproError
 
@@ -77,6 +84,13 @@ class CampaignSpec:
     fine_grained: bool = False
     #: Knob sweep: each entry is one knob-override dict applied to the grid.
     knob_sweep: list[dict[str, KnobValue]] = field(default_factory=lambda: [{}])
+    #: Parallelism axis: each entry is None (single-GPU), a strategy name
+    #: (``"tp"``), or a :class:`ParallelismSpec` dict — swept like any other
+    #: axis.  Parallel cells train, so pair this axis with ``modes:
+    #: ["train"]``.
+    parallelisms: list[Union[ParallelismSpec, dict, str, None]] = field(
+        default_factory=lambda: [None]
+    )
     extra_jobs: list[ProfileSpec] = field(default_factory=list)
     #: ``"simulate"`` runs every job as a fresh simulation; ``"replay"``
     #: records each distinct workload once and replays it per job (tool set /
@@ -104,6 +118,11 @@ class CampaignSpec:
                 raise ReproError(f"campaign mode must be one of {RUN_MODES}, got {mode!r}")
         if not self.knob_sweep:
             self.knob_sweep = [{}]
+        if not self.parallelisms:
+            self.parallelisms = [None]
+        # Normalise (and validate) every axis entry up front so a typo'd
+        # strategy fails at spec load, not mid-campaign.
+        self.parallelisms = [normalize_parallelism(p) for p in self.parallelisms]
 
     # ------------------------------------------------------------------ #
     # expansion
@@ -116,8 +135,9 @@ class CampaignSpec:
         grid = product(
             self.models, self.devices, self.modes, toolsets,
             self.analysis_models, self.backends, self.knob_sweep,
+            self.parallelisms,
         )
-        for model, device, mode, toolset, analysis_model, backend, knobs in grid:
+        for model, device, mode, toolset, analysis_model, backend, knobs, parallelism in grid:
             job = ProfileSpec(
                 model=model,
                 device=device,
@@ -129,6 +149,7 @@ class CampaignSpec:
                 analysis_model=analysis_model,
                 fine_grained=self.fine_grained,
                 knobs=normalize_knobs(knobs),
+                parallelism=parallelism,
             )
             if job not in seen:
                 seen.add(job)
@@ -160,6 +181,9 @@ class CampaignSpec:
             "batch_size": self.batch_size,
             "fine_grained": self.fine_grained,
             "knob_sweep": list(self.knob_sweep),
+            "parallelisms": [
+                None if p is None else p.to_dict() for p in self.parallelisms  # type: ignore[union-attr]
+            ],
             "extra_jobs": [job.to_dict() for job in self.extra_jobs],
             "execution": self.execution,
         })
@@ -170,7 +194,7 @@ class CampaignSpec:
         known = {
             "name", "models", "devices", "modes", "tools", "analysis_models",
             "backends", "iterations", "batch_size", "fine_grained",
-            "knob_sweep", "extra_jobs", "execution",
+            "knob_sweep", "parallelisms", "extra_jobs", "execution",
         }
         unknown = set(data) - known
         if unknown:
@@ -179,7 +203,7 @@ class CampaignSpec:
             raise ReproError("CampaignSpec requires a 'name'")
         kwargs: dict[str, object] = {"name": str(data["name"])}
         for key in ("models", "devices", "modes", "tools", "analysis_models",
-                    "backends", "knob_sweep"):
+                    "backends", "knob_sweep", "parallelisms"):
             if key in data:
                 value = data[key]
                 if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):

@@ -12,7 +12,7 @@ from __future__ import annotations
 import argparse
 from typing import Optional
 
-from repro.api import ProfileSpec, execute
+from repro.api import PARALLEL_STRATEGIES, ParallelismSpec, ProfileSpec, execute
 from repro.core.registry import REGISTRY, registered_tools
 
 
@@ -24,8 +24,19 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                         help="tool name from the registry; may be repeated")
     parser.add_argument("--device", "-d", default="a100",
                         help="device short name (see --list-devices; default: a100)")
-    parser.add_argument("--mode", choices=["inference", "train"], default="inference")
+    parser.add_argument("--mode", choices=["inference", "train"], default=None,
+                        help="run mode (default: inference; --parallel implies train)")
     parser.add_argument("--iterations", type=int, default=1)
+    parser.add_argument("--parallel", choices=list(PARALLEL_STRATEGIES), default=None,
+                        help="profile under multi-GPU parallelism: dp (data), "
+                             "tp (tensor) or pp (pipeline); implies --mode train")
+    parser.add_argument("--world-size", type=int, default=None,
+                        help="ranks for --parallel (default: 2)")
+    parser.add_argument("--parallel-devices", default=None, metavar="DEV,DEV,...",
+                        help="comma-separated per-rank devices for --parallel "
+                             "(default: --device replicated on every rank)")
+    parser.add_argument("--microbatches", type=int, default=None,
+                        help="pipeline-parallel micro-batch count (default: 2)")
     parser.add_argument("--batch-size", type=int, default=None,
                         help="override the model's paper batch size")
     parser.add_argument("--backend", default=None,
@@ -61,10 +72,26 @@ def spec_from_args(args: argparse.Namespace) -> ProfileSpec:
         knobs["start_grid_id"] = args.start_grid_id
     if args.end_grid_id is not None:
         knobs["end_grid_id"] = args.end_grid_id
+    parallelism = None
+    if args.parallel is not None:
+        devices = ()
+        if args.parallel_devices:
+            devices = tuple(
+                name.strip() for name in args.parallel_devices.split(",") if name.strip()
+            )
+        parallelism = ParallelismSpec(
+            strategy=args.parallel,
+            world_size=2 if args.world_size is None else args.world_size,
+            devices=devices,
+            microbatches=2 if args.microbatches is None else args.microbatches,
+        )
+    mode = args.mode
+    if mode is None:
+        mode = "train" if parallelism is not None else "inference"
     return ProfileSpec(
         model=args.model,
         device=args.device,
-        mode=args.mode,
+        mode=mode,
         tools=tuple(args.tool),
         iterations=args.iterations,
         batch_size=args.batch_size,
@@ -72,6 +99,7 @@ def spec_from_args(args: argparse.Namespace) -> ProfileSpec:
         analysis_model=args.analysis_model,
         fine_grained=args.fine_grained,
         knobs=tuple(knobs.items()),  # type: ignore[arg-type]
+        parallelism=parallelism,
         record_to=args.record,
     )
 
@@ -105,16 +133,28 @@ def cmd_profile(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
         parser.error("a model name is required unless --list-tools is given")
     if not args.tool:
         parser.error("at least one --tool is required (see --list-tools)")
+    if args.parallel is None:
+        # Silently dropping these would run a single-GPU profile while the
+        # user believes they profiled N ranks.
+        stray = [flag for flag, value in (("--world-size", args.world_size),
+                                          ("--parallel-devices", args.parallel_devices),
+                                          ("--microbatches", args.microbatches))
+                 if value is not None]
+        if stray:
+            parser.error(f"{', '.join(stray)} require(s) --parallel")
 
     result = execute(spec_from_args(args))
     reports = result.reports()
     reports["run"] = result.summary.as_dict()
     if args.record:
+        # Parallel profiles record all ranks into one shared trace, so the
+        # path is the same whichever session reports it.
+        session = result.session if hasattr(result, "session") else result.sessions[0]
         # In JSON mode the trace path rides inside the document — a bare
         # text line first would make stdout invalid JSON for pipelines.
         if args.json:
-            reports["trace"] = {"path": str(result.session.trace_path)}
+            reports["trace"] = {"path": str(session.trace_path)}
         else:
-            print(f"recorded event stream to {result.session.trace_path}")
+            print(f"recorded event stream to {session.trace_path}")
     print_reports(reports, args.json)
     return 0

@@ -105,6 +105,9 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                         help="last kernel-launch index to keep")
     slice_.add_argument("--region", default=None,
                         help="keep only events inside pasta regions with this label")
+    slice_.add_argument("--device-index", type=int, default=None,
+                        help="keep only events attributed to this GPU (the "
+                             "per-rank view of a multi-GPU recording)")
     _add_strict_schema_flag(slice_)
     slice_.set_defaults(trace_handler=_cmd_slice)
 
@@ -205,6 +208,7 @@ def _cmd_slice(args: argparse.Namespace) -> int:
         start_grid_id=args.start_grid_id,
         end_grid_id=args.end_grid_id,
         region=args.region,
+        device_index=args.device_index,
     )
     print(f"wrote {footer.event_count} of {reader.footer.event_count} events "
           f"to {args.output}")

@@ -10,7 +10,7 @@ per-kernel statistics PASTA accumulates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import PastaError

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.errors import ProcessorError
 from repro.core.annotations import RangeFilter
 from repro.core.events import (
     EventCategory,

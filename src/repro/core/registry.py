@@ -98,10 +98,11 @@ def _seed_devices(ns: "RegistryNamespace") -> None:
 
 
 def _seed_models(ns: "RegistryNamespace") -> None:
-    from repro.dlframework.models import MODEL_REGISTRY
+    from repro.dlframework.models import MODEL_ALIASES, MODEL_REGISTRY
 
     for name, factory in MODEL_REGISTRY.items():
-        ns.register(name, factory, skip_existing=True)
+        aliases = tuple(a for a, target in MODEL_ALIASES.items() if target == name)
+        ns.register(name, factory, aliases=aliases, skip_existing=True)
 
 
 def _seed_analysis_models(ns: "RegistryNamespace") -> None:

@@ -21,7 +21,7 @@ Typical usage::
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from repro.errors import PastaError
 from repro.core.annotations import RangeFilter, _set_active_session
@@ -126,6 +126,7 @@ class PastaSession:
         cost_config: Optional[CostModelConfig] = None,
         record_to: Union[str, Path, None] = None,
         trace_metadata: Optional[Mapping[str, object]] = None,
+        trace_writer: Optional["TraceWriter"] = None,
     ) -> None:
         self.runtime = runtime
         self.backend = _make_backend(vendor_backend, runtime)
@@ -153,7 +154,21 @@ class PastaSession:
         self._attached_contexts: list[FrameworkContext] = []
         self._started = False
         self._trace_writer: Optional["TraceWriter"] = None
+        #: Whether this session created (and therefore closes) the writer.
+        #: Multi-GPU runs share one externally-owned writer across the
+        #: per-rank sessions, so each rank taps it but never finalises it.
+        self._owns_trace_writer = True
         self.trace_path: Optional[Path] = None
+        if record_to is not None and trace_writer is not None:
+            raise PastaError(
+                "pass either record_to (session-owned trace file) or "
+                "trace_writer (shared, externally-owned writer), not both"
+            )
+        if trace_writer is not None:
+            self._trace_writer = trace_writer
+            self._owns_trace_writer = False
+            self.trace_path = trace_writer.path
+            self.handler.set_sink(self._record_and_submit)
         if record_to is not None:
             # Imported lazily: repro.replay builds on repro.core, not the
             # other way around, so the tap must not create an import cycle.
@@ -251,7 +266,11 @@ class PastaSession:
         self.runtime.device.reserve_profiler_memory(0)
         _set_active_session(None)
         self._started = False
-        if self._trace_writer is not None and not self._trace_writer.closed:
+        if (
+            self._owns_trace_writer
+            and self._trace_writer is not None
+            and not self._trace_writer.closed
+        ):
             self._trace_writer.close()
 
     # ------------------------------------------------------------------ #
@@ -272,9 +291,11 @@ class PastaSession:
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is not None and self.is_recording:
+        if exc_type is not None and self.is_recording and self._owns_trace_writer:
             # The workload died mid-session: keep what was recorded but mark
-            # the trace incomplete so readers refuse it by default.
+            # the trace incomplete so readers refuse it by default.  A shared
+            # writer is aborted by its owner (the multi-GPU executor), which
+            # sees the exception too.
             self._trace_writer.abort(f"{exc_type.__name__}: {exc}")
         self.stop()
 

@@ -15,7 +15,7 @@ A :class:`BackendProfile` collects those knobs so the operator layer
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dlframework.allocator import (
     AllocatorProfile,

@@ -10,8 +10,8 @@ vendor events (Section III-E of the paper).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.dlframework.allocator import MemoryUsageRecord
 

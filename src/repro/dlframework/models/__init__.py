@@ -23,6 +23,14 @@ MODEL_REGISTRY: dict[str, Callable[[], ModelBase]] = {
     "megatron_gpt2_345m": MegatronGpt2,
 }
 
+#: Alternate spellings accepted by the ``models`` registry namespace.
+MODEL_ALIASES: dict[str, str] = {
+    "megatron-gpt2-345m": "megatron_gpt2_345m",
+    "megatron": "megatron_gpt2_345m",
+    "resnet-18": "resnet18",
+    "resnet-34": "resnet34",
+}
+
 #: Abbreviations used in the paper's tables and figures.
 MODEL_ABBREVIATIONS: dict[str, str] = {
     "alexnet": "AN",

@@ -26,6 +26,9 @@ class ModelBase(Module):
     default_batch_size: int = 1
     #: Layer count reported in Table IV (for documentation and reports).
     paper_layer_count: int = 0
+    #: Whether the model can be sharded for the multi-GPU parallelism
+    #: profiles (DP/TP/PP); see :mod:`repro.dlframework.parallel`.
+    supports_parallelism: bool = False
 
     def make_example_inputs(self, ctx: FrameworkContext, batch_size: Optional[int] = None) -> Tensor:
         """Allocate an example input batch for this model."""

@@ -41,6 +41,7 @@ class MegatronGpt2(ModelBase):
     model_type = "Transformer"
     default_batch_size = 4
     paper_layer_count = 24
+    supports_parallelism = True
 
     def __init__(
         self,
@@ -109,7 +110,6 @@ class MegatronGpt2(ModelBase):
     def forward(self, ctx: FrameworkContext, x: Tensor) -> Tensor:
         """Run this shard.  ``x`` is token ids on the first stage and the
         previous stage's activations otherwise."""
-        cfg = self.config
         if self.is_first_stage:
             tokens = self.wte(ctx, x)
             positions = self.wpe(ctx, x)

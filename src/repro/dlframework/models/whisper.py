@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.dlframework import ops
 from repro.dlframework.context import FrameworkContext
 from repro.dlframework.models.base import ModelBase
 from repro.dlframework.modules import Embedding, GELU, LayerNorm, Linear, TransformerLayer

@@ -18,8 +18,7 @@ numerical gradients.
 
 from __future__ import annotations
 
-import math
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional
 
 from repro.errors import ModelError, ShapeError
 from repro.dlframework import ops

@@ -17,7 +17,6 @@ exercise realistic gradient/optimizer-state allocation patterns.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.errors import ShapeError

@@ -20,13 +20,11 @@ send/recv for PP.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Optional
 
 from repro.errors import FrameworkError
 from repro.dlframework import ops
 from repro.dlframework.context import FrameworkContext
-from repro.dlframework.engine import ExecutionEngine
-from repro.dlframework.models.base import ModelBase
 from repro.dlframework.models.megatron import MegatronConfig, MegatronGpt2
 from repro.dlframework.optim import Adam
 from repro.gpusim.multigpu import DeviceSet
@@ -39,6 +37,11 @@ class ParallelRunResult:
 
     strategy: str
     contexts: list[FrameworkContext]
+
+    @property
+    def device_indices(self) -> list[int]:
+        """Global device index of each rank's runtime."""
+        return [ctx.runtime.device.index for ctx in self.contexts]
 
     def usage_timelines(self) -> list[list[tuple[int, int]]]:
         """Per-rank (event_index, allocated_bytes) timelines (Figure 15's y-axis)."""
@@ -54,7 +57,15 @@ class ParallelRunResult:
 
 
 class ParallelRunner:
-    """Base class for multi-GPU training runners."""
+    """Base class for multi-GPU training runners.
+
+    Construction only builds the per-rank framework contexts; the models are
+    built, materialized and given optimizers by :meth:`prepare`.  The split
+    lets a profiling session attach to each rank's context *before* parameter
+    allocation happens, so the recorded event stream covers the whole run —
+    :meth:`run_iteration` still calls :meth:`prepare` on first use, keeping
+    the historical construct-then-run usage working unchanged.
+    """
 
     strategy = "none"
 
@@ -65,12 +76,20 @@ class ParallelRunner:
         self.config = config or MegatronConfig()
         self.contexts = [FrameworkContext(rt) for rt in device_set]
         self.models: list[MegatronGpt2] = []
+        self.optimizers: list[Adam] = []
+        self._prepared = False
+
+    def prepare(self) -> None:
+        """Build and materialize the per-rank model shards (idempotent)."""
+        if self._prepared:
+            return
         self._build_models()
         for ctx, model in zip(self.contexts, self.models):
             model.materialize(ctx)
         self.optimizers = [
             Adam(list(model.parameters())) for model in self.models
         ]
+        self._prepared = True
 
     def _build_models(self) -> None:
         raise NotImplementedError
@@ -78,6 +97,15 @@ class ParallelRunner:
     def run_iteration(self) -> ParallelRunResult:
         """Run one training iteration across all ranks."""
         raise NotImplementedError
+
+    def run(self, iterations: int = 1) -> ParallelRunResult:
+        """Run ``iterations`` training iterations; returns the final result."""
+        if iterations < 1:
+            raise FrameworkError(f"iterations must be >= 1, got {iterations}")
+        result = self.run_iteration()
+        for _ in range(iterations - 1):
+            result = self.run_iteration()
+        return result
 
     @property
     def world_size(self) -> int:
@@ -115,6 +143,7 @@ class DataParallelRunner(ParallelRunner):
         self.models = [MegatronGpt2(self.config) for _ in range(self.world_size)]
 
     def run_iteration(self) -> ParallelRunResult:
+        self.prepare()
         for rank in range(self.world_size):
             self._train_step_local(rank)
         # Gradient all-reduce across replicas (one collective per rank).
@@ -139,6 +168,7 @@ class TensorParallelRunner(ParallelRunner):
         ]
 
     def run_iteration(self) -> ParallelRunResult:
+        self.prepare()
         for rank in range(self.world_size):
             ctx, model = self.contexts[rank], self.models[rank]
             model.train()
@@ -181,6 +211,7 @@ class PipelineParallelRunner(ParallelRunner):
         ]
 
     def run_iteration(self) -> ParallelRunResult:
+        self.prepare()
         cfg = self.config
         micro_batch = max(1, cfg.batch_size // self.num_microbatches)
         for _micro in range(self.num_microbatches):
@@ -233,15 +264,40 @@ PARALLEL_RUNNERS: dict[str, type[ParallelRunner]] = {
     "pipeline_parallel": PipelineParallelRunner,
 }
 
+#: Short strategy names (the :class:`~repro.api.spec.ParallelismSpec`
+#: vocabulary) mapped to the runner registry's long-form keys.
+STRATEGY_SHORT_NAMES: dict[str, str] = {
+    "dp": "data_parallel",
+    "tp": "tensor_parallel",
+    "pp": "pipeline_parallel",
+}
+
 
 def create_parallel_runner(
-    strategy: str, device_set: DeviceSet, config: Optional[MegatronConfig] = None
+    strategy: str,
+    device_set: DeviceSet,
+    config: Optional[MegatronConfig] = None,
+    num_microbatches: Optional[int] = None,
 ) -> ParallelRunner:
-    """Instantiate a parallel training runner by strategy name."""
+    """Instantiate a parallel training runner by strategy name.
+
+    Accepts both the long-form runner names (``"tensor_parallel"``) and the
+    profile-spec short names (``"tp"``).  ``num_microbatches`` applies to
+    pipeline parallelism only and is rejected for the other strategies.
+    """
     key = strategy.strip().lower()
+    key = STRATEGY_SHORT_NAMES.get(key, key)
     runner_cls = PARALLEL_RUNNERS.get(key)
     if runner_cls is None:
+        known = sorted(PARALLEL_RUNNERS) + sorted(STRATEGY_SHORT_NAMES)
         raise FrameworkError(
-            f"unknown parallelism strategy {strategy!r}; known: {sorted(PARALLEL_RUNNERS)}"
+            f"unknown parallelism strategy {strategy!r}; known: {known}"
         )
+    if num_microbatches is not None:
+        if runner_cls is not PipelineParallelRunner:
+            raise FrameworkError(
+                f"num_microbatches applies to pipeline parallelism only, "
+                f"not {key!r}"
+            )
+        return PipelineParallelRunner(device_set, config, num_microbatches=num_microbatches)
     return runner_cls(device_set, config)

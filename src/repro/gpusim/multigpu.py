@@ -15,7 +15,7 @@ Section IV-D of the paper discusses two multi-GPU concerns PASTA handles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional, Sequence
 

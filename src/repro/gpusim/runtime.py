@@ -18,11 +18,11 @@ handler has to normalise away.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Optional, Protocol, Sequence
+from typing import Optional, Protocol, Sequence
 
-from repro.errors import DeviceError, StreamError
+from repro.errors import DeviceError
 from repro.gpusim.device import DeviceSpec, GpuDevice, Vendor
 from repro.gpusim.kernel import GridConfig, KernelArgument, KernelLaunch
 from repro.gpusim.memory import DeviceMemoryAllocator, MemoryKind, MemoryObject

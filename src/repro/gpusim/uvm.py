@@ -25,7 +25,7 @@ behaviour, not absolute times.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.errors import UvmError

@@ -22,10 +22,21 @@ plus the plain-call equivalents :func:`run` (live execution) and
 same :class:`ProfileSpec`.
 """
 
-from repro.api import ProfileBuilder, ProfileResult, ProfileSpec, profile, replay, run
+from repro.api import (
+    ParallelismSpec,
+    ParallelProfileResult,
+    ProfileBuilder,
+    ProfileResult,
+    ProfileSpec,
+    profile,
+    replay,
+    run,
+)
 from repro.core.annotations import start, stop
 
 __all__ = [
+    "ParallelProfileResult",
+    "ParallelismSpec",
     "ProfileBuilder",
     "ProfileResult",
     "ProfileSpec",

@@ -212,8 +212,15 @@ class TraceReader:
         start_grid_id: Optional[int] = None,
         end_grid_id: Optional[int] = None,
         region: Optional[str] = None,
+        device_index: Optional[int] = None,
     ) -> Iterator[PastaEvent]:
-        """Stream decoded events, optionally sliced (see module docstring)."""
+        """Stream decoded events, optionally sliced (see module docstring).
+
+        ``device_index`` keeps only events attributed to one GPU — the
+        per-rank view of a multi-GPU recording (every event carries the
+        device index its producer stamped, Section IV-D), composable with
+        the other filters.
+        """
         if not self.allow_incomplete and not self.footer.complete:
             raise TraceError(
                 f"trace {self.path} is incomplete (recording aborted: "
@@ -235,6 +242,8 @@ class TraceReader:
         region_depth = 0
         for record in self._event_records(skip_filter):
             event = decode_event(record)
+            if device_index is not None and event.device_index != device_index:
+                continue
             if region is not None:
                 if isinstance(event, RegionEvent) and event.label == region:
                     if event.starting:
@@ -325,11 +334,14 @@ class TraceReader:
         start_grid_id: Optional[int] = None,
         end_grid_id: Optional[int] = None,
         region: Optional[str] = None,
+        device_index: Optional[int] = None,
         chunk_events: Optional[int] = None,
     ) -> TraceFooter:
         """Write a sliced copy of this trace to ``path``."""
         workload = dict(self.header.workload)
         workload["sliced_from"] = str(self.path)
+        if device_index is not None:
+            workload["sliced_device_index"] = int(device_index)
         header = dataclasses.replace(self.header, workload=workload)
         writer_kwargs = {} if chunk_events is None else {"chunk_events": chunk_events}
         with TraceWriter(path, header, **writer_kwargs) as writer:
@@ -338,6 +350,7 @@ class TraceReader:
                 start_grid_id=start_grid_id,
                 end_grid_id=end_grid_id,
                 region=region,
+                device_index=device_index,
             ):
                 writer.write(event)
             return writer.close()

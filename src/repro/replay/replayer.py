@@ -35,6 +35,7 @@ from repro.core.processor import PastaEventProcessor
 from repro.core.session import _make_analysis_model, collect_reports
 from repro.core.tool import PastaTool
 from repro.gpusim.costmodel import CostModelConfig, InstrumentationBackend
+from repro.gpusim.device import DeviceSpec
 from repro.gpusim.trace import AnalysisModel
 from repro.replay.reader import TraceReader
 
@@ -124,6 +125,12 @@ class TraceReplayer:
         decoding once and passing the list here avoids paying the
         decompress+decode cost per replay; the trace/reader still supplies
         the header.
+    device_spec / instrumentation:
+        Override the trace header's device spec / instrumentation backend
+        for the overhead accountant.  Multi-GPU traces record one header
+        (rank 0's device) but replay per rank, so heterogeneous device sets
+        need the actual rank's device here to reproduce the live overhead
+        report.
     """
 
     def __init__(
@@ -135,6 +142,8 @@ class TraceReplayer:
         range_filter: Optional[RangeFilter] = None,
         measure_overhead: bool = True,
         events: Optional[Sequence[object]] = None,
+        device_spec: Optional["DeviceSpec"] = None,
+        instrumentation: Optional[str] = None,
     ) -> None:
         self.reader = trace if isinstance(trace, TraceReader) else TraceReader(trace)
         self.tools = list(tools or ())
@@ -146,6 +155,8 @@ class TraceReplayer:
         self.cost_config = cost_config
         self.range_filter = range_filter
         self.measure_overhead = measure_overhead
+        self.device_spec = device_spec
+        self.instrumentation = instrumentation
 
     def run(self) -> ReplayResult:
         """Stream the trace through a fresh processor and return the result."""
@@ -160,9 +171,14 @@ class TraceReplayer:
         accountant: Optional[OverheadAccountant] = None
         if self.measure_overhead:
             accountant = OverheadAccountant(
-                device_spec=header.device_spec(),
+                device_spec=(
+                    header.device_spec() if self.device_spec is None else self.device_spec
+                ),
                 analysis_model=self.analysis_model,
-                backend=InstrumentationBackend(header.instrumentation),
+                backend=InstrumentationBackend(
+                    header.instrumentation if self.instrumentation is None
+                    else self.instrumentation
+                ),
                 config=self.cost_config,
             )
         resolver = TraceAddressResolver()

@@ -14,7 +14,7 @@ to touch raw access records, and derives:
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.events import (
     EventCategory,

@@ -22,7 +22,6 @@ from repro.core.events import (
     TensorFreeEvent,
 )
 from repro.core.handler import PastaEventHandler
-from repro.dlframework.context import FrameworkContext
 from repro.dlframework import ops
 from repro.gpusim.device import A100, MiB
 from repro.gpusim.kernel import GridConfig, KernelArgument

@@ -11,7 +11,6 @@ from repro.core.events import (
     KernelArgumentInfo,
     KernelLaunchEvent,
     KernelMemoryProfile,
-    MemoryAllocEvent,
     RegionEvent,
     TensorAllocEvent,
 )

@@ -9,13 +9,9 @@ from repro.dlframework import ops
 from repro.dlframework.backend import CUDA_BACKEND, HIP_BACKEND
 from repro.dlframework.context import FrameworkContext
 from repro.dlframework.modules import (
-    Conv2d,
     Dropout,
     Embedding,
-    GELU,
-    LayerNorm,
     Linear,
-    MaxPool2d,
     MultiheadSelfAttention,
     ReLU,
     Sequential,

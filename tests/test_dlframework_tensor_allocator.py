@@ -11,7 +11,6 @@ from repro.dlframework.allocator import (
     HIP_ALLOCATOR_PROFILE,
     MemoryUsageRecord,
     round_size,
-    SMALL_ALLOCATION_LIMIT,
 )
 from repro.dlframework.tensor import DType, Tensor, check_matmul_shapes
 from repro.gpusim.device import A100, MiB

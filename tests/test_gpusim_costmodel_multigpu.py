@@ -92,6 +92,25 @@ class TestOverheadModel:
         assert OverheadModel(A100).analysis_lanes > OverheadModel(RTX3060).analysis_lanes
 
 
+#: A Megatron-LM-style two-rank launch: one trainer per GPU plus the
+#: auxiliary helpers (JIT compilation workers, data loaders) that never
+#: initialise a CUDA context (Section IV-D's noise scenario).
+MEGATRON_LAUNCH = (
+    ("trainer_rank0", True),
+    ("trainer_rank1", True),
+    ("fused_kernel_jit_worker", False),
+    ("fused_kernel_jit_worker", False),
+    ("dataloader_worker", False),
+    ("tensorboard_writer", False),
+)
+
+
+def _launch(pm: ProcessModel) -> ProcessModel:
+    for name, creates_context in MEGATRON_LAUNCH:
+        pm.spawn(name, creates_gpu_context=creates_context)
+    return pm
+
+
 class TestProcessModel:
     def test_ld_preload_instruments_every_process(self):
         pm = ProcessModel(InjectionMethod.LD_PRELOAD)
@@ -108,6 +127,47 @@ class TestProcessModel:
         pm.spawn("dataloader", creates_gpu_context=False)
         assert len(pm.instrumented_processes()) == 2
         assert pm.spurious_instrumentations() == []
+
+    def test_default_injection_method_is_cuda_injection_path(self):
+        # PASTA's documented choice: only processes that initialise a GPU
+        # context get instrumented, so a bare ProcessModel() is noise-free.
+        pm = _launch(ProcessModel())
+        assert pm.injection is InjectionMethod.CUDA_INJECTION64_PATH
+        assert pm.spurious_instrumentations() == []
+
+    def test_megatron_launch_ld_preload_noise_case(self):
+        # LD_PRELOAD injects into *every* spawned process: the four helper
+        # processes are pure instrumentation noise — exactly the failure
+        # mode Section IV-D describes for Megatron-LM's JIT workers.
+        pm = _launch(ProcessModel(InjectionMethod.LD_PRELOAD))
+        assert len(pm.instrumented_processes()) == len(MEGATRON_LAUNCH)
+        spurious = pm.spurious_instrumentations()
+        assert sorted(p.name for p in spurious) == sorted(
+            name for name, creates in MEGATRON_LAUNCH if not creates
+        )
+
+    def test_megatron_launch_injection_path_instruments_trainers_only(self):
+        pm = _launch(ProcessModel(InjectionMethod.CUDA_INJECTION64_PATH))
+        instrumented = pm.instrumented_processes()
+        assert sorted(p.name for p in instrumented) == ["trainer_rank0", "trainer_rank1"]
+        assert pm.spurious_instrumentations() == []
+        # Helpers were spawned and tracked, just never attached to.
+        assert len(pm.processes) == len(MEGATRON_LAUNCH)
+
+    def test_both_methods_cover_every_context_creating_process(self):
+        # Whatever the method, no real GPU work escapes instrumentation:
+        # the methods differ only in how much noise rides along.
+        for method in InjectionMethod:
+            pm = _launch(ProcessModel(method))
+            instrumented = {p.pid for p in pm.instrumented_processes()}
+            workers = {p.pid for p in pm.processes if p.creates_gpu_context}
+            assert workers <= instrumented
+
+    def test_pids_are_unique_and_monotonic(self):
+        pm = _launch(ProcessModel())
+        pids = [p.pid for p in pm.processes]
+        assert pids == sorted(pids)
+        assert len(set(pids)) == len(pids)
 
 
 class TestDeviceSet:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import DeviceError
-from repro.gpusim.device import A100, MI300X, MiB, RTX3060, Vendor
+from repro.gpusim.device import A100, MI300X, MiB, RTX3060
 from repro.gpusim.kernel import GridConfig, KernelArgument
 from repro.gpusim.runtime import (
     CudaRuntime,

@@ -7,7 +7,7 @@ import math
 from hypothesis import given, settings, strategies as st
 
 from repro.core.annotations import RangeFilter
-from repro.core.events import KernelArgumentInfo, KernelLaunchEvent
+from repro.core.events import KernelLaunchEvent
 from repro.core.processor import PastaEventProcessor
 from repro.dlframework.allocator import CachingAllocator, round_size
 from repro.dlframework.tensor import DType, Tensor

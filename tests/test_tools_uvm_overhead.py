@@ -7,7 +7,6 @@ import pytest
 from repro.errors import ToolError
 from repro.core.events import KernelArgumentInfo, KernelLaunchEvent, MemoryAllocEvent
 from repro.gpusim.device import A100, RTX3060
-from repro.gpusim.uvm import UVM_PAGE_BYTES
 from repro.tools import (
     ANALYSIS_VARIANTS,
     AddressRange,
