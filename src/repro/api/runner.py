@@ -38,6 +38,7 @@ from repro.dlframework.engine import ExecutionEngine, RunSummary
 from repro.dlframework.models.base import ModelBase
 from repro.errors import ReproError, TraceError
 from repro.gpusim.costmodel import CostModelConfig
+from repro.obs.telemetry import active as _active_telemetry
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.runtime import AcceleratorRuntime, create_runtime
 from repro.gpusim.trace import AnalysisModel
@@ -129,38 +130,51 @@ def execute(
     cost_config = cost_config if cost_config is not None else spec_cost
     record_to = record_to if record_to is not None else spec.record_to
 
-    # create() (not get()) so the namespace's DeviceSpec product check runs.
-    device_spec = device if device is not None else REGISTRY.create("devices", spec.device)
-    runtime = create_runtime(device_spec)  # type: ignore[arg-type]
-    ctx = FrameworkContext(runtime)
-    engine = ExecutionEngine(ctx)
-    model = REGISTRY.create("models", spec.model)
+    telemetry = _active_telemetry()
+    with telemetry.span("profile.setup", model=spec.model, device=spec.device):
+        if telemetry.enabled:
+            import repro
 
-    session_kwargs: dict[str, object] = {}
-    if record_to is not None:
-        session_kwargs["record_to"] = record_to
-        session_kwargs["trace_metadata"] = spec.canonical()
-    session = PastaSession(
-        runtime,
-        tools=_resolve_tools(spec, extra_tools),
-        vendor_backend=spec.backend,
-        analysis_model=spec.analysis_model,
-        enable_fine_grained=spec.fine_grained,
-        range_filter=range_filter,
-        cost_config=cost_config,
-        **session_kwargs,
-    )
-    session.attach_framework(ctx)
-    with session:
-        engine.prepare(model)
-        if spec.mode == "inference":
-            summary = engine.run_inference(
-                model, iterations=spec.iterations, batch_size=spec.batch_size
-            )
-        else:
-            summary = engine.run_training(
-                model, iterations=spec.iterations, batch_size=spec.batch_size
-            )
+            telemetry.annotate(spec_digest=spec.digest(repro.__version__), model=spec.model)
+        # create() (not get()) so the namespace's DeviceSpec product check runs.
+        device_spec = device if device is not None else REGISTRY.create("devices", spec.device)
+        runtime = create_runtime(device_spec)  # type: ignore[arg-type]
+        ctx = FrameworkContext(runtime)
+        engine = ExecutionEngine(ctx)
+        model = REGISTRY.create("models", spec.model)
+
+        session_kwargs: dict[str, object] = {}
+        if record_to is not None:
+            session_kwargs["record_to"] = record_to
+            session_kwargs["trace_metadata"] = spec.canonical()
+        session = PastaSession(
+            runtime,
+            tools=_resolve_tools(spec, extra_tools),
+            vendor_backend=spec.backend,
+            analysis_model=spec.analysis_model,
+            enable_fine_grained=spec.fine_grained,
+            range_filter=range_filter,
+            cost_config=cost_config,
+            **session_kwargs,
+        )
+        session.attach_framework(ctx)
+    with telemetry.span(
+        "profile.simulate",
+        model=spec.model,
+        mode=spec.mode,
+        iterations=spec.iterations,
+    ) as simulate_span:
+        with session:
+            engine.prepare(model)
+            if spec.mode == "inference":
+                summary = engine.run_inference(
+                    model, iterations=spec.iterations, batch_size=spec.batch_size
+                )
+            else:
+                summary = engine.run_training(
+                    model, iterations=spec.iterations, batch_size=spec.batch_size
+                )
+        simulate_span.set_counter("events_processed", session.processor.events_processed)
     return ProfileResult(
         spec=spec, model=model, runtime=runtime, ctx=ctx, session=session, summary=summary
     )
@@ -421,6 +435,7 @@ def execute_parallel(
     # aborted (marking the trace incomplete) or closed on every path out,
     # including session-construction failures such as duplicate tool names.
     sessions: list[PastaSession] = []
+    telemetry = _active_telemetry()
     try:
         for rank in range(parallelism.world_size):
             spec_range, spec_cost = spec.resolve_overrides()
@@ -436,10 +451,21 @@ def execute_parallel(
             )
             session.attach_framework(runner.contexts[rank])
             sessions.append(session)
-        with ExitStack() as stack:
-            for session in sessions:
-                stack.enter_context(session)
-            runner.run(spec.iterations)
+        with telemetry.span(
+            "parallel.simulate",
+            model=spec.model,
+            strategy=parallelism.strategy,
+            world_size=parallelism.world_size,
+            iterations=spec.iterations,
+        ):
+            with ExitStack() as stack:
+                # Sessions are entered in rank order on one thread, so the
+                # per-rank session.run spans nest rank0 → rank1 → …; the rank
+                # attribute is what distinguishes them in the tree.
+                for rank, session in enumerate(sessions):
+                    stack.enter_context(session)
+                    session.annotate_telemetry(rank=rank)
+                runner.run(spec.iterations)
     except BaseException as error:
         if writer is not None and not writer.closed:
             writer.abort(f"{type(error).__name__}: {error}")

@@ -54,6 +54,8 @@ from repro.campaign.spec import EXECUTION_MODES, CampaignSpec, expand_jobs
 from repro.campaign.store import ResultStore
 from repro.core.serialization import json_sanitize
 from repro.errors import ReproError
+from repro.obs.metrics import DURATION_BUCKETS_S
+from repro.obs.telemetry import active as _active_telemetry
 from repro.replay.reader import TraceReader
 
 #: Signature of a job runner: canonical job dict in, JSON-native record out.
@@ -65,26 +67,78 @@ _EXECUTORS = ("serial", "thread", "process")
 _OK_STATUSES = ("ok", "cached")
 
 
+class JobAttemptsError(ReproError):
+    """Every attempt of one job failed.
+
+    Carries each attempt's error (message and traceback) so a flaky job's
+    intermediate failures are never silently discarded — only the final one
+    used to be reported.  ``str()`` is the *last* attempt's message, keeping
+    existing ``"boom" in outcome.error`` style matching working.
+    """
+
+    def __init__(self, errors: list[dict[str, object]]) -> None:
+        self.errors = list(errors)
+        last = str(self.errors[-1].get("error")) if self.errors else "unknown error"
+        super().__init__(last)
+
+    def __reduce__(self):
+        # ProcessPoolExecutor pickles worker exceptions; the default reduce
+        # would re-call __init__ with the formatted message, losing .errors.
+        return (JobAttemptsError, (self.errors,))
+
+
+def _attempt_error_entry(attempt: int, error: BaseException) -> dict[str, object]:
+    return {
+        "attempt": attempt,
+        "error": f"{type(error).__name__}: {error}",
+        "traceback": "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        ),
+    }
+
+
+def _errors_of(error: BaseException) -> list[dict[str, object]]:
+    """Per-attempt error entries for an exhausted-retries (or one-shot) failure."""
+    if isinstance(error, JobAttemptsError):
+        return list(error.errors)
+    return [_attempt_error_entry(1, error)]
+
+
+def _error_detail(error: BaseException) -> str:
+    """``Type: message`` for one failure, without double-prefixing wrappers."""
+    if isinstance(error, JobAttemptsError):
+        # str() is already the last attempt's "Type: message".
+        return str(error)
+    return f"{type(error).__name__}: {error}"
+
+
 def _run_with_retries(payload: dict[str, object], retries: int, runner: JobRunner) -> dict[str, object]:
     """Invoke ``runner`` with up to ``retries`` re-attempts on exception.
 
-    Returns the record augmented with the attempt count; raises the last
-    error (annotated the same way) once attempts are exhausted.
+    Returns the record augmented with the attempt count (plus
+    ``attempt_errors`` when earlier attempts failed); raises
+    :class:`JobAttemptsError` carrying every attempt's error once attempts
+    are exhausted.
     """
     attempts = 0
+    attempt_errors: list[dict[str, object]] = []
     while True:
         attempts += 1
         try:
             record = runner(payload)
-        except Exception:
+        except Exception as error:
+            attempt_errors.append(_attempt_error_entry(attempts, error))
             if attempts > retries:
-                raise
+                raise JobAttemptsError(attempt_errors) from error
         else:
             if not isinstance(record, dict):
                 raise ReproError(
                     f"job runner must return a dict record, got {type(record).__name__}"
                 )
             record.setdefault("attempts", attempts)
+            if attempt_errors:
+                # Succeeded after failures: keep what the retries swallowed.
+                record.setdefault("attempt_errors", attempt_errors)
             return record
 
 
@@ -104,6 +158,10 @@ class JobOutcome:
     error: Optional[str] = None
     attempts: int = 1
     duration_s: float = 0.0
+    #: Per-attempt error entries (``attempt`` / ``error`` / ``traceback``),
+    #: covering *every* failed attempt — including the ones a later retry
+    #: recovered from (``status == "ok"`` with a non-empty list).
+    errors: list[dict[str, object]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -166,7 +224,13 @@ class CampaignRunResult:
             "workloads_recorded": self.workloads_recorded,
             "duration_s": round(self.duration_s, 3),
             "failures": [
-                {"job": o.job.label(), "status": o.status, "error": o.error}
+                {
+                    "job": o.job.label(),
+                    "status": o.status,
+                    "error": o.error,
+                    "attempts": o.attempts,
+                    "errors": [str(e.get("error")) for e in o.errors],
+                }
                 for o in self.failures()
             ],
         })
@@ -264,24 +328,65 @@ class CampaignScheduler:
             spec.execution if isinstance(spec, CampaignSpec) else "simulate"
         )
         job_list = expand_jobs(spec)
-        outcomes: dict[int, JobOutcome] = {}
-        pending: list[tuple[int, ProfileSpec, str]] = []
+        telemetry = _active_telemetry()
+        telemetry.annotate(campaign=campaign_name, execution=execution)
+        with telemetry.span(
+            "campaign.run",
+            campaign=campaign_name,
+            execution=execution,
+            executor=self.executor,
+            jobs=self.jobs,
+            total_jobs=len(job_list),
+        ) as campaign_span:
+            outcomes: dict[int, JobOutcome] = {}
+            pending: list[tuple[int, ProfileSpec, str]] = []
+            workloads_recorded = 0
+
+            for index, job in enumerate(job_list):
+                digest = job.digest(self.version)
+                # record_to is excluded from the digest (it cannot change the
+                # reports), but a job that asks for a trace file wants that side
+                # artifact produced — never answer it from the cache.
+                use_cache = self.cache is not None and job.record_to is None
+                cached_record = self.cache.get(digest) if use_cache else None
+                if cached_record is not None:
+                    telemetry.counter("campaign.cache_hits").inc()
+                    self._record_outcome(outcomes, index, JobOutcome(
+                        job=job, digest=digest, status="cached", record=cached_record
+                    ), campaign_name)
+                else:
+                    if use_cache:
+                        telemetry.counter("campaign.cache_misses").inc()
+                    pending.append((index, job, digest))
+
+            workloads_recorded = self._run_pending(
+                pending, outcomes, campaign_name, execution
+            )
+            for status in ("ok", "cached", "failed", "timeout"):
+                campaign_span.set_counter(
+                    f"jobs_{status}",
+                    sum(1 for o in outcomes.values() if o.status == status),
+                )
+        result = CampaignRunResult(
+            name=campaign_name,
+            outcomes=[outcomes[i] for i in range(len(job_list))],
+            duration_s=time.monotonic() - started,
+            execution=execution,
+        )
+        result.workloads_recorded = (
+            workloads_recorded if execution == "replay" else result.executed
+        )
+        return result
+
+    def _run_pending(
+        self,
+        pending: list[tuple[int, ProfileSpec, str]],
+        outcomes: dict[int, JobOutcome],
+        campaign_name: str,
+        execution: str,
+    ) -> int:
+        """Execute the cache-missing jobs; returns the workloads recorded."""
         workloads_recorded = 0
-
-        for index, job in enumerate(job_list):
-            digest = job.digest(self.version)
-            # record_to is excluded from the digest (it cannot change the
-            # reports), but a job that asks for a trace file wants that side
-            # artifact produced — never answer it from the cache.
-            use_cache = self.cache is not None and job.record_to is None
-            cached_record = self.cache.get(digest) if use_cache else None
-            if cached_record is not None:
-                self._record_outcome(outcomes, index, JobOutcome(
-                    job=job, digest=digest, status="cached", record=cached_record
-                ), campaign_name)
-            else:
-                pending.append((index, job, digest))
-
         if pending and execution == "replay":
             # A job that asks for its own trace artifact needs a live event
             # stream to record — replaying the shared group trace would
@@ -314,17 +419,7 @@ class CampaignScheduler:
                     )
             else:
                 self._run_pool(pending, outcomes, campaign_name)
-
-        result = CampaignRunResult(
-            name=campaign_name,
-            outcomes=[outcomes[i] for i in range(len(job_list))],
-            duration_s=time.monotonic() - started,
-            execution=execution,
-        )
-        result.workloads_recorded = (
-            workloads_recorded if execution == "replay" else result.executed
-        )
-        return result
+        return workloads_recorded
 
     # ------------------------------------------------------------------ #
     # execution strategies
@@ -354,7 +449,7 @@ class CampaignScheduler:
             except Exception as error:
                 self._record_outcome(outcomes, index, JobOutcome(
                     job=job, digest=digest, status="failed",
-                    error=f"{type(error).__name__}: {error}",
+                    error=_error_detail(error),
                 ), campaign_name)
                 continue
             if signature not in groups:
@@ -383,9 +478,10 @@ class CampaignScheduler:
                         self._record_outcome(outcomes, index, JobOutcome(
                             job=job, digest=digest, status="failed",
                             error=f"workload recording failed: "
-                                  f"{type(error).__name__}: {error}",
+                                  f"{_error_detail(error)}",
                             attempts=self.retries + 1,
                             duration_s=duration,
+                            errors=_errors_of(error),
                         ), campaign_name)
                     continue
                 recorded += 1
@@ -401,8 +497,9 @@ class CampaignScheduler:
                     except Exception as error:
                         self._record_outcome(outcomes, index, JobOutcome(
                             job=job, digest=digest, status="failed",
-                            error=f"replay failed: {type(error).__name__}: {error}",
+                            error=f"replay failed: {_error_detail(error)}",
                             duration_s=time.monotonic() - job_started,
+                            errors=_errors_of(error),
                         ), campaign_name)
                     else:
                         self._record_outcome(
@@ -425,9 +522,10 @@ class CampaignScheduler:
                 job=job,
                 digest=digest,
                 status="failed",
-                error=f"{type(error).__name__}: {error}",
+                error=_error_detail(error),
                 attempts=self.retries + 1,
                 duration_s=time.monotonic() - job_started,
+                errors=_errors_of(error),
             )
         return self._ok_outcome(job, digest, record, time.monotonic() - job_started)
 
@@ -463,11 +561,16 @@ class CampaignScheduler:
         queue = list(pending)
         in_flight: dict[Future, tuple[int, ProfileSpec, str, float]] = {}
         slots = self.jobs
+        telemetry = _active_telemetry()
+        queue_depth = telemetry.gauge("campaign.queue_depth")
+        in_flight_gauge = telemetry.gauge("campaign.in_flight")
         try:
             while queue or in_flight:
                 while queue and len(in_flight) < slots:
                     index, job, digest = queue.pop(0)
                     in_flight[self._submit(pool, job)] = (index, job, digest, time.monotonic())
+                queue_depth.set(len(queue))
+                in_flight_gauge.set(len(in_flight))
                 if not in_flight:
                     break  # every slot retired by timeouts; queue drains below
                 done, _ = wait(
@@ -519,12 +622,13 @@ class CampaignScheduler:
                 duration_s=duration_s,
             )
         except Exception as error:
-            detail = f"{type(error).__name__}: {error}"
+            detail = _error_detail(error)
             if not str(error):
                 detail = "".join(traceback.format_exception_only(type(error), error)).strip()
             return JobOutcome(
                 job=job, digest=digest, status="failed", error=detail,
                 attempts=self.retries + 1, duration_s=duration_s,
+                errors=_errors_of(error),
             )
         return self._ok_outcome(job, digest, record, duration_s)
 
@@ -538,9 +642,11 @@ class CampaignScheduler:
         record = dict(record)
         record["digest"] = digest
         record["version"] = self.version
+        attempt_errors = record.get("attempt_errors")
         return JobOutcome(
             job=job, digest=digest, status="ok", record=record,
             attempts=attempts, duration_s=duration_s,
+            errors=list(attempt_errors) if isinstance(attempt_errors, list) else [],
         )
 
     def _record_outcome(
@@ -556,6 +662,34 @@ class CampaignScheduler:
         an interrupted campaign keeps everything it already simulated.
         """
         outcomes[index] = outcome
+        # Re-attempts beyond the first try: a success after N failures retried
+        # N times; a failure's final attempt was not itself a retry.
+        retries = len(outcome.errors) if outcome.ok else max(0, len(outcome.errors) - 1)
+        telemetry = _active_telemetry()
+        if telemetry.enabled:
+            # One synthetic lifecycle span per job, timed by the scheduler:
+            # works identically for inline, thread-pool and process-pool jobs
+            # (pool workers cannot emit into this process's tracer).
+            telemetry.record_span(
+                "campaign.job",
+                int(outcome.duration_s * 1e9),
+                attrs={
+                    "campaign": campaign_name,
+                    "job": outcome.job.label(),
+                    "digest": outcome.digest[:12],
+                    "status": outcome.status,
+                    "attempts": outcome.attempts,
+                },
+                counters={"retried": retries},
+                status="ok" if outcome.ok else "error",
+                error=outcome.error,
+            )
+            telemetry.counter(f"campaign.jobs_{outcome.status}").inc()
+            telemetry.counter("campaign.retries").inc(retries)
+            if outcome.status != "cached":
+                telemetry.histogram("campaign.job_s", DURATION_BUCKETS_S).observe(
+                    outcome.duration_s
+                )
         if outcome.status == "ok" and outcome.record is not None and self.cache is not None:
             cached = outcome.record
             job_payload = cached.get("job")
@@ -582,6 +716,7 @@ class CampaignScheduler:
                 "status": outcome.status,
                 "error": outcome.error,
                 "attempts": outcome.attempts,
+                "errors": outcome.errors,
             })
 
 

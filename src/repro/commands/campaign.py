@@ -94,6 +94,9 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     run.add_argument("--dry-run", action="store_true",
                      help="print the expanded job grid and exit")
     run.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    from repro.commands import add_observability_flags
+
+    add_observability_flags(run)
     run.set_defaults(campaign_handler=_cmd_run)
 
     report = sub.add_parser("report", help="aggregate a result store")
@@ -122,23 +125,26 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = CampaignSpec.load(args.spec)
-    jobs = spec.expand()
-    if args.dry_run:
-        print(f"campaign {spec.name!r}: {len(jobs)} jobs")
-        for job in jobs:
-            print(f"  {job.label()}")
-        return 0
-    scheduler = CampaignScheduler(
-        jobs=args.jobs,
-        executor=args.executor,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        cache=None if args.no_cache else ResultCache(args.cache_dir),
-        store=ResultStore(args.store) if args.store else None,
-        execution=args.execution,
-        trace_dir=args.trace_dir,
-    )
+    from repro.obs.telemetry import active as _active_telemetry
+
+    with _active_telemetry().span("campaign.setup", spec=args.spec):
+        spec = CampaignSpec.load(args.spec)
+        jobs = spec.expand()
+        if args.dry_run:
+            print(f"campaign {spec.name!r}: {len(jobs)} jobs")
+            for job in jobs:
+                print(f"  {job.label()}")
+            return 0
+        scheduler = CampaignScheduler(
+            jobs=args.jobs,
+            executor=args.executor,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            cache=None if args.no_cache else ResultCache(args.cache_dir),
+            store=ResultStore(args.store) if args.store else None,
+            execution=args.execution,
+            trace_dir=args.trace_dir,
+        )
     result = scheduler.run(spec)
     summary = result.summary()
     if args.json:
@@ -153,6 +159,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{result.failed} failed{replay_note}) in {result.duration_s:.2f}s")
         for outcome in result.failures():
             print(f"  FAILED {outcome.job.label()}: [{outcome.status}] {outcome.error}")
+            # Every attempt is accounted for, not just the last one.
+            for entry in outcome.errors[:-1]:
+                print(f"    attempt {entry.get('attempt')}: {entry.get('error')}")
     return 0 if result.failed == 0 else 1
 
 

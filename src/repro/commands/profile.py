@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.api import PARALLEL_STRATEGIES, ParallelismSpec, ProfileSpec, execute
 from repro.core.registry import REGISTRY, registered_tools
+from repro.obs.telemetry import active as _active_telemetry
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -105,6 +106,9 @@ def spec_from_args(args: argparse.Namespace) -> ProfileSpec:
 
 
 def _maybe_list(args: argparse.Namespace) -> Optional[int]:
+    if not (args.list_tools or args.list_models
+            or args.list_devices or args.list_backends):
+        return None
     from repro.commands.render import print_names
 
     if args.list_tools:
@@ -124,8 +128,6 @@ def _maybe_list(args: argparse.Namespace) -> Optional[int]:
 
 def cmd_profile(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     """Run the ``profile`` subcommand; returns a process exit code."""
-    from repro.commands.render import print_reports
-
     listed = _maybe_list(args)
     if listed is not None:
         return listed
@@ -144,17 +146,26 @@ def cmd_profile(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
             parser.error(f"{', '.join(stray)} require(s) --parallel")
 
     result = execute(spec_from_args(args))
-    reports = result.reports()
-    reports["run"] = result.summary.as_dict()
-    if args.record:
-        # Parallel profiles record all ranks into one shared trace, so the
-        # path is the same whichever session reports it.
-        session = result.session if hasattr(result, "session") else result.sessions[0]
-        # In JSON mode the trace path rides inside the document — a bare
-        # text line first would make stdout invalid JSON for pipelines.
-        if args.json:
-            reports["trace"] = {"path": str(session.trace_path)}
-        else:
-            print(f"recorded event stream to {session.trace_path}")
-    print_reports(reports, args.json)
+    telemetry = _active_telemetry()
+    with telemetry.span("profile.report", json=bool(args.json)):
+        from repro.commands.render import print_reports
+
+        reports = result.reports()
+        reports["run"] = result.summary.as_dict()
+        if telemetry.enabled:
+            # Only the *printed* document grows this section; result.reports()
+            # stays byte-identical whether telemetry is on or off.
+            reports["self_overhead"] = telemetry.self_overhead_report(
+                telemetry.elapsed_ns())
+        if args.record:
+            # Parallel profiles record all ranks into one shared trace, so the
+            # path is the same whichever session reports it.
+            session = result.session if hasattr(result, "session") else result.sessions[0]
+            # In JSON mode the trace path rides inside the document — a bare
+            # text line first would make stdout invalid JSON for pipelines.
+            if args.json:
+                reports["trace"] = {"path": str(session.trace_path)}
+            else:
+                print(f"recorded event stream to {session.trace_path}")
+        print_reports(reports, args.json)
     return 0

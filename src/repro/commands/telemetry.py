@@ -1,0 +1,111 @@
+"""``pasta telemetry``: inspect the profiler's own telemetry files.
+
+Subcommands
+-----------
+
+``summary``
+    Run identity, span-tree coverage, per-span aggregates and final metrics
+    of one ``telemetry.jsonl``::
+
+        pasta telemetry summary runs/telemetry.jsonl
+        pasta telemetry summary runs/            # <dir>/telemetry.jsonl
+
+``top``
+    Spans ranked by *self* time (wall time not covered by child spans) —
+    where the profiler actually spent its clock::
+
+        pasta telemetry top runs/ -n 15
+
+``export``
+    The raw records as a JSON array, or the reconstructed span tree as
+    indented text::
+
+        pasta telemetry export runs/ > records.json
+        pasta telemetry export runs/ --tree
+
+All three read files produced by ``--telemetry DIR`` on
+``pasta profile | campaign run | trace record | trace replay`` (or by the
+:class:`repro.obs.Telemetry` API directly), including files from crashed
+runs — whatever was flushed before the crash is analysable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.errors import ReproError
+from repro.obs.report import (
+    render_summary,
+    render_top,
+    render_tree,
+    summarize,
+    top_spans,
+)
+from repro.obs.sink import read_records, telemetry_path
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Populate the ``telemetry`` subcommand's nested subcommands."""
+    sub = parser.add_subparsers(dest="telemetry_command", required=True)
+
+    summary = sub.add_parser(
+        "summary", help="summarise one telemetry file (coverage, spans, metrics)")
+    summary.add_argument("target", help="telemetry.jsonl file, or its directory")
+    summary.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    summary.set_defaults(telemetry_handler=_cmd_summary)
+
+    top = sub.add_parser("top", help="rank spans by self time")
+    top.add_argument("target", help="telemetry.jsonl file, or its directory")
+    top.add_argument("-n", "--limit", type=int, default=10,
+                     help="rows to show (default: 10)")
+    top.add_argument("--json", action="store_true", help="emit the ranking as JSON")
+    top.set_defaults(telemetry_handler=_cmd_top)
+
+    export = sub.add_parser(
+        "export", help="dump the raw records (or the span tree) of one file")
+    export.add_argument("target", help="telemetry.jsonl file, or its directory")
+    export.add_argument("--tree", action="store_true",
+                        help="render the reconstructed span tree instead of JSON")
+    export.add_argument("--max-depth", type=int, default=None,
+                        help="limit --tree output to this span depth")
+    export.set_defaults(telemetry_handler=_cmd_export)
+
+
+def _load(target: str) -> list[dict[str, object]]:
+    path = telemetry_path(target)
+    if not path.exists():
+        raise ReproError(f"no telemetry file at {path}")
+    return read_records(path)
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    summary = summarize(_load(args.target))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    ranked = top_spans(_load(args.target), limit=args.limit)
+    if args.json:
+        print(json.dumps(ranked, indent=2, sort_keys=True))
+    else:
+        print(render_top(ranked))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    records = _load(args.target)
+    if args.tree:
+        print(render_tree(records, max_depth=args.max_depth))
+    else:
+        print(json.dumps(records, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Dispatch to the selected ``telemetry`` subcommand."""
+    return args.telemetry_handler(args)

@@ -68,6 +68,9 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     record.add_argument("--fine-grained", action="store_true",
                         help="record device-side (instruction-level) events too")
     record.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    from repro.commands import add_observability_flags
+
+    add_observability_flags(record)
     record.set_defaults(trace_handler=_cmd_record)
 
     replay_p = sub.add_parser("replay", help="replay a trace through a tool set")
@@ -85,6 +88,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     replay_p.add_argument("--list-tools", action="store_true",
                           help="list registered tools and exit")
     replay_p.add_argument("--json", action="store_true", help="emit reports as JSON")
+    add_observability_flags(replay_p)
     _add_strict_schema_flag(replay_p)
     replay_p.set_defaults(trace_handler=_cmd_replay)
 

@@ -24,10 +24,12 @@ incur, which is how the Figure 9/10 experiments measure overhead.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Callable, Optional
 
 from repro.core.annotations import RangeFilter
 from repro.core.events import (
+    BATCH_CATEGORY_BASES,
     EventCategory,
     FINE_GRAINED_CATEGORIES,
     KernelLaunchEvent,
@@ -35,6 +37,9 @@ from repro.core.events import (
     PastaEvent,
     RegionEvent,
 )
+
+#: Columnar batch categories (keys of the batch→base mapping).
+_BATCH_CATEGORIES = frozenset(BATCH_CATEGORY_BASES)
 from repro.core.overhead import OverheadAccountant
 from repro.core.tool import PastaTool
 from repro.gpusim.trace import AccessCountMap
@@ -58,6 +63,19 @@ class DispatchUnit:
         self._tools: list[PastaTool] = []
         self._routes: dict[EventCategory, tuple[PastaTool, ...]] = {}
         self.dispatched_events = 0
+        #: Per-tool cumulative ``handle_event`` nanoseconds, or ``None`` when
+        #: hook timing is disabled (the default): the hot dispatch loop pays
+        #: one ``is None`` check, not two clock reads per tool call.
+        self._hook_time_ns: Optional[dict[str, int]] = None
+
+    def enable_hook_timing(self) -> None:
+        """Start accumulating per-tool dispatch time (telemetry sampling)."""
+        if self._hook_time_ns is None:
+            self._hook_time_ns = {}
+
+    def hook_times_ns(self) -> dict[str, int]:
+        """Cumulative per-tool dispatch nanoseconds (empty when disabled)."""
+        return dict(self._hook_time_ns or {})
 
     def register_tool(self, tool: PastaTool) -> None:
         """Add a tool to the dispatch table."""
@@ -92,8 +110,17 @@ class DispatchUnit:
         route = self._routes.get(event.category)
         if not route:
             return
-        for tool in route:
-            tool.handle_event(event)
+        if self._hook_time_ns is None:
+            for tool in route:
+                tool.handle_event(event)
+        else:
+            times = self._hook_time_ns
+            for tool in route:
+                started = perf_counter_ns()
+                tool.handle_event(event)
+                times[tool.tool_name] = (
+                    times.get(tool.tool_name, 0) + perf_counter_ns() - started
+                )
         self.dispatched_events += len(route)
 
 
@@ -115,6 +142,9 @@ class PastaEventProcessor:
         self.events_processed = 0
         self.events_filtered = 0
         self.gpu_preprocessed_kernels = 0
+        self.batches_dispatched = 0
+        #: Logical records carried by those batches (sum of batch lengths).
+        self.batch_records = 0
         #: Cumulative per-object access counts across all analysed kernels.
         self.global_access_map = AccessCountMap()
 
@@ -158,6 +188,9 @@ class PastaEventProcessor:
             # Fine-grained events inherit their kernel's range decision: when
             # an annotation window is active, accesses are only generated for
             # launches inside it, so they can be forwarded directly.
+            if event.category in _BATCH_CATEGORIES:
+                self.batches_dispatched += 1
+                self.batch_records += len(event)  # type: ignore[arg-type]
             self.dispatch_unit.dispatch(event)
             return
         self.dispatch_unit.dispatch(event)

@@ -35,6 +35,8 @@ from repro.gpusim.device import MiB
 from repro.gpusim.runtime import AcceleratorRuntime
 from repro.gpusim.trace import AnalysisModel
 from repro.core.registry import REGISTRY
+from repro.obs.metrics import SIZE_BUCKETS
+from repro.obs.telemetry import active as _active_telemetry
 from repro.vendors import (
     ComputeSanitizerBackend,
     ProfilingBackend,
@@ -47,6 +49,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replay imports core)
 
 #: Device memory PASTA reserves for its profiling buffers (Section VI-A).
 PROFILER_RESERVED_BYTES = 4 * MiB
+
+#: Histogram bucket bounds for events/second throughput samples.
+EVENT_RATE_BUCKETS = (100.0, 1e3, 1e4, 1e5, 1e6, 1e7)
 
 
 def _make_analysis_model(spec: Union[str, AnalysisModel]) -> AnalysisModel:
@@ -153,6 +158,9 @@ class PastaSession:
             self.add_tool(tool)
         self._attached_contexts: list[FrameworkContext] = []
         self._started = False
+        #: Telemetry span covering start()..stop(); None while telemetry is
+        #: disabled so the stop() sampling pass is skipped entirely.
+        self._obs_span = None
         self._trace_writer: Optional["TraceWriter"] = None
         #: Whether this session created (and therefore closes) the writer.
         #: Multi-GPU runs share one externally-owned writer across the
@@ -252,6 +260,17 @@ class PastaSession:
         for tool in self._tools:
             tool.on_session_start()
         _set_active_session(self)
+        telemetry = _active_telemetry()
+        if telemetry.enabled:
+            self._obs_span = telemetry.span(
+                "session.run",
+                device=self.runtime.device.index,
+                backend=self.backend.name,
+                analysis_model=self.analysis_model.value,
+                fine_grained=self.enable_fine_grained,
+                recording=self._trace_writer is not None,
+            )
+            self.processor.dispatch_unit.enable_hook_timing()
         self._started = True
         return self
 
@@ -259,6 +278,10 @@ class PastaSession:
         """Stop profiling, detach from the vendor backend, finalise the trace."""
         if not self._started:
             return
+        if self._obs_span is not None:
+            self._sample_telemetry(self._obs_span)
+            self._obs_span.finish()
+            self._obs_span = None
         for tool in self._tools:
             tool.on_session_end()
         self.handler.detach_vendor_backend(self.backend)
@@ -272,6 +295,74 @@ class PastaSession:
             and not self._trace_writer.closed
         ):
             self._trace_writer.close()
+
+    # ------------------------------------------------------------------ #
+    # telemetry sampling
+    # ------------------------------------------------------------------ #
+    def annotate_telemetry(self, **attrs) -> None:
+        """Attach attributes (e.g. a parallel rank) to the session span."""
+        if self._obs_span is not None:
+            for key, value in attrs.items():
+                self._obs_span.set_attr(key, value)
+
+    def _sample_telemetry(self, span) -> None:
+        """Pull the pipeline's existing counters onto the session span.
+
+        Telemetry never intercepts individual events: the hot path already
+        counts what it does, and this one sampling pass at stop() copies
+        those totals onto the span and into the metrics registry.  That is
+        the whole no-op-fast-path story for the event pipeline.
+        """
+        from time import perf_counter_ns
+
+        processor = self.processor
+        span.set_counter("events_processed", processor.events_processed)
+        span.set_counter("events_filtered", processor.events_filtered)
+        span.set_counter("gpu_preprocessed_kernels", processor.gpu_preprocessed_kernels)
+        span.set_counter("batches_dispatched", processor.batches_dispatched)
+        span.set_counter("batch_records", processor.batch_records)
+        span.set_counter("dispatched_events", processor.dispatch_unit.dispatched_events)
+        span.set_counter("events_emitted", self.handler.events_emitted)
+        span.set_counter("events_dropped", self.handler.events_dropped)
+        for tool_name, hook_ns in sorted(processor.dispatch_unit.hook_times_ns().items()):
+            span.set_counter(f"hook_ns.{tool_name}", hook_ns)
+        # The caching allocator lives on the attached framework context(s);
+        # sum across contexts (normally exactly one per session).
+        allocators = [ctx.allocator for ctx in self._attached_contexts]
+        free_list_depth = 0
+        coalesces = 0
+        if allocators:
+            stats_list = [a.stats for a in allocators]
+            free_list_depth = sum(a.free_list_depth() for a in allocators)
+            coalesces = sum(s.coalesce_count for s in stats_list)
+            span.set_counter("alloc.allocations", sum(s.allocation_count for s in stats_list))
+            span.set_counter("alloc.frees", sum(s.free_count for s in stats_list))
+            span.set_counter("alloc.cache_hits", sum(s.cache_hits for s in stats_list))
+            span.set_counter("alloc.cache_misses", sum(s.cache_misses for s in stats_list))
+            span.set_counter("alloc.coalesces", coalesces)
+            span.set_counter("alloc.free_list_depth", free_list_depth)
+        telemetry = _active_telemetry()
+        telemetry.counter("processor.events_processed").inc(processor.events_processed)
+        telemetry.counter("processor.events_filtered").inc(processor.events_filtered)
+        telemetry.counter("processor.batches_dispatched").inc(processor.batches_dispatched)
+        telemetry.counter("processor.batch_records").inc(processor.batch_records)
+        telemetry.counter("dispatch.dispatched_events").inc(
+            processor.dispatch_unit.dispatched_events
+        )
+        if allocators:
+            telemetry.gauge("allocator.free_list_depth").set(free_list_depth)
+            telemetry.counter("allocator.coalesces").inc(coalesces)
+        elapsed_ns = perf_counter_ns() - span._start_wall_ns
+        if elapsed_ns > 0 and processor.events_processed:
+            rate = processor.events_processed / (elapsed_ns / 1e9)
+            span.set_counter("events_per_s", round(rate, 1))
+            telemetry.histogram(
+                "session.events_per_s", EVENT_RATE_BUCKETS
+            ).observe(rate)
+        if processor.batches_dispatched:
+            telemetry.histogram("processor.batch_size", SIZE_BUCKETS).observe(
+                processor.batch_records / processor.batches_dispatched
+            )
 
     # ------------------------------------------------------------------ #
     # trace recording
@@ -320,4 +411,5 @@ class PastaSession:
     # ------------------------------------------------------------------ #
     def reports(self) -> dict[str, dict[str, object]]:
         """Collect every tool's report, plus the overhead report if enabled."""
-        return collect_reports(self._tools, self.overhead_accountant)
+        with _active_telemetry().span("session.collect", tools=len(self._tools)):
+            return collect_reports(self._tools, self.overhead_accountant)

@@ -230,6 +230,7 @@ class AllocatorStats:
     segment_count: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    coalesce_count: int = 0
 
 
 class CachingAllocator:
@@ -359,6 +360,7 @@ class CachingAllocator:
             block.next = nxt.next
             if nxt.next is not None:
                 nxt.next.prev = block
+            self.stats.coalesce_count += 1
         prev = block.prev
         if prev is not None and prev.free:
             free_index.remove(prev)
@@ -367,6 +369,7 @@ class CachingAllocator:
             if block.next is not None:
                 block.next.prev = prev
             block = prev
+            self.stats.coalesce_count += 1
         return block
 
     # ------------------------------------------------------------------ #
@@ -450,6 +453,14 @@ class CachingAllocator:
         for tensor in tensors:
             if tensor.block_id is not None and not tensor.freed:
                 self.free_tensor(tensor)
+
+    def free_list_depth(self) -> int:
+        """Number of free blocks currently indexed across all pools.
+
+        A health indicator sampled by the telemetry layer: sustained growth
+        means fragmentation (frees that never coalesce back into big blocks).
+        """
+        return sum(len(index) for index in self._free_blocks.values())
 
     def empty_cache(self) -> int:
         """Return fully-free segments to the driver; returns bytes released."""

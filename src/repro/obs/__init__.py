@@ -1,0 +1,106 @@
+"""Self-telemetry for the profiler: spans, metrics, JSONL run manifests.
+
+The profiler measures workloads; :mod:`repro.obs` measures the profiler.
+Three pieces, one facade:
+
+* :mod:`repro.obs.spans` — nested context-managed spans (wall + CPU time);
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms;
+* :mod:`repro.obs.sink` — a run-scoped ``telemetry.jsonl`` whose first line
+  is a provenance manifest (version, pid, rank, spec digest, argv);
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade over all three
+  plus the process-wide active handle (:func:`active` / :func:`activate`),
+  defaulting to a shared no-op so disabled telemetry costs ~nothing;
+* :mod:`repro.obs.report` — read-side summary/top/tree analysis;
+* :mod:`repro.obs.log` — ``repro.*``-namespaced stdlib logging.
+
+Instrumented layers call ``obs.active().span(...)`` (or accept an explicit
+``telemetry=`` handle) and never check whether telemetry is on.
+"""
+
+from repro.obs.log import configure_logging, get_logger, parse_level, reset_logging
+from repro.obs.metrics import (
+    DURATION_BUCKETS_S,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NullInstrument,
+)
+from repro.obs.report import (
+    SpanNode,
+    build_tree,
+    manifest_of,
+    metrics_of,
+    render_summary,
+    render_top,
+    render_tree,
+    self_overhead_of,
+    span_records,
+    summarize,
+    top_spans,
+)
+from repro.obs.sink import (
+    JsonlSink,
+    MANIFEST_SCHEMA,
+    TELEMETRY_FILE,
+    read_records,
+    telemetry_path,
+)
+from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanTracer
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    TELEMETRY_ENV,
+    Telemetry,
+    activate,
+    activated,
+    active,
+    deactivate,
+    from_env,
+)
+
+__all__ = [
+    "DURATION_BUCKETS_S",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NullInstrument",
+    "NullSpan",
+    "NullTelemetry",
+    "Span",
+    "SpanNode",
+    "SpanTracer",
+    "TELEMETRY_ENV",
+    "TELEMETRY_FILE",
+    "Telemetry",
+    "activate",
+    "activated",
+    "active",
+    "build_tree",
+    "configure_logging",
+    "deactivate",
+    "from_env",
+    "get_logger",
+    "manifest_of",
+    "metrics_of",
+    "parse_level",
+    "read_records",
+    "render_summary",
+    "render_top",
+    "render_tree",
+    "reset_logging",
+    "self_overhead_of",
+    "span_records",
+    "summarize",
+    "telemetry_path",
+    "top_spans",
+]

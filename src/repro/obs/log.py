@@ -1,0 +1,85 @@
+"""Stdlib ``logging`` integration for the profiler's own namespace.
+
+Every logger the repo uses comes from :func:`get_logger`, which namespaces
+under ``repro.`` (``get_logger("campaign")`` → ``repro.campaign``), so an
+embedding application controls the whole profiler with one line of ordinary
+``logging`` configuration — no custom handler types, no side channels.
+
+:func:`configure_logging` is the CLI's entry point for ``--log-level``: it
+installs a single stderr handler on the ``repro`` root logger (idempotent —
+re-invocations only adjust the level) and leaves the global root logger
+untouched, so library users never see surprise handlers.
+
+Telemetry records are mirrored to the ``repro.obs`` logger at DEBUG by
+:class:`~repro.obs.telemetry.Telemetry`, which means
+``pasta --log-level debug profile ...`` streams spans to stderr live even
+when no ``--telemetry`` sink is configured.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+#: Root logger name for everything in this package.
+ROOT_LOGGER = "repro"
+
+#: Log line format used by the CLI handler.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger()`` returns the ``repro`` root; ``get_logger("campaign")``
+    returns ``repro.campaign``; a name already starting with ``repro`` is
+    used verbatim (so modules may pass ``__name__``).
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def parse_level(level: Union[str, int]) -> int:
+    """Translate a ``--log-level`` argument to a ``logging`` level number."""
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(level.strip().upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def configure_logging(level: Union[str, int] = "warning") -> logging.Logger:
+    """Route ``repro.*`` logs to stderr at ``level`` (idempotent).
+
+    Installs one stream handler on the ``repro`` logger the first time; later
+    calls only adjust the level.  The handler does not propagate to the
+    global root, so embedding applications keep full control.
+    """
+    global _handler
+    logger = logging.getLogger(ROOT_LOGGER)
+    resolved = parse_level(level)
+    if _handler is None:
+        _handler = logging.StreamHandler(sys.stderr)
+        _handler.setFormatter(logging.Formatter(LOG_FORMAT))
+        logger.addHandler(_handler)
+        logger.propagate = False
+    logger.setLevel(resolved)
+    return logger
+
+
+def reset_logging() -> None:
+    """Remove the CLI handler (test hygiene)."""
+    global _handler
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _handler is not None:
+        logger.removeHandler(_handler)
+        _handler = None
+    logger.propagate = True
+    logger.setLevel(logging.NOTSET)

@@ -1,0 +1,212 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The profiler's own throughput and health indicators — events per second,
+cache hits, queue depths, job latencies — are ordinary metric instruments,
+kept deliberately tiny:
+
+* :class:`Counter` — a monotonically increasing integer (``inc``);
+* :class:`Gauge` — a last-value-wins sample (``set``);
+* :class:`Histogram` — a fixed-bucket distribution (``observe``); bucket
+  edges are chosen at creation and never resize, so snapshots from different
+  runs line up column for column.
+
+Instruments live in a :class:`MetricsRegistry` keyed by name;
+:meth:`MetricsRegistry.snapshot` renders the whole registry as one
+JSON-native dict (the record the telemetry sink appends on close).
+
+Increments are plain attribute updates guarded only by the GIL: instruments
+are updated from the scheduler's worker threads as well as the main thread,
+and a lost increment in a throughput counter is an acceptable trade for
+keeping ``inc()`` off every profile's critical path.  Instrument *creation*
+is locked, so two threads asking for the same name always share one object.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+#: Default histogram bucket upper bounds for durations in seconds: sub-ms to
+#: minutes, roughly geometric.  The last implicit bucket is +inf.
+DURATION_BUCKETS_S = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+#: Default bucket upper bounds for dimensionless sizes/counts (batch sizes,
+#: queue depths): powers of four.
+SIZE_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def as_value(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-value-wins sample."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def as_value(self) -> Union[int, float]:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``buckets`` are the inclusive upper bounds of each bucket, strictly
+    increasing; one overflow bucket (``+inf``) is always appended.  An
+    observation lands in the first bucket whose bound is >= the value, i.e.
+    bucket ``i`` covers ``(buckets[i-1], buckets[i]]`` — a value exactly on
+    an edge counts toward the bucket the edge bounds.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DURATION_BUCKETS_S) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ReproError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ReproError(
+                f"histogram {name!r} bucket bounds must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +inf overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def as_value(self) -> dict[str, object]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": (self.sum / self.count) if self.count else 0.0,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed collection of instruments with a JSON-native snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DURATION_BUCKETS_S
+    ) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        The first creation fixes the bucket edges; later calls with different
+        edges raise rather than silently measuring two distributions that
+        cannot be merged.
+        """
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, buckets)
+            elif instrument.buckets != tuple(float(b) for b in buckets):
+                raise ReproError(
+                    f"histogram {name!r} already exists with buckets "
+                    f"{instrument.buckets}, requested {tuple(buckets)}"
+                )
+            return instrument
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """JSON-native view of every instrument, sorted by name."""
+        with self._lock:
+            return {
+                "counters": {n: c.as_value() for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.as_value() for n, g in sorted(self._gauges.items())},
+                "histograms": {n: h.as_value() for n, h in sorted(self._histograms.items())},
+            }
+
+
+class NullInstrument:
+    """Shared no-op stand-in for every instrument kind when telemetry is off.
+
+    One instance serves every name: ``inc``/``set``/``observe`` fall through
+    immediately, so a disabled telemetry call site pays one method call and
+    nothing else.
+    """
+
+    __slots__ = ()
+
+    name = ""
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+    def as_value(self) -> int:
+        return 0
+
+
+#: The shared no-op instrument.
+NULL_INSTRUMENT = NullInstrument()

@@ -1,0 +1,292 @@
+"""Read-side analysis of telemetry files: tree, summary, top, export.
+
+The sink writes a flat record stream; this module turns it back into
+something a person can act on:
+
+* :func:`build_tree` — reconstruct the span tree from ``span_id`` /
+  ``parent_id`` (spans are emitted on close, so children precede parents in
+  the file and reconstruction cannot be streaming);
+* :func:`summarize` — run identity, per-span-name aggregates, metric
+  snapshot, and *coverage*: how much of each parent's wall time its
+  children account for (the acceptance gate for "the profiler can explain
+  its own time");
+* :func:`top_spans` — spans ranked by **self time** (wall minus children's
+  wall), which is where untracked time actually lives;
+* renderers producing the aligned plain-text tables the ``pasta telemetry``
+  subcommand prints.
+
+All functions take the raw record list from
+:func:`repro.obs.sink.read_records`, so they work on files from crashed
+runs too (whatever was flushed is analysable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import ReproError
+
+
+class SpanNode:
+    """One reconstructed span with links to its children."""
+
+    __slots__ = ("record", "children")
+
+    def __init__(self, record: Mapping[str, object]) -> None:
+        self.record = record
+        self.children: list["SpanNode"] = []
+
+    @property
+    def name(self) -> str:
+        return str(self.record.get("name", ""))
+
+    @property
+    def wall_ns(self) -> int:
+        return int(self.record.get("wall_ns") or 0)
+
+    @property
+    def child_wall_ns(self) -> int:
+        return sum(child.wall_ns for child in self.children)
+
+    @property
+    def self_wall_ns(self) -> int:
+        """Wall time not attributed to any child span."""
+        return max(0, self.wall_ns - self.child_wall_ns)
+
+    @property
+    def coverage(self) -> Optional[float]:
+        """Fraction of this span's wall time covered by child spans."""
+        if not self.children or not self.wall_ns:
+            return None
+        return min(1.0, self.child_wall_ns / self.wall_ns)
+
+
+def manifest_of(records: Iterable[Mapping[str, object]]) -> dict[str, object]:
+    """The run manifest (always the first record the sink writes).
+
+    Late-bound ``provenance`` events (spec digests, campaign names annotated
+    after the manifest line was written) are merged into the returned view.
+    """
+    manifest: Optional[dict[str, object]] = None
+    for record in records:
+        kind = record.get("type")
+        if kind == "manifest" and manifest is None:
+            manifest = dict(record)
+            manifest["provenance"] = dict(manifest.get("provenance") or {})  # type: ignore[arg-type]
+        elif (kind == "event" and record.get("name") == "provenance"
+              and manifest is not None):
+            manifest["provenance"].update(record.get("attrs") or {})  # type: ignore[union-attr]
+    if manifest is None:
+        raise ReproError("telemetry file has no manifest record")
+    return manifest
+
+
+def span_records(records: Iterable[Mapping[str, object]]) -> list[dict[str, object]]:
+    """Just the span records, in file (i.e. close) order."""
+    return [dict(r) for r in records if r.get("type") == "span"]
+
+
+def metrics_of(records: Iterable[Mapping[str, object]]) -> Optional[dict[str, object]]:
+    """The final metrics snapshot, if the run closed cleanly."""
+    snapshot = None
+    for record in records:
+        if record.get("type") == "metrics":
+            snapshot = {k: v for k, v in record.items() if k != "type"}
+    return snapshot
+
+
+def self_overhead_of(records: Iterable[Mapping[str, object]]) -> Optional[dict[str, object]]:
+    """The sink's closing self_overhead record, if present."""
+    for record in records:
+        if record.get("type") == "self_overhead":
+            return {k: v for k, v in record.items() if k != "type"}
+    return None
+
+
+def build_tree(records: Iterable[Mapping[str, object]]) -> list[SpanNode]:
+    """Reconstruct the span forest; returns root nodes in start order.
+
+    A span whose parent never made it into the file (a crash between child
+    and parent close) becomes a root rather than being dropped.
+    """
+    spans = span_records(records)
+    nodes = {int(s["span_id"]): SpanNode(s) for s in spans}
+    roots: list[SpanNode] = []
+    for node in nodes.values():
+        parent_id = node.record.get("parent_id")
+        parent = nodes.get(int(parent_id)) if parent_id is not None else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda c: float(c.record.get("start_unix") or 0.0))
+    roots.sort(key=lambda r: float(r.record.get("start_unix") or 0.0))
+    return roots
+
+
+def _walk(nodes: Iterable[SpanNode]) -> Iterable[SpanNode]:
+    for node in nodes:
+        yield node
+        yield from _walk(node.children)
+
+
+def summarize(records: list[dict[str, object]]) -> dict[str, object]:
+    """One JSON-native digest of a telemetry run (``pasta telemetry summary``)."""
+    manifest = manifest_of(records)
+    roots = build_tree(records)
+    all_nodes = list(_walk(roots))
+    by_name: dict[str, dict[str, object]] = {}
+    for node in all_nodes:
+        agg = by_name.setdefault(node.name, {
+            "count": 0, "wall_ns": 0, "self_wall_ns": 0, "errors": 0,
+        })
+        agg["count"] += 1  # type: ignore[operator]
+        agg["wall_ns"] += node.wall_ns  # type: ignore[operator]
+        agg["self_wall_ns"] += node.self_wall_ns  # type: ignore[operator]
+        if node.record.get("status") == "error":
+            agg["errors"] += 1  # type: ignore[operator]
+    root_wall_ns = sum(r.wall_ns for r in roots)
+    root_child_ns = sum(r.child_wall_ns for r in roots)
+    events = [dict(r) for r in records if r.get("type") == "event"]
+    summary: dict[str, object] = {
+        "run_id": manifest.get("run_id"),
+        "repro_version": manifest.get("repro_version"),
+        "rank": manifest.get("rank"),
+        "created_unix": manifest.get("created_unix"),
+        "provenance": manifest.get("provenance", {}),
+        "spans": len(all_nodes),
+        "roots": [r.name for r in roots],
+        "events": len(events),
+        "wall_ns": root_wall_ns,
+        "coverage": (
+            min(1.0, root_child_ns / root_wall_ns) if root_wall_ns else None
+        ),
+        "errors": sum(
+            1 for n in all_nodes if n.record.get("status") == "error"
+        ),
+        "by_name": dict(sorted(by_name.items())),
+    }
+    metrics = metrics_of(records)
+    if metrics is not None:
+        summary["metrics"] = metrics
+    overhead = self_overhead_of(records)
+    if overhead is not None:
+        summary["self_overhead"] = overhead
+    return summary
+
+
+def top_spans(records: list[dict[str, object]], limit: int = 10) -> list[dict[str, object]]:
+    """Spans ranked by self time — where the wall clock actually went."""
+    nodes = sorted(_walk(build_tree(records)), key=lambda n: -n.self_wall_ns)
+    ranked = []
+    for node in nodes[:max(0, limit)]:
+        ranked.append({
+            "name": node.name,
+            "span_id": node.record.get("span_id"),
+            "wall_ns": node.wall_ns,
+            "self_wall_ns": node.self_wall_ns,
+            "children": len(node.children),
+            "status": node.record.get("status"),
+            "attrs": node.record.get("attrs", {}),
+        })
+    return ranked
+
+
+# ---------------------------------------------------------------------- #
+# text rendering
+# ---------------------------------------------------------------------- #
+def _fmt_ms(ns: int) -> str:
+    return f"{ns / 1e6:,.2f}ms"
+
+
+def render_summary(summary: Mapping[str, object]) -> str:
+    """Human-readable form of :func:`summarize`."""
+    lines = [
+        f"run {summary.get('run_id')}  "
+        f"(repro {summary.get('repro_version')}, rank {summary.get('rank')})",
+    ]
+    provenance = summary.get("provenance") or {}
+    if provenance:
+        joined = ", ".join(f"{k}={v}" for k, v in sorted(provenance.items()))  # type: ignore[union-attr]
+        lines.append(f"provenance: {joined}")
+    coverage = summary.get("coverage")
+    coverage_text = f"{coverage * 100:.1f}%" if isinstance(coverage, float) else "n/a"
+    lines.append(
+        f"spans: {summary.get('spans')}  wall: {_fmt_ms(int(summary.get('wall_ns') or 0))}  "
+        f"coverage: {coverage_text}  errors: {summary.get('errors')}"
+    )
+    by_name = summary.get("by_name") or {}
+    if by_name:
+        lines.append("")
+        name_width = max(len("span"), *(len(n) for n in by_name))  # type: ignore[union-attr]
+        lines.append(
+            f"{'span':<{name_width}}  {'count':>5}  {'wall':>12}  {'self':>12}  err"
+        )
+        for name, agg in by_name.items():  # type: ignore[union-attr]
+            lines.append(
+                f"{name:<{name_width}}  {agg['count']:>5}  "
+                f"{_fmt_ms(agg['wall_ns']):>12}  {_fmt_ms(agg['self_wall_ns']):>12}  "
+                f"{agg['errors']}"
+            )
+    metrics = summary.get("metrics")
+    if metrics:
+        counters = metrics.get("counters") or {}  # type: ignore[union-attr]
+        gauges = metrics.get("gauges") or {}  # type: ignore[union-attr]
+        if counters or gauges:
+            lines.append("")
+            lines.append("metrics:")
+            for name, value in sorted(counters.items()):
+                lines.append(f"  {name} = {value}")
+            for name, value in sorted(gauges.items()):
+                lines.append(f"  {name} = {value}")
+    overhead = summary.get("self_overhead")
+    if overhead:
+        ns = int(overhead.get("telemetry_ns") or 0)  # type: ignore[union-attr]
+        lines.append("")
+        lines.append(
+            f"self overhead: {_fmt_ms(ns)} across "
+            f"{overhead.get('records_written')} records"  # type: ignore[union-attr]
+        )
+    return "\n".join(lines)
+
+
+def render_top(ranked: list[Mapping[str, object]]) -> str:
+    """Human-readable form of :func:`top_spans`."""
+    if not ranked:
+        return "no spans recorded"
+    name_width = max(len("span"), *(len(str(r["name"])) for r in ranked))
+    lines = [f"{'span':<{name_width}}  {'self':>12}  {'wall':>12}  kids  status"]
+    for row in ranked:
+        lines.append(
+            f"{str(row['name']):<{name_width}}  "
+            f"{_fmt_ms(int(row['self_wall_ns'])):>12}  "  # type: ignore[arg-type]
+            f"{_fmt_ms(int(row['wall_ns'])):>12}  "  # type: ignore[arg-type]
+            f"{row['children']:>4}  {row['status']}"
+        )
+    return "\n".join(lines)
+
+
+def render_tree(records: list[dict[str, object]], *, max_depth: Optional[int] = None) -> str:
+    """Indented span tree (``pasta telemetry export --tree``)."""
+    lines: list[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        counters = node.record.get("counters") or {}
+        counter_text = (
+            "  [" + ", ".join(f"{k}={v}" for k, v in sorted(counters.items())) + "]"  # type: ignore[union-attr]
+            if counters else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{node.name}  {_fmt_ms(node.wall_ns)}"
+            f"{'' if node.record.get('status') == 'ok' else '  !' + str(node.record.get('error'))}"
+            f"{counter_text}"
+        )
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in build_tree(records):
+        visit(root, 0)
+    return "\n".join(lines) if lines else "no spans recorded"

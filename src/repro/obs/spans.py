@@ -1,0 +1,300 @@
+"""Span tracer: nested, context-managed timing spans for the profiler itself.
+
+A *span* is one timed region of the profiler's own execution — a campaign
+job, a session's simulate phase, a trace replay.  Spans carry
+
+* wall time (``time.perf_counter_ns``) and CPU time of the opening thread
+  (``time.thread_time_ns``),
+* a parent/child nesting relationship (per-thread stacks; a span opened on a
+  worker thread with an empty stack parents to the process root span),
+* free-form ``attrs`` fixed at open, and integer ``counters`` accumulated
+  while the span is open (events processed, bytes written, ...).
+
+Spans are emitted to the tracer's emit callback *when they close*, as plain
+JSON-native dicts, so the sink sees a flat record stream and the tree is
+reconstructed from ``span_id``/``parent_id`` (see :mod:`repro.obs.report`).
+
+Exception safety: ``with tracer.span(...)`` closes the span whatever happens
+inside, records ``status="error"`` plus the exception summary, and never
+swallows the exception.  The tracer also accounts the time it spends on its
+own bookkeeping (``self_time_ns``), which is how the run report's
+``self_overhead`` section knows what telemetry itself cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Callable, Mapping, Optional, Union
+
+#: Attribute / counter value types accepted on spans (JSON scalars).
+AttrValue = Union[str, int, float, bool, None]
+
+#: Receives one closed span as a JSON-native dict.
+SpanEmitter = Callable[[dict[str, object]], None]
+
+_span_ids = itertools.count(1)
+
+
+class Span:
+    """One open timing region.  Created by :class:`SpanTracer`, not directly."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "depth", "attrs", "counters",
+        "start_unix", "_start_wall_ns", "_start_cpu_ns", "wall_ns", "cpu_ns",
+        "status", "error", "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        name: str,
+        parent_id: Optional[int],
+        depth: int,
+        attrs: Mapping[str, AttrValue],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = next(_span_ids)
+        self.parent_id = parent_id
+        self.depth = depth
+        self.attrs: dict[str, AttrValue] = dict(attrs)
+        self.counters: dict[str, Union[int, float]] = {}
+        self.start_unix = time.time()
+        self._start_wall_ns = time.perf_counter_ns()
+        self._start_cpu_ns = time.thread_time_ns()
+        self.wall_ns: Optional[int] = None
+        self.cpu_ns: Optional[int] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # accumulation while open
+    # ------------------------------------------------------------------ #
+    def add(self, counter: str, amount: Union[int, float] = 1) -> None:
+        """Accumulate ``amount`` onto one of the span's counters."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def set_counter(self, counter: str, value: Union[int, float]) -> None:
+        """Set one of the span's counters to an absolute value."""
+        self.counters[counter] = value
+
+    def set_attr(self, key: str, value: AttrValue) -> None:
+        """Attach one attribute after open (sparingly; attrs are identity)."""
+        self.attrs[key] = value
+
+    @property
+    def closed(self) -> bool:
+        """True once the span has been finished and emitted."""
+        return self.wall_ns is not None
+
+    def finish(self, error: Optional[BaseException] = None) -> None:
+        """Close the span (idempotent) and emit its record."""
+        self._tracer.finish(self, error=error)
+
+    # ------------------------------------------------------------------ #
+    # context-manager protocol
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish(error=exc)
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-native form of a *closed* span."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_unix": round(self.start_unix, 6),
+            "wall_ns": self.wall_ns,
+            "cpu_ns": self.cpu_ns,
+            "status": self.status,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+        }
+
+
+class SpanTracer:
+    """Opens, nests and emits spans (see module docstring).
+
+    Nesting is per thread: each thread keeps its own open-span stack, so the
+    campaign scheduler's worker threads produce well-formed sub-trees whose
+    roots attach to the process root span (the first span opened anywhere).
+    """
+
+    def __init__(self, emit: Optional[SpanEmitter] = None) -> None:
+        self._emit = emit
+        self._stacks = threading.local()
+        self._root: Optional[Span] = None
+        self._lock = threading.Lock()
+        #: Nanoseconds spent inside the tracer's own bookkeeping.
+        self.self_time_ns = 0
+        self.spans_opened = 0
+        self.spans_closed = 0
+
+    # ------------------------------------------------------------------ #
+    # stack plumbing
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span on the calling thread (or the root)."""
+        stack = self._stack()
+        if stack:
+            return stack[-1]
+        return self._root
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The first span opened on this tracer that is still open."""
+        return self._root
+
+    # ------------------------------------------------------------------ #
+    # open / close
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attrs: AttrValue) -> Span:
+        """Open a span; use as ``with tracer.span("phase", key=...):``."""
+        started = time.perf_counter_ns()
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            parent_id: Optional[int] = parent.span_id
+            depth = parent.depth + 1
+        elif self._root is not None:
+            # A worker thread's first span: attach under the process root so
+            # the tree stays connected.
+            parent_id = self._root.span_id
+            depth = self._root.depth + 1
+        else:
+            parent_id = None
+            depth = 0
+        span = Span(self, name, parent_id, depth, attrs)
+        stack.append(span)
+        with self._lock:
+            if self._root is None:
+                self._root = span
+            self.spans_opened += 1
+        self.self_time_ns += time.perf_counter_ns() - started
+        return span
+
+    def finish(self, span: Span, error: Optional[BaseException] = None) -> None:
+        """Close ``span``, pop it from its thread's stack, emit its record."""
+        if span.closed:
+            return
+        end_wall = time.perf_counter_ns()
+        span.wall_ns = end_wall - span._start_wall_ns
+        span.cpu_ns = time.thread_time_ns() - span._start_cpu_ns
+        if error is not None:
+            span.status = "error"
+            span.error = f"{type(error).__name__}: {error}"
+        stack = self._stack()
+        if span in stack:
+            # Close any children left open (crash paths): innermost first.
+            while stack and stack[-1] is not span:
+                self.finish(stack[-1], error=error)
+            stack.pop()
+        with self._lock:
+            self.spans_closed += 1
+            if self._root is span:
+                self._root = None
+        if self._emit is not None:
+            self._emit(span.to_record())
+        self.self_time_ns += time.perf_counter_ns() - end_wall
+
+    # ------------------------------------------------------------------ #
+    # synthetic spans
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        name: str,
+        wall_ns: int,
+        *,
+        start_unix: Optional[float] = None,
+        attrs: Optional[Mapping[str, AttrValue]] = None,
+        counters: Optional[Mapping[str, Union[int, float]]] = None,
+        status: str = "ok",
+        error: Optional[str] = None,
+    ) -> dict[str, object]:
+        """Emit an already-measured span (e.g. a worker-pool job timed by its
+        future) as a child of the calling thread's current span."""
+        started = time.perf_counter_ns()
+        parent = self.current
+        record = {
+            "type": "span",
+            "name": name,
+            "span_id": next(_span_ids),
+            "parent_id": parent.span_id if parent is not None else None,
+            "depth": (parent.depth + 1) if parent is not None else 0,
+            "start_unix": round(
+                time.time() - wall_ns / 1e9 if start_unix is None else start_unix, 6
+            ),
+            "wall_ns": int(wall_ns),
+            "cpu_ns": None,
+            "status": status,
+            "error": error,
+            "attrs": dict(attrs or {}),
+            "counters": dict(counters or {}),
+        }
+        with self._lock:
+            self.spans_opened += 1
+            self.spans_closed += 1
+        if self._emit is not None:
+            self._emit(record)
+        self.self_time_ns += time.perf_counter_ns() - started
+        return record
+
+
+class NullSpan:
+    """Shared no-op span: every method falls straight through.
+
+    A single instance is handed out for every disabled ``span()`` call, so
+    the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    name = ""
+    span_id = 0
+    parent_id = None
+    depth = 0
+    attrs: dict[str, AttrValue] = {}
+    counters: dict[str, Union[int, float]] = {}
+    status = "ok"
+    error = None
+    closed = False
+
+    def add(self, counter: str, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def set_counter(self, counter: str, value: Union[int, float]) -> None:
+        pass
+
+    def set_attr(self, key: str, value: AttrValue) -> None:
+        pass
+
+    def finish(self, error: Optional[BaseException] = None) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def to_record(self) -> dict[str, object]:
+        return {}
+
+
+#: The shared no-op span.
+NULL_SPAN = NullSpan()

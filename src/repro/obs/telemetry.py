@@ -1,0 +1,327 @@
+"""Telemetry facade: tracer + metrics + sink behind one no-op-able handle.
+
+Everything the profiler instruments itself with goes through a
+:class:`Telemetry` object:
+
+* ``telemetry.span("campaign.job", model="gpt2")`` — a context-managed span;
+* ``telemetry.counter("campaign.cache_hits").inc()`` — metric instruments;
+* ``telemetry.event("provenance", digest=...)`` — point annotations;
+* ``telemetry.close()`` — flush the final metrics snapshot and summary.
+
+The crucial property is the **no-op fast path**: the module-level default is
+:data:`NULL_TELEMETRY`, whose every operation returns a shared null object
+and touches no state, so instrumentation left in the hot layers costs one
+method call when telemetry is disabled — nothing is formatted, allocated or
+written.  Instrumented code never needs ``if enabled:`` guards *except*
+where building the call's arguments is itself expensive; ``enabled`` exists
+for exactly those sites.
+
+A process has at most one *active* telemetry at a time (:func:`active` /
+:func:`activate`), which is what the instrumented layers consult when no
+explicit handle is passed down.  The ``PASTA_TELEMETRY`` environment
+variable names a directory to activate telemetry in for processes not
+started through the CLI flags (e.g. the perf benchmark harness).
+
+Every record is optionally mirrored to the ``repro.obs`` stdlib logger at
+DEBUG level, so an embedding application gets logs through plain ``logging``
+configuration without ever touching the sink.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import (
+    DURATION_BUCKETS_S,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NullInstrument,
+)
+from repro.obs.sink import JsonlSink, telemetry_path
+from repro.obs.spans import NULL_SPAN, AttrValue, NullSpan, Span, SpanTracer
+
+#: Environment variable naming a telemetry directory (or ``*.jsonl`` path).
+TELEMETRY_ENV = "PASTA_TELEMETRY"
+
+
+class Telemetry:
+    """One run's telemetry: a tracer, a metrics registry and (optionally) a sink.
+
+    Constructed via :meth:`open` (directory/file target) or directly with
+    ``sink=None`` for a log-mirror-only telemetry (spans and metrics are
+    tracked and mirrored to DEBUG logs, nothing is persisted).
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Optional[JsonlSink] = None) -> None:
+        self.sink = sink
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer(emit=self._emit)
+        self._log = get_logger("obs")
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        target: Union[str, Path],
+        *,
+        rank: int = 0,
+        provenance: Optional[Mapping[str, object]] = None,
+        argv: Optional[Sequence[str]] = None,
+    ) -> "Telemetry":
+        """Create a telemetry writing to ``target`` (a directory or ``.jsonl``)."""
+        sink = JsonlSink(
+            telemetry_path(target),
+            rank=rank,
+            provenance=provenance,
+            argv=list(argv) if argv is not None else None,
+        )
+        return cls(sink)
+
+    # ------------------------------------------------------------------ #
+    # emission
+    # ------------------------------------------------------------------ #
+    def _emit(self, record: Mapping[str, object]) -> None:
+        if self.sink is not None:
+            self.sink.write(record)
+        if self._log.isEnabledFor(logging.DEBUG):
+            if record.get("type") == "span":
+                wall_ns = record.get("wall_ns") or 0
+                self._log.debug(
+                    "span %s %.3fms status=%s counters=%s",
+                    record.get("name"), wall_ns / 1e6,  # type: ignore[operator]
+                    record.get("status"), record.get("counters"),
+                )
+            else:
+                self._log.debug("%s %s", record.get("type"), dict(record))
+
+    # ------------------------------------------------------------------ #
+    # spans
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attrs: AttrValue) -> Span:
+        """Open a nested span (context manager)."""
+        return self.tracer.span(name, **attrs)
+
+    def record_span(self, name: str, wall_ns: int, **kwargs) -> None:
+        """Emit an externally timed span (see :meth:`SpanTracer.record`)."""
+        self.tracer.record(name, wall_ns, **kwargs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit one point-in-time annotation record."""
+        started = time.perf_counter_ns()
+        self._emit({
+            "type": "event",
+            "name": name,
+            "ts_unix": round(time.time(), 6),
+            "attrs": dict(attrs),
+        })
+        self.tracer.self_time_ns += time.perf_counter_ns() - started
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str):
+        """Get or create a counter."""
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        """Get or create a gauge."""
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, buckets: Sequence[float] = DURATION_BUCKETS_S):
+        """Get or create a fixed-bucket histogram."""
+        return self.metrics.histogram(name, buckets)
+
+    # ------------------------------------------------------------------ #
+    # provenance + self-accounting
+    # ------------------------------------------------------------------ #
+    def annotate(self, **fields: object) -> None:
+        """Attach late-bound provenance (spec digest, campaign name, ...)."""
+        if self.sink is not None:
+            self.sink.annotate_provenance(**fields)
+        else:
+            self.event("provenance", **fields)
+
+    def elapsed_ns(self) -> Optional[int]:
+        """Wall nanoseconds since the root span opened (``None`` before it has)."""
+        root = self.tracer.root
+        if root is None:
+            return None
+        return time.perf_counter_ns() - root._start_wall_ns
+
+    def self_overhead_report(
+        self, total_wall_ns: Optional[int] = None
+    ) -> dict[str, object]:
+        """What the telemetry layer itself cost, profiler-report style.
+
+        ``telemetry_ns`` is the measured time spent inside span bookkeeping,
+        metric snapshots and sink writes.  Given the run's total wall time it
+        also estimates the telemetry-off wall time (total minus overhead) and
+        the overhead fraction — the profiler reporting its own cost the way
+        it reports the simulated instrumentation's.
+        """
+        overhead_ns = self.tracer.self_time_ns
+        report: dict[str, object] = {
+            "telemetry_enabled": True,
+            "spans_recorded": self.tracer.spans_closed,
+            "records_written": (
+                self.sink.records_written if self.sink is not None else 0
+            ),
+            "telemetry_ns": overhead_ns,
+        }
+        if total_wall_ns:
+            report["wall_ns_with_telemetry"] = int(total_wall_ns)
+            report["wall_ns_estimated_without"] = max(0, int(total_wall_ns) - overhead_ns)
+            # Sink setup (manifest write) can predate the root span on tiny
+            # runs, so clamp rather than report a >100% fraction.
+            report["overhead_fraction"] = min(1.0, overhead_ns / total_wall_ns)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Finish any spans left open, snapshot metrics, close the sink."""
+        if self._closed:
+            return
+        self._closed = True
+        root = self.tracer.root
+        total_wall_ns: Optional[int] = None
+        if root is not None:
+            root.finish()
+            total_wall_ns = root.wall_ns
+        final: list[Mapping[str, object]] = []
+        if len(self.metrics):
+            final.append({"type": "metrics", **self.metrics.snapshot()})
+        final.append({
+            "type": "self_overhead",
+            **self.self_overhead_report(total_wall_ns),
+        })
+        if self.sink is not None:
+            self.sink.close(final)
+        elif self._log.isEnabledFor(logging.DEBUG):
+            for record in final:
+                self._log.debug("%s %s", record.get("type"), dict(record))
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullTelemetry:
+    """The disabled telemetry: every operation is a shared no-op.
+
+    All methods return immediately; ``span`` hands back the one
+    :data:`~repro.obs.spans.NULL_SPAN` and the instrument getters the one
+    :data:`~repro.obs.metrics.NULL_INSTRUMENT`, so disabled call sites cost
+    a method call and no allocation.
+    """
+
+    enabled = False
+    sink = None
+    closed = False
+
+    def span(self, name: str, **attrs: AttrValue) -> NullSpan:
+        return NULL_SPAN
+
+    def record_span(self, name: str, wall_ns: int, **kwargs) -> None:
+        pass
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def counter(self, name: str) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DURATION_BUCKETS_S
+    ) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def annotate(self, **fields: object) -> None:
+        pass
+
+    def elapsed_ns(self) -> Optional[int]:
+        return None
+
+    def self_overhead_report(self, total_wall_ns: Optional[int] = None) -> dict[str, object]:
+        return {"telemetry_enabled": False}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTelemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+#: The shared disabled telemetry (the module default).
+NULL_TELEMETRY = NullTelemetry()
+
+#: The process-wide active telemetry consulted by instrumented layers.
+_active: Union[Telemetry, NullTelemetry] = NULL_TELEMETRY
+
+
+def active() -> Union[Telemetry, NullTelemetry]:
+    """The currently active telemetry (the shared null object when disabled)."""
+    return _active
+
+
+def activate(telemetry: Union[Telemetry, NullTelemetry]) -> Union[Telemetry, NullTelemetry]:
+    """Install ``telemetry`` as the process-wide active telemetry."""
+    global _active
+    _active = telemetry
+    return telemetry
+
+
+def deactivate() -> None:
+    """Reset the active telemetry to the shared null object."""
+    global _active
+    _active = NULL_TELEMETRY
+
+
+@contextmanager
+def activated(
+    telemetry: Union[Telemetry, NullTelemetry], *, close: bool = True
+) -> Iterator[Union[Telemetry, NullTelemetry]]:
+    """Scope ``telemetry`` as active, restoring (and closing) on exit."""
+    global _active
+    previous = _active
+    _active = telemetry
+    try:
+        yield telemetry
+    finally:
+        _active = previous
+        if close:
+            telemetry.close()
+
+
+def from_env(environ: Optional[Mapping[str, str]] = None) -> Union[Telemetry, NullTelemetry]:
+    """Telemetry named by ``PASTA_TELEMETRY`` (or the null telemetry)."""
+    env = os.environ if environ is None else environ
+    target = env.get(TELEMETRY_ENV)
+    if not target:
+        return NULL_TELEMETRY
+    return Telemetry.open(target)

@@ -37,6 +37,7 @@ from repro.core.tool import PastaTool
 from repro.gpusim.costmodel import CostModelConfig, InstrumentationBackend
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.trace import AnalysisModel
+from repro.obs.telemetry import active as _active_telemetry
 from repro.replay.reader import TraceReader
 
 
@@ -195,14 +196,25 @@ class TraceReplayer:
             tool.on_session_start()
         events_replayed = 0
         stream = self.reader.events() if self.events is None else self.events
-        try:
-            for event in stream:
-                resolver.observe(event)
-                processor.submit(event)
-                events_replayed += 1
-        finally:
-            for tool in self.tools:
-                tool.on_session_end()
+        with _active_telemetry().span(
+            "replay.run",
+            trace=str(self.reader.path),
+            analysis_model=self.analysis_model.value,
+            tools=len(self.tools),
+        ) as replay_span:
+            try:
+                for event in stream:
+                    resolver.observe(event)
+                    processor.submit(event)
+                    events_replayed += 1
+            finally:
+                for tool in self.tools:
+                    tool.on_session_end()
+                replay_span.set_counter("events_replayed", events_replayed)
+                replay_span.set_counter("events_filtered", processor.events_filtered)
+                replay_span.set_counter(
+                    "dispatched_events", processor.dispatch_unit.dispatched_events
+                )
         return ReplayResult(
             trace_path=self.reader.path,
             tools=self.tools,

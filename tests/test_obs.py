@@ -1,0 +1,393 @@
+"""Unit tests for the self-telemetry layer (:mod:`repro.obs`)."""
+
+from __future__ import annotations
+
+import json
+import logging
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    NULL_INSTRUMENT,
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    Histogram,
+    JsonlSink,
+    MetricsRegistry,
+    SpanTracer,
+    Telemetry,
+    activated,
+    active,
+    build_tree,
+    configure_logging,
+    deactivate,
+    from_env,
+    get_logger,
+    manifest_of,
+    parse_level,
+    read_records,
+    render_summary,
+    render_top,
+    render_tree,
+    reset_logging,
+    span_records,
+    summarize,
+    telemetry_path,
+    top_spans,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Keep the process-global telemetry and logging state test-hermetic."""
+    deactivate()
+    reset_logging()
+    yield
+    deactivate()
+    reset_logging()
+
+
+# ---------------------------------------------------------------------- #
+# spans
+# ---------------------------------------------------------------------- #
+class TestSpans:
+    def test_nesting_parent_child_depth(self):
+        emitted = []
+        tracer = SpanTracer(emit=emitted.append)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == outer.depth + 1
+            assert tracer.current is outer
+        # Children emit before parents (they close first).
+        assert [r["name"] for r in emitted] == ["inner", "outer"]
+        assert emitted[0]["parent_id"] == emitted[1]["span_id"]
+        assert all(r["wall_ns"] >= 0 for r in emitted)
+
+    def test_exception_marks_error_and_propagates(self):
+        emitted = []
+        tracer = SpanTracer(emit=emitted.append)
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        (record,) = emitted
+        assert record["status"] == "error"
+        assert "ValueError: boom" in record["error"]
+
+    def test_crash_closes_orphaned_children_innermost_first(self):
+        emitted = []
+        tracer = SpanTracer(emit=emitted.append)
+        outer = tracer.span("outer")
+        tracer.span("left_open")
+        tracer.span("also_open")
+        outer.finish()
+        assert [r["name"] for r in emitted] == ["also_open", "left_open", "outer"]
+        assert tracer.spans_opened == tracer.spans_closed == 3
+
+    def test_finish_is_idempotent(self):
+        emitted = []
+        tracer = SpanTracer(emit=emitted.append)
+        span = tracer.span("once")
+        span.finish()
+        span.finish()
+        assert len(emitted) == 1
+        assert tracer.spans_closed == 1
+
+    def test_counters_and_attrs(self):
+        emitted = []
+        tracer = SpanTracer(emit=emitted.append)
+        with tracer.span("count", model="gpt2") as span:
+            span.add("events", 5)
+            span.add("events", 7)
+            span.set_counter("rate", 12.5)
+            span.set_attr("late", True)
+        (record,) = emitted
+        assert record["counters"] == {"events": 12, "rate": 12.5}
+        assert record["attrs"] == {"model": "gpt2", "late": True}
+
+    def test_synthetic_record_parents_to_current(self):
+        emitted = []
+        tracer = SpanTracer(emit=emitted.append)
+        with tracer.span("parent") as parent:
+            record = tracer.record("job", 1_000_000, attrs={"j": 1},
+                                   status="error", error="KaboomError: no")
+        assert record["parent_id"] == parent.span_id
+        assert record["wall_ns"] == 1_000_000
+        assert emitted[0] is record
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.add("x")
+            span.set_counter("y", 1)
+            span.set_attr("z", "v")
+        assert span.to_record() == {}
+        assert NULL_SPAN.counters == {}
+
+    def test_self_time_accounted(self):
+        tracer = SpanTracer(emit=lambda record: None)
+        with tracer.span("timed"):
+            pass
+        assert tracer.self_time_ns > 0
+
+
+# ---------------------------------------------------------------------- #
+# metrics
+# ---------------------------------------------------------------------- #
+class TestMetrics:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.as_value() == 5
+        with pytest.raises(ReproError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_histogram_bucket_edges_inclusive_upper(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        # Exactly on an edge counts toward the bucket the edge bounds.
+        hist.observe(1.0)
+        hist.observe(10.0)
+        hist.observe(0.5)
+        hist.observe(10.1)   # overflow (+inf) bucket
+        value = hist.as_value()
+        assert value["counts"] == [2, 1, 1]
+        assert value["count"] == 4
+        assert value["min"] == 0.5
+        assert value["max"] == 10.1
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ReproError, match="at least one bucket"):
+            Histogram("empty", buckets=())
+        with pytest.raises(ReproError, match="strictly increasing"):
+            Histogram("bad", buckets=(1.0, 1.0))
+
+    def test_registry_get_or_create_shares_instances(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h", (1.0,)) is registry.histogram("h", (1.0,))
+        with pytest.raises(ReproError, match="already exists"):
+            registry.histogram("h", (2.0,))
+        assert len(registry) == 3
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", (1.0,)).observe(0.2)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_null_instrument_is_inert(self):
+        NULL_INSTRUMENT.inc(5)
+        NULL_INSTRUMENT.set(2)
+        NULL_INSTRUMENT.observe(0.1)
+        assert NULL_INSTRUMENT.as_value() == 0
+
+
+# ---------------------------------------------------------------------- #
+# sink
+# ---------------------------------------------------------------------- #
+class TestSink:
+    def test_round_trip_with_manifest_provenance(self, tmp_path):
+        sink = JsonlSink(telemetry_path(tmp_path), rank=2,
+                         provenance={"campaign": "sweep"}, argv=["profile", "gpt2"])
+        sink.write({"type": "span", "name": "x", "wall_ns": 10})
+        sink.annotate_provenance(spec_digest="abc123")
+        sink.close([{"type": "metrics"}])
+
+        records = read_records(tmp_path)
+        manifest = manifest_of(records)
+        assert manifest["type"] == "manifest"
+        assert manifest["rank"] == 2
+        assert manifest["argv"] == ["profile", "gpt2"]
+        assert manifest["provenance"]["campaign"] == "sweep"
+        # annotate_provenance merges late-bound fields into the manifest view.
+        assert manifest["provenance"]["spec_digest"] == "abc123"
+        import repro
+        assert manifest["repro_version"] == repro.__version__
+        assert records[-1]["type"] == "metrics"
+        assert [r["type"] for r in records if r["type"] == "span"] == ["span"]
+
+    def test_telemetry_path_directory_vs_file(self, tmp_path):
+        assert telemetry_path(tmp_path).name == "telemetry.jsonl"
+        explicit = tmp_path / "custom.jsonl"
+        assert telemetry_path(explicit) == explicit
+
+    def test_reader_tolerates_torn_final_line(self, tmp_path):
+        path = telemetry_path(tmp_path)
+        sink = JsonlSink(path)
+        sink.write({"type": "span", "name": "kept"})
+        sink.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"type": "span", "name": "torn')  # crash mid-write
+        names = [r.get("name") for r in read_records(path) if r["type"] == "span"]
+        assert names == ["kept"]
+
+    def test_close_idempotent_counts_records(self, tmp_path):
+        sink = JsonlSink(telemetry_path(tmp_path))
+        sink.write({"type": "event", "name": "e"})
+        assert sink.records_written == 2  # manifest + event
+        sink.close()
+        sink.close()
+        assert len(read_records(tmp_path)) == 2
+
+
+# ---------------------------------------------------------------------- #
+# telemetry facade
+# ---------------------------------------------------------------------- #
+class TestTelemetry:
+    def test_open_span_metrics_close(self, tmp_path):
+        telemetry = Telemetry.open(tmp_path)
+        with telemetry.span("root", kind="test"):
+            with telemetry.span("child"):
+                telemetry.counter("widgets").inc(3)
+        telemetry.close()
+        records = read_records(tmp_path)
+        names = [r["name"] for r in records if r["type"] == "span"]
+        assert names == ["child", "root"]
+        metrics = [r for r in records if r["type"] == "metrics"]
+        assert metrics and metrics[0]["counters"]["widgets"] == 3
+        overhead = [r for r in records if r["type"] == "self_overhead"]
+        assert overhead and overhead[0]["spans_recorded"] == 2
+        assert overhead[0]["telemetry_enabled"] is True
+
+    def test_close_finishes_open_root_and_reports_fraction(self, tmp_path):
+        telemetry = Telemetry.open(tmp_path)
+        telemetry.span("left.open")
+        telemetry.close()
+        records = read_records(tmp_path)
+        assert [r["name"] for r in records if r["type"] == "span"] == ["left.open"]
+        overhead = [r for r in records if r["type"] == "self_overhead"][0]
+        assert overhead["wall_ns_with_telemetry"] > 0
+        assert 0.0 <= overhead["overhead_fraction"] <= 1.0
+
+    def test_activation_scoping(self, tmp_path):
+        assert active() is NULL_TELEMETRY
+        telemetry = Telemetry.open(tmp_path)
+        with activated(telemetry):
+            assert active() is telemetry
+        assert active() is NULL_TELEMETRY
+        assert telemetry.closed
+
+    def test_from_env(self, tmp_path):
+        assert from_env({}) is NULL_TELEMETRY
+        assert from_env({"PASTA_TELEMETRY": ""}) is NULL_TELEMETRY
+        telemetry = from_env({"PASTA_TELEMETRY": str(tmp_path)})
+        assert telemetry.enabled
+        telemetry.close()
+        assert telemetry_path(tmp_path).exists()
+
+    def test_null_telemetry_is_no_op(self):
+        assert NULL_TELEMETRY.span("x") is NULL_SPAN
+        assert NULL_TELEMETRY.counter("c") is NULL_INSTRUMENT
+        assert NULL_TELEMETRY.gauge("g") is NULL_INSTRUMENT
+        assert NULL_TELEMETRY.histogram("h") is NULL_INSTRUMENT
+        NULL_TELEMETRY.event("e", a=1)
+        NULL_TELEMETRY.record_span("s", 10)
+        NULL_TELEMETRY.annotate(x=1)
+        NULL_TELEMETRY.close()
+        assert NULL_TELEMETRY.elapsed_ns() is None
+        assert NULL_TELEMETRY.self_overhead_report() == {"telemetry_enabled": False}
+
+    def test_debug_log_mirror(self, tmp_path, capsys):
+        configure_logging("debug")
+        telemetry = Telemetry.open(tmp_path)
+        with telemetry.span("mirrored"):
+            pass
+        telemetry.close()
+        err = capsys.readouterr().err
+        assert "span mirrored" in err
+
+
+# ---------------------------------------------------------------------- #
+# logging
+# ---------------------------------------------------------------------- #
+class TestLogging:
+    def test_loggers_namespaced_under_repro(self):
+        assert get_logger("obs").name == "repro.obs"
+        assert get_logger("repro.campaign").name == "repro.campaign"
+        assert get_logger(None).name == "repro"
+
+    def test_parse_level(self):
+        assert parse_level("debug") == logging.DEBUG
+        assert parse_level("WARNING") == logging.WARNING
+        with pytest.raises(ValueError):
+            parse_level("loud")
+
+    def test_configure_logging_idempotent(self):
+        configure_logging("info")
+        configure_logging("debug")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+        assert root.level == logging.DEBUG
+        assert root.propagate is False
+
+
+# ---------------------------------------------------------------------- #
+# report
+# ---------------------------------------------------------------------- #
+def _sample_records(tmp_path) -> list[dict[str, object]]:
+    telemetry = Telemetry.open(tmp_path)
+    with telemetry.span("run") as run:
+        with telemetry.span("setup"):
+            pass
+        with telemetry.span("simulate") as sim:
+            sim.set_counter("events", 100)
+        run.set_attr("model", "gpt2")
+    telemetry.close()
+    return read_records(tmp_path)
+
+
+class TestReport:
+    def test_build_tree_and_summarize(self, tmp_path):
+        records = _sample_records(tmp_path)
+        roots = build_tree(span_records(records))
+        assert [n.name for n in roots] == ["run"]
+        assert sorted(c.name for c in roots[0].children) == ["setup", "simulate"]
+        summary = summarize(records)
+        assert summary["spans"] == 3
+        assert summary["roots"] == ["run"]
+        assert summary["errors"] == 0
+        assert 0.0 <= summary["coverage"] <= 1.0
+        assert summary["by_name"]["simulate"]["count"] == 1
+
+    def test_top_spans_ranked_by_self_time(self, tmp_path):
+        records = _sample_records(tmp_path)
+        ranked = top_spans(records, limit=2)
+        assert len(ranked) == 2
+        assert ranked[0]["self_wall_ns"] >= ranked[1]["self_wall_ns"]
+
+    def test_renderers_produce_text(self, tmp_path):
+        records = _sample_records(tmp_path)
+        summary_text = render_summary(summarize(records))
+        assert "coverage" in summary_text
+        top_text = render_top(top_spans(records))
+        assert "self" in top_text
+        tree_text = render_tree(records)
+        assert "run" in tree_text and "  setup" in tree_text
+
+    def test_summarize_requires_manifest(self):
+        with pytest.raises(ReproError):
+            summarize([{"type": "span", "name": "x"}])
+
+
+# ---------------------------------------------------------------------- #
+# serialisation details
+# ---------------------------------------------------------------------- #
+def test_records_are_plain_json(tmp_path):
+    records = _sample_records(tmp_path)
+    for record in records:
+        json.dumps(record)  # raises on anything non-JSON-native
+
+
+def test_null_telemetry_pickles_to_shared_instance():
+    # Process-pool workers may capture the module default; pickling must not
+    # explode (identity across processes is not required).
+    assert pickle.loads(pickle.dumps(NULL_TELEMETRY)).enabled is False
