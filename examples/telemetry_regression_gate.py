@@ -1,0 +1,99 @@
+"""Telemetry regression gate: ``pasta telemetry diff`` as a CI check.
+
+The cross-run diff turns two telemetry files into a performance gate: record
+a baseline run (main), record a candidate run (the branch), then diff — the
+command exits non-zero when any span's wall time regressed past the
+threshold, so the shell exit code *is* the gate.  This example builds the
+whole loop in-process:
+
+1. record a baseline profile run with telemetry on;
+2. record a "candidate" run of the same spec (same spec digest, so the two
+   runs are comparable — the diff warns when digests differ);
+3. diff them with :func:`repro.obs.diff_runs` and render the report;
+4. show the equivalent CLI gate, which is what a CI job would run.
+
+Run with::
+
+    PYTHONPATH=src python examples/telemetry_regression_gate.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.api import ProfileSpec, execute
+from repro.obs import (
+    RunIndex,
+    Telemetry,
+    activated,
+    diff_runs,
+    read_records,
+    render_diff,
+    render_run_list,
+)
+
+SPEC = ProfileSpec(
+    model="gpt2",
+    device="a100",
+    tools=("kernel_frequency",),
+    fine_grained=True,
+)
+
+#: Flag any span whose wall time grew by more than 20%.  Simulated runs are
+#: fast and jittery; a real CI gate over long profiles can afford 5-10%.
+THRESHOLD = 0.20
+
+
+def record(target: Path) -> None:
+    """One telemetry-instrumented run of the shared spec into ``target``."""
+    telemetry = Telemetry.open(target)
+    telemetry.annotate(spec_digest=SPEC.digest(repro.__version__))
+    with activated(telemetry):
+        with telemetry.span("gate.profile"):
+            execute(SPEC)
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="pasta-regression-gate-"))
+    baseline_dir = workdir / "baseline"
+    candidate_dir = workdir / "candidate"
+
+    # -- 1 + 2. record both sides.  In CI these two runs happen in separate
+    #           jobs (main vs branch) with the telemetry files exchanged as
+    #           artifacts; here they run back to back.
+    record(baseline_dir)
+    record(candidate_dir)
+
+    # The run index is how a gate finds its inputs when CI keeps a directory
+    # of historical runs rather than exactly two files.
+    print(render_run_list(RunIndex(workdir).entries))
+    print()
+
+    # -- 3. the diff: per-span wall/CPU deltas, counter deltas, regressions.
+    result = diff_runs(
+        read_records(baseline_dir),
+        read_records(candidate_dir),
+        threshold=THRESHOLD,
+    )
+    print(render_diff(result))
+    print()
+
+    # -- 4. the CLI equivalent — the exit code is the gate:
+    #
+    #   pasta telemetry diff baseline/ candidate/ --threshold 0.20 \
+    #       || exit 1   # (redundant: the command already exits non-zero)
+    #
+    regressions = int(result["regressions"])  # type: ignore[arg-type]
+    if regressions:
+        print(f"GATE FAILED: {regressions} span(s) regressed "
+              f"past +{THRESHOLD:.0%}")
+        return 1
+    print(f"gate passed: no span regressed past +{THRESHOLD:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,7 +63,7 @@ from repro.core.session import PastaSession
 from repro.core.tool import PastaTool
 from repro.errors import PastaError, ReproError
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ParallelProfileResult",

@@ -158,6 +158,16 @@ def execute(
             **session_kwargs,
         )
         session.attach_framework(ctx)
+    # Imported lazily to avoid a cycle: the campaign package imports this
+    # module at load time.
+    from repro.campaign.progress import active_progress
+
+    progress = active_progress()
+    if progress.enabled:
+        progress.emit(
+            "phase", event="simulate", job=spec.label(), model=spec.model,
+            mode=spec.mode, iterations=spec.iterations,
+        )
     with telemetry.span(
         "profile.simulate",
         model=spec.model,
@@ -372,6 +382,32 @@ class ParallelReplayResult:
         return _parallel_reports(self.spec, self.device_indices, self.rank_reports())
 
 
+def _rank_progress_hook(spec: ProfileSpec, parallelism: ParallelismSpec):
+    """Per-iteration callback streaming per-rank progress to the active bus.
+
+    Returns ``None`` when no progress bus is active, so the common case adds
+    nothing to the parallel runner's iteration loop.  The lockstep runners
+    advance every rank together, so one callback fans out to one record per
+    rank — the shape ``pasta campaign watch`` renders as per-rank lanes.
+    """
+    from repro.campaign.progress import active_progress
+
+    progress = active_progress()
+    if not progress.enabled:
+        return None
+    label = spec.label()
+
+    def on_iteration(completed: int, iterations: int) -> None:
+        for rank in range(parallelism.world_size):
+            progress.emit(
+                "rank", event="progress", job=label,
+                strategy=parallelism.strategy, rank=rank,
+                iteration=completed, iterations=iterations,
+            )
+
+    return on_iteration
+
+
 def execute_parallel(
     spec: ProfileSpec,
     *,
@@ -465,7 +501,10 @@ def execute_parallel(
                 for rank, session in enumerate(sessions):
                     stack.enter_context(session)
                     session.annotate_telemetry(rank=rank)
-                runner.run(spec.iterations)
+                runner.run(
+                    spec.iterations,
+                    progress=_rank_progress_hook(spec, parallelism),
+                )
     except BaseException as error:
         if writer is not None and not writer.closed:
             writer.abort(f"{type(error).__name__}: {error}")

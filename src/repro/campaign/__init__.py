@@ -12,6 +12,8 @@ that drives live runs, recording and replay:
 * :mod:`repro.campaign.cache` — content-addressed result cache (identical
   specs never re-simulate);
 * :mod:`repro.campaign.store` — append-only JSONL record store;
+* :mod:`repro.campaign.progress` — live job-lifecycle streaming to
+  ``status.jsonl`` (the ``pasta campaign watch`` feed);
 * :mod:`repro.campaign.aggregate` — roll-ups, analysis-model comparisons and
   baseline-vs-current regression diffs;
 * :mod:`repro.campaign.cli` — the ``pasta-campaign`` command.
@@ -24,6 +26,17 @@ from repro.campaign.aggregate import (
     rollup,
 )
 from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.progress import (
+    NULL_PROGRESS,
+    NullProgress,
+    ProgressWriter,
+    active_progress,
+    progress_scope,
+    read_status,
+    render_status,
+    snapshot_status,
+    status_path,
+)
 from repro.campaign.scheduler import (
     CampaignRunResult,
     CampaignScheduler,
@@ -49,12 +62,21 @@ __all__ = [
     "CampaignSpec",
     "JobOutcome",
     "JobSpec",
+    "NULL_PROGRESS",
+    "NullProgress",
+    "ProgressWriter",
     "ResultCache",
     "ResultStore",
+    "active_progress",
     "diff_records",
     "expand_jobs",
     "overhead_model_comparison",
+    "progress_scope",
+    "read_status",
+    "render_status",
     "render_table",
     "rollup",
     "run_campaign",
+    "snapshot_status",
+    "status_path",
 ]

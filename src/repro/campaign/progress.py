@@ -1,0 +1,314 @@
+"""Live campaign progress: a status event bus streaming to ``status.jsonl``.
+
+The result store records what a campaign *produced*; this module records
+what it is *doing right now*.  A :class:`ProgressWriter` appends one small
+JSON record per lifecycle transition — campaign start/end, job
+queued/started/retried/finished (with cache hit/miss attribution), per-rank
+iteration progress for parallel profiles — to a ``status.jsonl`` next to the
+result store, flushing every line so a concurrent reader (``pasta campaign
+watch``) always sees a consistent prefix of the stream.
+
+Like the telemetry layer, the bus has a process-global active handle
+(:func:`active_progress` / :func:`progress_scope`) defaulting to a shared
+no-op, so instrumented layers (the scheduler, the api runner, the parallel
+runner) emit unconditionally at the cost of one method call when no one is
+watching.  Worker *threads* share the active bus; process-pool workers run
+in fresh interpreters and cannot reach it — their jobs still produce
+queued/started/finished records (emitted by the scheduler's main thread),
+they just lack in-job rank events.
+
+:func:`snapshot_status` folds the stream into completion counts, cache
+attribution, throughput and an ETA; :func:`render_status` renders that for
+the ``watch`` terminal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Mapping, Optional, Union
+
+from repro.core.serialization import stable_json_dumps
+from repro.errors import ReproError
+from repro.obs.sink import read_records
+
+#: File name used when the status target is a directory.
+STATUS_FILE = "status.jsonl"
+
+
+def status_path(target: Union[str, Path]) -> Path:
+    """Resolve a status target: a ``.jsonl`` path verbatim, else ``dir/status.jsonl``."""
+    path = Path(target)
+    if path.suffix == ".jsonl":
+        return path
+    return path / STATUS_FILE
+
+
+class ProgressWriter:
+    """Append-only, flush-per-write JSONL stream of progress events."""
+
+    enabled = True
+
+    def __init__(self, target: Union[str, Path]) -> None:
+        self.path = status_path(target)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = self.path.open("a", encoding="utf-8")
+        self.records_written = 0
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Append one ``{"type": kind, "ts_unix": now, **fields}`` record.
+
+        Thread-safe: scheduler worker threads emit through the same writer
+        as the main thread.  Every record is flushed immediately — a watcher
+        (or a post-mortem after a kill) reads everything emitted so far.
+        """
+        record = {"type": kind, "ts_unix": round(time.time(), 6), **fields}
+        line = stable_json_dumps(record)
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line)
+            self._fh.write("\n")
+            self._fh.flush()
+            self.records_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "ProgressWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullProgress:
+    """The disabled bus: ``emit`` falls through immediately."""
+
+    enabled = False
+    records_written = 0
+
+    def emit(self, kind: str, **fields: object) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullProgress":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+#: The shared disabled bus (the module default).
+NULL_PROGRESS = NullProgress()
+
+_active: Union[ProgressWriter, NullProgress] = NULL_PROGRESS
+
+
+def active_progress() -> Union[ProgressWriter, NullProgress]:
+    """The currently active progress bus (the shared null object when off)."""
+    return _active
+
+
+def activate_progress(
+    bus: Union[ProgressWriter, NullProgress],
+) -> Union[ProgressWriter, NullProgress]:
+    """Install ``bus`` as the process-wide active progress bus."""
+    global _active
+    _active = bus
+    return bus
+
+
+def deactivate_progress() -> None:
+    """Reset the active bus to the shared null object."""
+    global _active
+    _active = NULL_PROGRESS
+
+
+@contextmanager
+def progress_scope(
+    bus: Union[ProgressWriter, NullProgress], *, close: bool = True
+) -> Iterator[Union[ProgressWriter, NullProgress]]:
+    """Scope ``bus`` as active, restoring (and closing) on exit."""
+    global _active
+    previous = _active
+    _active = bus
+    try:
+        yield bus
+    finally:
+        _active = previous
+        if close:
+            bus.close()
+
+
+# ---------------------------------------------------------------------- #
+# reading + aggregation (the `watch` side)
+# ---------------------------------------------------------------------- #
+def read_status(target: Union[str, Path]) -> list[dict[str, object]]:
+    """All readable status records (torn trailing lines are tolerated)."""
+    path = status_path(target)
+    if not path.exists():
+        raise ReproError(f"no status file at {path}")
+    return read_records(path)
+
+
+def snapshot_status(
+    records: list[dict[str, object]], *, now_unix: Optional[float] = None
+) -> dict[str, object]:
+    """Fold a status stream into one JSON-native progress snapshot.
+
+    Captures: campaign identity, job lifecycle counts (queued / running /
+    finished, by outcome status), cache hit/miss attribution, retries,
+    throughput and a naive ETA (remaining jobs at the observed rate), plus
+    the latest per-rank iteration progress of any in-flight parallel job.
+    """
+    campaign: dict[str, object] = {}
+    jobs: dict[object, dict[str, object]] = {}
+    ranks: dict[object, dict[int, dict[str, object]]] = {}
+    retried_events = 0
+    started_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+    ended = False
+    for record in records:
+        ts = record.get("ts_unix")
+        if isinstance(ts, (int, float)):
+            last_ts = float(ts)
+        kind = record.get("type")
+        event = record.get("event")
+        if kind == "campaign":
+            if event == "start":
+                campaign = {
+                    "campaign": record.get("campaign"),
+                    "execution": record.get("execution"),
+                    "total": record.get("total"),
+                    "slots": record.get("slots"),
+                }
+                if isinstance(ts, (int, float)):
+                    started_ts = float(ts)
+            elif event == "end":
+                ended = True
+        elif kind == "job":
+            key = record.get("index", record.get("job"))
+            state = jobs.setdefault(key, {"job": record.get("job")})
+            state["event"] = event
+            if event == "finished":
+                state["status"] = record.get("status")
+                state["cache_hit"] = bool(record.get("cache_hit"))
+                state["duration_s"] = record.get("duration_s")
+            elif event == "retried":
+                retried_events += 1
+        elif kind == "rank":
+            job_ranks = ranks.setdefault(record.get("job"), {})
+            rank = record.get("rank")
+            if isinstance(rank, int):
+                job_ranks[rank] = {
+                    "iteration": record.get("iteration"),
+                    "iterations": record.get("iterations"),
+                }
+
+    finished = [s for s in jobs.values() if s.get("event") == "finished"]
+    running = sum(1 for s in jobs.values() if s.get("event") in ("started", "retried"))
+    queued = sum(1 for s in jobs.values() if s.get("event") == "queued")
+    by_status: dict[str, int] = {}
+    for state in finished:
+        status = str(state.get("status"))
+        by_status[status] = by_status.get(status, 0) + 1
+    cache_hits = sum(1 for s in finished if s.get("cache_hit"))
+    total = campaign.get("total")
+    total_jobs = int(total) if isinstance(total, int) else len(jobs)
+    remaining = max(0, total_jobs - len(finished))
+
+    now = time.time() if now_unix is None else now_unix
+    # A live stream measures elapsed against the wall clock; a finished (or
+    # stale) one against its own last record.
+    end_ts = last_ts if (ended or last_ts is None) else max(now, last_ts)
+    elapsed_s = (
+        max(0.0, end_ts - started_ts)
+        if started_ts is not None and end_ts is not None else 0.0
+    )
+    throughput = (len(finished) / elapsed_s) if elapsed_s > 0 and finished else None
+    eta_s = (
+        remaining / throughput
+        if throughput and remaining and not ended else (0.0 if ended else None)
+    )
+    return {
+        **campaign,
+        "total": total_jobs,
+        "queued": queued,
+        "running": running,
+        "finished": len(finished),
+        "remaining": remaining,
+        "by_status": dict(sorted(by_status.items())),
+        "cache_hits": cache_hits,
+        "cache_misses": len(finished) - cache_hits,
+        "retried": retried_events,
+        "elapsed_s": round(elapsed_s, 3),
+        "throughput_jobs_s": (
+            round(throughput, 3) if throughput is not None else None
+        ),
+        "eta_s": round(eta_s, 3) if eta_s is not None else None,
+        "ranks": {
+            str(job): {f"rank{r}": dict(v) for r, v in sorted(job_ranks.items())}
+            for job, job_ranks in ranks.items() if job_ranks
+        },
+        "ended": ended,
+    }
+
+
+def render_status(snapshot: Mapping[str, object]) -> str:
+    """Terminal rendering of one :func:`snapshot_status` result."""
+    by_status = snapshot.get("by_status") or {}
+    status_text = (
+        "  [" + ", ".join(f"{k} {v}" for k, v in by_status.items()) + "]"  # type: ignore[union-attr]
+        if by_status else ""
+    )
+    lines = [
+        f"campaign {snapshot.get('campaign')}  "
+        f"execution={snapshot.get('execution')}  "
+        f"{snapshot.get('total')} jobs  slots={snapshot.get('slots')}",
+        f"progress: {snapshot.get('finished')}/{snapshot.get('total')} finished "
+        f"({snapshot.get('running')} running, {snapshot.get('queued')} queued)"
+        f"{status_text}",
+        f"cache: {snapshot.get('cache_hits')} hits / "
+        f"{snapshot.get('cache_misses')} misses  retries: {snapshot.get('retried')}",
+    ]
+    throughput = snapshot.get("throughput_jobs_s")
+    eta = snapshot.get("eta_s")
+    lines.append(
+        f"elapsed: {snapshot.get('elapsed_s')}s  "
+        f"throughput: {throughput if throughput is not None else 'n/a'} jobs/s  "
+        f"eta: {f'{eta}s' if eta is not None else 'n/a'}"
+    )
+    ranks = snapshot.get("ranks") or {}
+    for job, job_ranks in ranks.items():  # type: ignore[union-attr]
+        parts = ", ".join(
+            f"{rank} {v.get('iteration')}/{v.get('iterations')}"
+            for rank, v in job_ranks.items()
+        )
+        lines.append(f"ranks[{job}]: {parts}")
+    if snapshot.get("ended"):
+        lines.append("campaign finished")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "NULL_PROGRESS",
+    "NullProgress",
+    "ProgressWriter",
+    "STATUS_FILE",
+    "active_progress",
+    "activate_progress",
+    "deactivate_progress",
+    "progress_scope",
+    "read_status",
+    "render_status",
+    "snapshot_status",
+    "status_path",
+]

@@ -50,6 +50,12 @@ from repro.api.runner import (
 )
 from repro.api.spec import ProfileSpec
 from repro.campaign.cache import ResultCache
+from repro.campaign.progress import (
+    NULL_PROGRESS,
+    NullProgress,
+    ProgressWriter,
+    active_progress,
+)
 from repro.campaign.spec import EXECUTION_MODES, CampaignSpec, expand_jobs
 from repro.campaign.store import ResultStore
 from repro.core.serialization import json_sanitize
@@ -271,6 +277,12 @@ class CampaignScheduler:
     trace_dir:
         Where replay-mode workload traces are written; defaults to a
         temporary directory discarded after the run.
+    progress:
+        Optional :class:`~repro.campaign.progress.ProgressWriter` streaming
+        job lifecycle records (queued/started/retried/finished with cache
+        hit/miss attribution) to a ``status.jsonl`` for ``pasta campaign
+        watch``.  When omitted, each run uses the process-wide active bus
+        (a no-op unless one was installed).
     """
 
     def __init__(
@@ -285,6 +297,7 @@ class CampaignScheduler:
         version: Optional[str] = None,
         execution: Optional[str] = None,
         trace_dir: Union[str, Path, None] = None,
+        progress: Union[ProgressWriter, NullProgress, None] = None,
     ) -> None:
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -308,6 +321,10 @@ class CampaignScheduler:
         self.version = version if version is not None else repro.__version__
         self.execution = execution
         self.trace_dir = trace_dir
+        # Explicit writer wins; otherwise each run() picks up whatever bus is
+        # active at that moment (the CLI's --status flag installs one).
+        self.progress = progress
+        self._progress: Union[ProgressWriter, NullProgress] = NULL_PROGRESS
 
     # ------------------------------------------------------------------ #
     # public API
@@ -330,6 +347,13 @@ class CampaignScheduler:
         job_list = expand_jobs(spec)
         telemetry = _active_telemetry()
         telemetry.annotate(campaign=campaign_name, execution=execution)
+        self._progress = (
+            self.progress if self.progress is not None else active_progress()
+        )
+        self._progress.emit(
+            "campaign", event="start", campaign=campaign_name,
+            execution=execution, total=len(job_list), slots=self.jobs,
+        )
         with telemetry.span(
             "campaign.run",
             campaign=campaign_name,
@@ -344,6 +368,10 @@ class CampaignScheduler:
 
             for index, job in enumerate(job_list):
                 digest = job.digest(self.version)
+                self._progress.emit(
+                    "job", event="queued", index=index, job=job.label(),
+                    digest=digest[:12],
+                )
                 # record_to is excluded from the digest (it cannot change the
                 # reports), but a job that asks for a trace file wants that side
                 # artifact produced — never answer it from the cache.
@@ -376,6 +404,11 @@ class CampaignScheduler:
         result.workloads_recorded = (
             workloads_recorded if execution == "replay" else result.executed
         )
+        self._progress.emit(
+            "campaign", event="end", campaign=campaign_name,
+            duration_s=round(result.duration_s, 3), executed=result.executed,
+            cached=result.cached, failed=result.failed,
+        )
         return result
 
     def _run_pending(
@@ -396,6 +429,7 @@ class CampaignScheduler:
             recordings = [entry for entry in pending if entry[1].record_to is not None]
             replayable = [entry for entry in pending if entry[1].record_to is None]
             for index, job, digest in recordings:
+                self._emit_job(index, job, digest, "started")
                 self._record_outcome(
                     outcomes, index,
                     self._run_one_inline(job, digest, runner=execute_payload),
@@ -414,6 +448,7 @@ class CampaignScheduler:
             )
             if inline:
                 for index, job, digest in pending:
+                    self._emit_job(index, job, digest, "started")
                     self._record_outcome(
                         outcomes, index, self._run_one_inline(job, digest), campaign_name
                     )
@@ -490,6 +525,7 @@ class CampaignScheduler:
                 reader = TraceReader(trace_path)
                 events = list(reader.events())
                 for index, job, digest in members:
+                    self._emit_job(index, job, digest, "started")
                     job_started = time.monotonic()
                     try:
                         record = replay_payload(job.to_dict(), reader, summary,
@@ -568,6 +604,7 @@ class CampaignScheduler:
             while queue or in_flight:
                 while queue and len(in_flight) < slots:
                     index, job, digest = queue.pop(0)
+                    self._emit_job(index, job, digest, "started")
                     in_flight[self._submit(pool, job)] = (index, job, digest, time.monotonic())
                 queue_depth.set(len(queue))
                 in_flight_gauge.set(len(in_flight))
@@ -635,6 +672,14 @@ class CampaignScheduler:
     # ------------------------------------------------------------------ #
     # bookkeeping
     # ------------------------------------------------------------------ #
+    def _emit_job(
+        self, index: int, job: ProfileSpec, digest: str, event: str
+    ) -> None:
+        """One job lifecycle record on the progress stream."""
+        self._progress.emit(
+            "job", event=event, index=index, job=job.label(), digest=digest[:12]
+        )
+
     def _ok_outcome(
         self, job: ProfileSpec, digest: str, record: dict[str, object], duration_s: float
     ) -> JobOutcome:
@@ -665,6 +710,18 @@ class CampaignScheduler:
         # Re-attempts beyond the first try: a success after N failures retried
         # N times; a failure's final attempt was not itself a retry.
         retries = len(outcome.errors) if outcome.ok else max(0, len(outcome.errors) - 1)
+        for entry in outcome.errors[:retries]:
+            self._progress.emit(
+                "job", event="retried", index=index, job=outcome.job.label(),
+                digest=outcome.digest[:12], attempt=entry.get("attempt"),
+                error=entry.get("error"),
+            )
+        self._progress.emit(
+            "job", event="finished", index=index, job=outcome.job.label(),
+            digest=outcome.digest[:12], status=outcome.status,
+            cache_hit=outcome.cached, duration_s=round(outcome.duration_s, 6),
+            attempts=outcome.attempts, error=outcome.error,
+        )
         telemetry = _active_telemetry()
         if telemetry.enabled:
             # One synthetic lifecycle span per job, timed by the scheduler:

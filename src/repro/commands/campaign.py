@@ -20,6 +20,13 @@ Subcommands
 
         pasta campaign diff baseline.jsonl current.jsonl --threshold 0.1
 
+``watch``
+    Tail a running campaign's ``status.jsonl`` (written by ``run --status``)
+    and render completion, cache attribution, throughput and ETA live::
+
+        pasta campaign run sweep.json --status runs/ &
+        pasta campaign watch runs/
+
 ``clean``
     Drop the result cache (and optionally a store)::
 
@@ -45,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import time
 
 from repro.campaign.aggregate import (
     GROUP_FIELDS,
@@ -54,6 +62,14 @@ from repro.campaign.aggregate import (
     rollup,
 )
 from repro.campaign.cache import ResultCache
+from repro.campaign.progress import (
+    ProgressWriter,
+    progress_scope,
+    read_status,
+    render_status,
+    snapshot_status,
+    status_path,
+)
 from repro.campaign.scheduler import CampaignScheduler
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
@@ -93,6 +109,9 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                           "(default: a discarded temporary directory)")
     run.add_argument("--dry-run", action="store_true",
                      help="print the expanded job grid and exit")
+    run.add_argument("--status", default=None, metavar="DIR",
+                     help="stream job lifecycle records to DIR/status.jsonl "
+                          "for `pasta campaign watch`")
     run.add_argument("--json", action="store_true", help="emit the summary as JSON")
     from repro.commands import add_observability_flags
 
@@ -115,6 +134,20 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                       help="exit non-zero when any metric regresses")
     diff.add_argument("--json", action="store_true", help="emit the diff as JSON")
     diff.set_defaults(campaign_handler=_cmd_diff)
+
+    watch = sub.add_parser(
+        "watch", help="render live progress from a campaign's status.jsonl")
+    watch.add_argument("target", help="status.jsonl file, or its directory")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between refreshes (default: 1.0)")
+    watch.add_argument("--once", action="store_true",
+                       help="render one snapshot and exit")
+    watch.add_argument("--timeout", type=float, default=None,
+                       help="give up after this many seconds if the campaign "
+                            "has not finished")
+    watch.add_argument("--json", action="store_true",
+                       help="emit snapshots as JSON instead of text")
+    watch.set_defaults(campaign_handler=_cmd_watch)
 
     clean = sub.add_parser("clean", help="drop the result cache")
     clean.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -145,7 +178,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             execution=args.execution,
             trace_dir=args.trace_dir,
         )
-    result = scheduler.run(spec)
+    if args.status:
+        # Scoped (not passed to the scheduler) so the api runner's in-job
+        # events — per-rank parallel progress — reach the same stream.
+        with progress_scope(ProgressWriter(args.status)):
+            result = scheduler.run(spec)
+    else:
+        result = scheduler.run(spec)
     summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -206,6 +245,38 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     if args.fail_on_regression and result["regressions"]:
         return 1
     return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    path = status_path(args.target)
+    deadline = (
+        time.monotonic() + args.timeout if args.timeout is not None else None
+    )
+    # Wait for the first record if the campaign has not started writing yet.
+    while not path.exists():
+        if args.once:
+            raise ReproError(f"no status file at {path}")
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ReproError(f"no status file at {path} after {args.timeout}s")
+        time.sleep(min(args.interval, 0.2))
+    last_rendered: str | None = None
+    while True:
+        snapshot = snapshot_status(read_status(path))
+        rendered = (
+            json.dumps(snapshot, indent=2, sort_keys=True) if args.json
+            else render_status(snapshot)
+        )
+        if rendered != last_rendered:
+            if last_rendered is not None and not args.json:
+                print()
+            print(rendered)
+            last_rendered = rendered
+        if args.once or snapshot.get("ended"):
+            return 0
+        if deadline is not None and time.monotonic() >= deadline:
+            print(f"watch timeout after {args.timeout}s (campaign still running)")
+            return 1
+        time.sleep(args.interval)
 
 
 def _cmd_clean(args: argparse.Namespace) -> int:

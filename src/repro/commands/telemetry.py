@@ -1,4 +1,4 @@
-"""``pasta telemetry``: inspect the profiler's own telemetry files.
+"""``pasta telemetry``: inspect, export and compare the profiler's telemetry.
 
 Subcommands
 -----------
@@ -8,22 +8,47 @@ Subcommands
     of one ``telemetry.jsonl``::
 
         pasta telemetry summary runs/telemetry.jsonl
-        pasta telemetry summary runs/            # <dir>/telemetry.jsonl
+        pasta telemetry summary runs/ --format json
 
 ``top``
     Spans ranked by *self* time (wall time not covered by child spans) —
     where the profiler actually spent its clock::
 
-        pasta telemetry top runs/ -n 15
+        pasta telemetry top runs/ -n 15 --format json
 
 ``export``
-    The raw records as a JSON array, or the reconstructed span tree as
-    indented text::
+    Convert one run (or several, merged) into an analysis format::
 
-        pasta telemetry export runs/ > records.json
+        pasta telemetry export runs/ --format chrome -o trace.chrome.json
+        pasta telemetry export rank0/ rank1/ --format chrome -o merged.json
+        pasta telemetry export runs/ --format folded | flamegraph.pl > f.svg
+        pasta telemetry export runs/ --format jsonl
         pasta telemetry export runs/ --tree
 
-All three read files produced by ``--telemetry DIR`` on
+    ``chrome`` produces Chrome Trace Event Format (open in Perfetto or
+    ``chrome://tracing``): spans as duration events, per-rank spans in their
+    own thread lanes, metric counters as counter tracks.  ``folded`` is
+    Brendan-Gregg folded stacks for ``flamegraph.pl``.  Multiple targets
+    merge into one document (one pid per run for chrome, summed stacks for
+    folded); ``json``/``jsonl``/``tree`` accept a single target.
+
+``list``
+    Index every telemetry run under a directory (run id, rank, span count,
+    wall time, spec digest, clean-close state)::
+
+        pasta telemetry list runs/
+
+``diff``
+    Compare two runs span-name by span-name and counter by counter; exits
+    non-zero when any span's wall time regressed past ``--threshold``, which
+    makes it a CI gate::
+
+        pasta telemetry diff baseline/ current/ --threshold 0.10
+        pasta telemetry diff 8f3a main-runs/current --root runs/
+
+    Runs are named by path or by run-id prefix (resolved under ``--root``).
+
+All subcommands read files produced by ``--telemetry DIR`` on
 ``pasta profile | campaign run | trace record | trace replay`` (or by the
 :class:`repro.obs.Telemetry` API directly), including files from crashed
 runs — whatever was flushed before the crash is analysable.
@@ -33,8 +58,18 @@ from __future__ import annotations
 
 import argparse
 import json
+from pathlib import Path
+from typing import Optional
 
 from repro.errors import ReproError
+from repro.obs.export import export_chrome, export_folded
+from repro.obs.history import (
+    RunIndex,
+    diff_runs,
+    render_diff,
+    render_run_list,
+    resolve_run_records,
+)
 from repro.obs.report import (
     render_summary,
     render_top,
@@ -45,6 +80,14 @@ from repro.obs.report import (
 from repro.obs.sink import read_records, telemetry_path
 
 
+def _add_format_flag(parser: argparse.ArgumentParser, choices: list[str]) -> None:
+    """``--format`` plus the original ``--json`` spelling as a const alias."""
+    parser.add_argument("--format", choices=choices, default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--json", action="store_const", dest="format",
+                        const="json", help="shorthand for --format json")
+
+
 def configure_parser(parser: argparse.ArgumentParser) -> None:
     """Populate the ``telemetry`` subcommand's nested subcommands."""
     sub = parser.add_subparsers(dest="telemetry_command", required=True)
@@ -52,24 +95,61 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     summary = sub.add_parser(
         "summary", help="summarise one telemetry file (coverage, spans, metrics)")
     summary.add_argument("target", help="telemetry.jsonl file, or its directory")
-    summary.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    _add_format_flag(summary, ["text", "json"])
     summary.set_defaults(telemetry_handler=_cmd_summary)
 
     top = sub.add_parser("top", help="rank spans by self time")
     top.add_argument("target", help="telemetry.jsonl file, or its directory")
     top.add_argument("-n", "--limit", type=int, default=10,
                      help="rows to show (default: 10)")
-    top.add_argument("--json", action="store_true", help="emit the ranking as JSON")
+    _add_format_flag(top, ["text", "json"])
     top.set_defaults(telemetry_handler=_cmd_top)
 
     export = sub.add_parser(
-        "export", help="dump the raw records (or the span tree) of one file")
-    export.add_argument("target", help="telemetry.jsonl file, or its directory")
-    export.add_argument("--tree", action="store_true",
-                        help="render the reconstructed span tree instead of JSON")
+        "export", help="convert telemetry runs to chrome/folded/json formats")
+    export.add_argument("targets", nargs="+", metavar="target",
+                        help="telemetry.jsonl file(s), or their directories "
+                             "(several merge into one chrome/folded document)")
+    export.add_argument("--format",
+                        choices=["chrome", "folded", "json", "jsonl", "tree"],
+                        default="json",
+                        help="chrome = Trace Event Format (Perfetto), folded = "
+                             "flamegraph.pl stacks, json = record array, jsonl "
+                             "= raw lines, tree = indented span tree "
+                             "(default: json)")
+    export.add_argument("--tree", action="store_const", dest="format",
+                        const="tree", help="shorthand for --format tree")
+    export.add_argument("-o", "--output", default=None,
+                        help="write to this file instead of stdout")
     export.add_argument("--max-depth", type=int, default=None,
-                        help="limit --tree output to this span depth")
+                        help="limit --format tree output to this span depth")
+    export.add_argument("--no-validate", action="store_true",
+                        help="skip the strict Chrome Trace schema check")
     export.set_defaults(telemetry_handler=_cmd_export)
+
+    list_cmd = sub.add_parser(
+        "list", help="index every telemetry run under a directory")
+    list_cmd.add_argument("root", nargs="?", default=".",
+                          help="directory to scan for *.jsonl telemetry runs "
+                               "(default: .)")
+    _add_format_flag(list_cmd, ["text", "json"])
+    list_cmd.set_defaults(telemetry_handler=_cmd_list)
+
+    diff = sub.add_parser(
+        "diff", help="per-span/per-counter comparison of two telemetry runs")
+    diff.add_argument("baseline", help="baseline run: a path or run-id prefix")
+    diff.add_argument("current", help="current run: a path or run-id prefix")
+    diff.add_argument("--root", default=".",
+                      help="directory run-id prefixes are resolved under "
+                           "(default: .)")
+    diff.add_argument("--threshold", type=float, default=0.05,
+                      help="wall-time regression threshold as a fraction "
+                           "(default: 0.05 = +5%%)")
+    diff.add_argument("--min-wall-ms", type=float, default=1.0,
+                      help="ignore spans whose baseline wall time is below "
+                           "this many milliseconds (default: 1.0)")
+    _add_format_flag(diff, ["text", "json"])
+    diff.set_defaults(telemetry_handler=_cmd_diff)
 
 
 def _load(target: str) -> list[dict[str, object]]:
@@ -81,7 +161,7 @@ def _load(target: str) -> list[dict[str, object]]:
 
 def _cmd_summary(args: argparse.Namespace) -> int:
     summary = summarize(_load(args.target))
-    if args.json:
+    if args.format == "json":
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(render_summary(summary))
@@ -90,20 +170,70 @@ def _cmd_summary(args: argparse.Namespace) -> int:
 
 def _cmd_top(args: argparse.Namespace) -> int:
     ranked = top_spans(_load(args.target), limit=args.limit)
-    if args.json:
+    if args.format == "json":
         print(json.dumps(ranked, indent=2, sort_keys=True))
     else:
         print(render_top(ranked))
     return 0
 
 
-def _cmd_export(args: argparse.Namespace) -> int:
-    records = _load(args.target)
-    if args.tree:
-        print(render_tree(records, max_depth=args.max_depth))
+def _emit(text: str, output: Optional[str]) -> None:
+    if output is None:
+        print(text)
     else:
-        print(json.dumps(records, indent=2, sort_keys=True))
+        Path(output).write_text(text + "\n", encoding="utf-8")
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    runs = [_load(target) for target in args.targets]
+    if args.format == "chrome":
+        document = export_chrome(runs, validate=not args.no_validate)
+        _emit(json.dumps(document, indent=2, sort_keys=True), args.output)
+        return 0
+    if args.format == "folded":
+        _emit(export_folded(runs), args.output)
+        return 0
+    if len(runs) > 1:
+        raise ReproError(
+            f"--format {args.format} reads a single run; "
+            f"got {len(runs)} targets (merging is a chrome/folded feature)"
+        )
+    records = runs[0]
+    if args.format == "tree":
+        _emit(render_tree(records, max_depth=args.max_depth), args.output)
+    elif args.format == "jsonl":
+        _emit("\n".join(json.dumps(r, sort_keys=True) for r in records),
+              args.output)
+    else:
+        _emit(json.dumps(records, indent=2, sort_keys=True), args.output)
     return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    index = RunIndex(args.root)
+    if args.format == "json":
+        print(json.dumps([entry.to_dict() for entry in index],
+                         indent=2, sort_keys=True))
+    else:
+        print(render_run_list(index.entries))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    _, baseline = resolve_run_records(args.baseline, root=args.root)
+    _, current = resolve_run_records(args.current, root=args.root)
+    result = diff_runs(
+        baseline, current,
+        threshold=args.threshold,
+        min_wall_ns=int(args.min_wall_ms * 1e6),
+    )
+    if args.format == "json":
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(render_diff(result))
+    # Non-zero exit on regression is the point: `pasta telemetry diff` is a
+    # CI gate (see examples/telemetry_regression_gate.py).
+    return 1 if result["regressions"] else 0
 
 
 def cmd_telemetry(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:

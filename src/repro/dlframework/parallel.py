@@ -20,7 +20,7 @@ send/recv for PP.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import FrameworkError
 from repro.dlframework import ops
@@ -98,13 +98,26 @@ class ParallelRunner:
         """Run one training iteration across all ranks."""
         raise NotImplementedError
 
-    def run(self, iterations: int = 1) -> ParallelRunResult:
-        """Run ``iterations`` training iterations; returns the final result."""
+    def run(
+        self,
+        iterations: int = 1,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> ParallelRunResult:
+        """Run ``iterations`` training iterations; returns the final result.
+
+        ``progress(completed, iterations)`` is invoked after each iteration —
+        the hook live progress streaming (``pasta campaign watch``) uses to
+        report per-rank advancement without the runner knowing about it.
+        """
         if iterations < 1:
             raise FrameworkError(f"iterations must be >= 1, got {iterations}")
         result = self.run_iteration()
-        for _ in range(iterations - 1):
+        if progress is not None:
+            progress(1, iterations)
+        for completed in range(2, iterations + 1):
             result = self.run_iteration()
+            if progress is not None:
+                progress(completed, iterations)
         return result
 
     @property

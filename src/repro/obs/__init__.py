@@ -11,12 +11,34 @@ Three pieces, one facade:
   plus the process-wide active handle (:func:`active` / :func:`activate`),
   defaulting to a shared no-op so disabled telemetry costs ~nothing;
 * :mod:`repro.obs.report` — read-side summary/top/tree analysis;
+* :mod:`repro.obs.export` — Chrome Trace Event Format (Perfetto) and
+  folded-stack (flamegraph) exporters plus a strict trace validator;
+* :mod:`repro.obs.history` — a run index over a telemetry root and
+  cross-run regression diffs (``pasta telemetry list | diff``);
 * :mod:`repro.obs.log` — ``repro.*``-namespaced stdlib logging.
 
 Instrumented layers call ``obs.active().span(...)`` (or accept an explicit
 ``telemetry=`` handle) and never check whether telemetry is on.
 """
 
+from repro.obs.export import (
+    chrome_trace,
+    export_chrome,
+    export_folded,
+    folded_stacks,
+    merge_folded,
+    render_folded,
+    validate_chrome_trace,
+)
+from repro.obs.history import (
+    RunEntry,
+    RunIndex,
+    diff_runs,
+    index_run,
+    render_diff,
+    render_run_list,
+    resolve_run_records,
+)
 from repro.obs.log import configure_logging, get_logger, parse_level, reset_logging
 from repro.obs.metrics import (
     DURATION_BUCKETS_S,
@@ -30,6 +52,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.report import (
     SpanNode,
+    aggregate_spans,
     build_tree,
     manifest_of,
     metrics_of,
@@ -76,6 +99,8 @@ __all__ = [
     "NullInstrument",
     "NullSpan",
     "NullTelemetry",
+    "RunEntry",
+    "RunIndex",
     "Span",
     "SpanNode",
     "SpanTracer",
@@ -85,19 +110,31 @@ __all__ = [
     "activate",
     "activated",
     "active",
+    "aggregate_spans",
     "build_tree",
+    "chrome_trace",
     "configure_logging",
     "deactivate",
+    "diff_runs",
+    "export_chrome",
+    "export_folded",
+    "folded_stacks",
     "from_env",
     "get_logger",
+    "index_run",
     "manifest_of",
+    "merge_folded",
     "metrics_of",
     "parse_level",
     "read_records",
+    "render_diff",
+    "render_folded",
+    "render_run_list",
     "render_summary",
     "render_top",
     "render_tree",
     "reset_logging",
+    "resolve_run_records",
     "self_overhead_of",
     "span_records",
     "summarize",

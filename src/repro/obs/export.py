@@ -1,0 +1,407 @@
+"""Telemetry exporters: Chrome Trace Event Format and folded flamegraph stacks.
+
+The sink writes an append-only JSONL record stream; this module converts it
+into the two interchange formats the wider profiling ecosystem already
+renders:
+
+* :func:`chrome_trace` — the Chrome Trace Event Format (the ``traceEvents``
+  JSON object), openable in Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``.  Spans become complete duration events (``ph="X"``),
+  per-rank span subtrees map to their own ``tid`` lane (named via metadata
+  events), point-in-time telemetry events become instant events, and the
+  final metrics counters become counter (``ph="C"``) series.  Several runs —
+  e.g. per-rank telemetry files from a distributed campaign — merge into one
+  coherent trace, one process lane group per run.
+* :func:`folded_stacks` / :func:`render_folded` — Brendan Gregg's folded
+  stack format (``root;child;leaf <weight>``), the input to
+  ``flamegraph.pl`` and every flamegraph renderer derived from it.  Weights
+  are each stack's *self* time in microseconds, so the rendered flame sums
+  to the run's measured wall time.
+
+Timestamps: spans record a wall-clock ``start_unix`` (µs precision) and a
+monotonic ``wall_ns`` duration.  Rounding can therefore make a child appear
+to start marginally before its parent; export clamps every span into its
+parent's interval so the emitted trace is *monotonically consistent* —
+:func:`validate_chrome_trace` enforces exactly that property (plus the
+required field schema) and is the strict check the test suite and CI run
+against every exported trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.report import SpanNode, build_tree, manifest_of, metrics_of
+
+#: ``tid`` of the main lane of each run (rank lanes are ``rank + 1``).
+MAIN_LANE = 0
+
+
+def _lane_of(node: SpanNode, parent_lane: int) -> int:
+    """A span's ``tid`` lane: its ``rank`` attr (if any) or its parent's lane."""
+    attrs = node.record.get("attrs")
+    if isinstance(attrs, Mapping):
+        rank = attrs.get("rank")
+        if isinstance(rank, int) and not isinstance(rank, bool) and rank >= 0:
+            return rank + 1
+    return parent_lane
+
+
+def _span_events(
+    roots: Sequence[SpanNode],
+    *,
+    pid: int,
+    base_unix: float,
+) -> tuple[list[dict[str, object]], set[int]]:
+    """Complete (``ph="X"``) events for one run's span forest.
+
+    Children are clamped into their parent's ``[ts, ts + dur]`` interval so
+    wall-clock rounding can never produce an out-of-order lane.
+    """
+    events: list[dict[str, object]] = []
+    lanes: set[int] = {MAIN_LANE}
+
+    def visit(node: SpanNode, lane: int, lo_us: float, hi_us: float) -> None:
+        lane = _lane_of(node, lane)
+        lanes.add(lane)
+        start_unix = float(node.record.get("start_unix") or base_unix)
+        ts = (start_unix - base_unix) * 1e6
+        dur = node.wall_ns / 1e3
+        ts = min(max(ts, lo_us), hi_us)
+        dur = max(0.0, min(dur, hi_us - ts))
+        attrs = node.record.get("attrs") or {}
+        counters = node.record.get("counters") or {}
+        args: dict[str, object] = {
+            "span_id": node.record.get("span_id"),
+            "status": node.record.get("status"),
+        }
+        if node.record.get("cpu_ns") is not None:
+            args["cpu_ns"] = node.record.get("cpu_ns")
+        if node.record.get("error"):
+            args["error"] = node.record.get("error")
+        args.update(dict(attrs))  # type: ignore[arg-type]
+        if counters:
+            args["counters"] = dict(counters)  # type: ignore[arg-type]
+        events.append({
+            "name": node.name,
+            "cat": node.name.split(".", 1)[0] or "span",
+            "ph": "X",
+            "ts": round(ts, 3),
+            "dur": round(dur, 3),
+            "pid": pid,
+            "tid": lane,
+            "args": args,
+        })
+        for child in node.children:
+            visit(child, lane, ts, ts + dur)
+
+    for root in roots:
+        visit(root, MAIN_LANE, 0.0, float("inf"))
+    return events, lanes
+
+
+def _counter_events(
+    records: Iterable[Mapping[str, object]],
+    *,
+    pid: int,
+    start_ts: float,
+    end_ts: float,
+) -> list[dict[str, object]]:
+    """Counter (``ph="C"``) series from the run's final metrics snapshot.
+
+    The snapshot is written once at close, so each counter becomes a
+    two-point series — zero at the run origin, its final value at the run's
+    end — which Perfetto renders as a track per counter name.
+    """
+    snapshot = metrics_of(records)
+    if not snapshot:
+        return []
+    counters = snapshot.get("counters")
+    if not isinstance(counters, Mapping) or not counters:
+        return []
+    events: list[dict[str, object]] = []
+    for name in sorted(counters):
+        for ts, value in ((round(start_ts, 3), 0), (round(end_ts, 3), counters[name])):
+            events.append({
+                "name": str(name),
+                "cat": "metrics",
+                "ph": "C",
+                "ts": ts,
+                "pid": pid,
+                "tid": MAIN_LANE,
+                "args": {"value": value},
+            })
+    return events
+
+
+def _instant_events(
+    records: Iterable[Mapping[str, object]],
+    *,
+    pid: int,
+    base_unix: float,
+) -> list[dict[str, object]]:
+    """Instant (``ph="i"``) events from point-in-time telemetry annotations."""
+    events: list[dict[str, object]] = []
+    for record in records:
+        if record.get("type") != "event":
+            continue
+        ts = (float(record.get("ts_unix") or base_unix) - base_unix) * 1e6
+        events.append({
+            "name": str(record.get("name")),
+            "cat": "event",
+            "ph": "i",
+            "s": "p",
+            "ts": round(max(0.0, ts), 3),
+            "pid": pid,
+            "tid": MAIN_LANE,
+            "args": dict(record.get("attrs") or {}),  # type: ignore[arg-type]
+        })
+    return events
+
+
+def _metadata_events(
+    *, pid: int, process_name: str, lanes: Iterable[int]
+) -> list[dict[str, object]]:
+    events: list[dict[str, object]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": MAIN_LANE,
+        "args": {"name": process_name},
+    }]
+    for lane in sorted(set(lanes)):
+        label = "main" if lane == MAIN_LANE else f"rank {lane - 1}"
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": lane,
+            "args": {"name": label},
+        })
+    return events
+
+
+def chrome_trace(
+    runs: Sequence[list[dict[str, object]]],
+) -> dict[str, object]:
+    """Convert one or more telemetry record lists into one Chrome trace.
+
+    Each element of ``runs`` is the full record list of one telemetry file
+    (:func:`repro.obs.sink.read_records`); passing several merges them into
+    one trace with one process lane group per run, aligned on a shared
+    wall-clock origin — which is how per-rank telemetry files of one
+    distributed run become a single coherent timeline.
+    """
+    if not runs:
+        raise ReproError("chrome_trace needs at least one telemetry record list")
+    manifests = [manifest_of(records) for records in runs]
+    base_unix = min(
+        float(m.get("created_unix") or 0.0) for m in manifests
+    )
+    events: list[dict[str, object]] = []
+    seen_pids: set[int] = set()
+    for index, (records, manifest) in enumerate(zip(runs, manifests)):
+        pid = int(manifest.get("pid") or 0)  # type: ignore[arg-type]
+        # Two runs from the same process (or a recycled pid) must not share a
+        # lane group, or their span stacks would interleave incoherently.
+        while pid in seen_pids:
+            pid += 1
+        seen_pids.add(pid)
+        run_base = float(manifest.get("created_unix") or base_unix)
+        offset_us = (run_base - base_unix) * 1e6
+        roots = build_tree(records)
+        span_events, lanes = _span_events(roots, pid=pid, base_unix=base_unix)
+        end_ts = max(
+            (float(e["ts"]) + float(e["dur"]) for e in span_events),  # type: ignore[arg-type]
+            default=offset_us,
+        )
+        rank = manifest.get("rank")
+        run_id = manifest.get("run_id")
+        process_name = f"pasta run {run_id} (rank {rank})"
+        events.extend(_metadata_events(
+            pid=pid, process_name=process_name, lanes=lanes))
+        events.extend(span_events)
+        events.extend(_instant_events(records, pid=pid, base_unix=base_unix))
+        events.extend(_counter_events(
+            records, pid=pid, start_ts=max(0.0, offset_us), end_ts=end_ts))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "pasta telemetry export --format chrome",
+            "runs": [
+                {
+                    "run_id": m.get("run_id"),
+                    "rank": m.get("rank"),
+                    "repro_version": m.get("repro_version"),
+                    "provenance": dict(m.get("provenance") or {}),  # type: ignore[arg-type]
+                }
+                for m in manifests
+            ],
+        },
+    }
+
+
+#: Fields every complete ("X") event must carry, with their required types.
+_X_FIELDS = (("name", str), ("ph", str), ("ts", (int, float)),
+             ("dur", (int, float)), ("pid", int), ("tid", int))
+
+
+def validate_chrome_trace(document: Mapping[str, object]) -> dict[str, int]:
+    """Strict-schema check of an exported Chrome trace; raises on violation.
+
+    Verifies the container shape, the per-event required fields, and — the
+    property wall-clock rounding most easily breaks — that within every
+    ``(pid, tid)`` lane the duration events are monotonically consistent:
+    sorted by start, each pair of spans is either disjoint or properly
+    nested, never partially overlapping.  Returns counts of what it checked.
+    """
+    trace_events = document.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise ReproError("chrome trace must carry a 'traceEvents' list")
+    counts = {"events": len(trace_events), "spans": 0, "counters": 0,
+              "instants": 0, "metadata": 0}
+    lanes: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    for position, event in enumerate(trace_events):
+        if not isinstance(event, Mapping):
+            raise ReproError(f"traceEvents[{position}] is not an object")
+        ph = event.get("ph")
+        if ph == "M":
+            counts["metadata"] += 1
+            continue
+        if ph == "C":
+            counts["counters"] += 1
+            if "value" not in (event.get("args") or {}):
+                raise ReproError(
+                    f"counter event {event.get('name')!r} lacks args.value")
+            continue
+        if ph == "i":
+            counts["instants"] += 1
+            continue
+        if ph != "X":
+            raise ReproError(
+                f"traceEvents[{position}] has unsupported ph {ph!r}")
+        counts["spans"] += 1
+        for field_name, expected in _X_FIELDS:
+            value = event.get(field_name)
+            if not isinstance(value, expected) or isinstance(value, bool):
+                raise ReproError(
+                    f"span event {event.get('name')!r} field {field_name!r} "
+                    f"is {value!r}, expected {expected}"
+                )
+        ts = float(event["ts"])  # type: ignore[arg-type]
+        dur = float(event["dur"])  # type: ignore[arg-type]
+        if ts < 0 or dur < 0:
+            raise ReproError(
+                f"span event {event.get('name')!r} has negative ts/dur "
+                f"({ts}, {dur})"
+            )
+        lanes.setdefault(
+            (int(event["pid"]), int(event["tid"])), []  # type: ignore[arg-type]
+        ).append((ts, ts + dur))
+    for (pid, tid), intervals in lanes.items():
+        # Outermost first on ties: a parent clamped to share its child's
+        # start must enter the stack before the child.
+        intervals.sort(key=lambda iv: (iv[0], -iv[1]))
+        open_stack: list[tuple[float, float]] = []
+        for start, end in intervals:
+            while open_stack and start >= open_stack[-1][1]:
+                open_stack.pop()
+            if open_stack and end > open_stack[-1][1]:
+                raise ReproError(
+                    f"lane pid={pid} tid={tid} has partially overlapping "
+                    f"spans: ({start}, {end}) crosses the end of "
+                    f"({open_stack[-1][0]}, {open_stack[-1][1]})"
+                )
+            open_stack.append((start, end))
+    return counts
+
+
+# ---------------------------------------------------------------------- #
+# folded flamegraph stacks
+# ---------------------------------------------------------------------- #
+def folded_stacks(
+    records: list[dict[str, object]],
+    *,
+    rank_frames: bool = True,
+) -> dict[str, int]:
+    """Aggregate the span tree into folded stacks (stack path → self µs).
+
+    Each span contributes its *self* wall time (wall minus children) to the
+    semicolon-joined path of span names from its root, so the flame's total
+    width equals the run's measured wall time.  With ``rank_frames`` (the
+    default) a span carrying a ``rank`` attribute gets a synthetic
+    ``rank N`` frame inserted above it, splitting multi-rank runs into
+    per-rank sub-flames.
+    """
+    stacks: dict[str, int] = {}
+
+    def visit(node: SpanNode, prefix: str) -> None:
+        frame = node.name.replace(";", ":") or "(unnamed)"
+        if rank_frames:
+            attrs = node.record.get("attrs")
+            if isinstance(attrs, Mapping):
+                rank = attrs.get("rank")
+                if isinstance(rank, int) and not isinstance(rank, bool):
+                    frame = f"rank {rank};{frame}"
+        stack = f"{prefix};{frame}" if prefix else frame
+        self_us = round(node.self_wall_ns / 1e3)
+        if self_us > 0:
+            stacks[stack] = stacks.get(stack, 0) + self_us
+        for child in node.children:
+            visit(child, stack)
+
+    for root in build_tree(records):
+        visit(root, "")
+    return stacks
+
+
+def render_folded(stacks: Mapping[str, int]) -> str:
+    """Render folded stacks as ``flamegraph.pl`` input lines."""
+    return "\n".join(f"{stack} {weight}" for stack, weight in sorted(stacks.items()))
+
+
+def merge_folded(per_run: Sequence[Mapping[str, int]]) -> dict[str, int]:
+    """Sum folded stacks across runs (e.g. per-rank telemetry files)."""
+    merged: dict[str, int] = {}
+    for stacks in per_run:
+        for stack, weight in stacks.items():
+            merged[stack] = merged.get(stack, 0) + int(weight)
+    return merged
+
+
+def export_chrome(
+    runs: Sequence[list[dict[str, object]]],
+    *,
+    validate: bool = True,
+) -> dict[str, object]:
+    """One-call export: build (and by default validate) a Chrome trace."""
+    document = chrome_trace(runs)
+    if validate:
+        validate_chrome_trace(document)
+    return document
+
+
+def export_folded(
+    runs: Sequence[list[dict[str, object]]],
+    *,
+    rank_frames: bool = True,
+) -> str:
+    """One-call export: merged folded-stack text for one or more runs."""
+    return render_folded(
+        merge_folded([folded_stacks(records, rank_frames=rank_frames)
+                      for records in runs])
+    )
+
+
+__all__ = [
+    "MAIN_LANE",
+    "chrome_trace",
+    "export_chrome",
+    "export_folded",
+    "folded_stacks",
+    "merge_folded",
+    "render_folded",
+    "validate_chrome_trace",
+]

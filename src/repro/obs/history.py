@@ -1,0 +1,370 @@
+"""Cross-run telemetry history: a run index and regression diffs.
+
+One telemetry run is one JSONL file; a campaign of runs leaves a directory
+tree of them.  This module makes that history queryable and comparable:
+
+* :class:`RunIndex` — scans a root directory for telemetry files and
+  indexes each by its manifest (``run_id``, creation time, rank, and the
+  provenance the sink accumulated — most importantly the ProfileSpec
+  digest).  ``pasta telemetry list`` renders it; :meth:`RunIndex.resolve`
+  turns a run-id prefix (or a literal path) back into a file.
+* :func:`diff_runs` — compare two runs span-name by span-name (wall and CPU
+  time, counts, self time) and counter by counter, flagging regressions
+  past a configurable threshold.  ``pasta telemetry diff A B --threshold``
+  exits non-zero when anything regressed, which is the whole CI-gate story:
+  record telemetry on main, record it on the branch, diff.
+
+Two runs are *comparable* when their provenance carries the same spec
+digest — same workload, same tools, same knobs, same package version.  The
+diff still runs (and says so) when the digests differ; the flag exists so a
+gate can refuse to compare apples to oranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.errors import ReproError
+from repro.obs.report import (
+    aggregate_spans,
+    manifest_of,
+    metrics_of,
+    self_overhead_of,
+    span_records,
+)
+from repro.obs.sink import read_records
+
+#: Spans whose baseline wall time is below this floor are never flagged as
+#: regressions — microsecond-scale spans are all jitter, no signal.
+MIN_REGRESSION_WALL_NS = 1_000_000
+
+
+@dataclass
+class RunEntry:
+    """One indexed telemetry run (manifest identity + cheap aggregates)."""
+
+    path: Path
+    run_id: str
+    created_unix: float
+    rank: int
+    pid: int
+    repro_version: str
+    provenance: dict[str, object] = field(default_factory=dict)
+    spans: int = 0
+    wall_ns: int = 0
+    errors: int = 0
+    closed: bool = False
+
+    @property
+    def spec_digest(self) -> Optional[str]:
+        """The ProfileSpec digest the run annotated (None when absent)."""
+        digest = self.provenance.get("spec_digest")
+        return str(digest) if digest is not None else None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": str(self.path),
+            "run_id": self.run_id,
+            "created_unix": self.created_unix,
+            "rank": self.rank,
+            "pid": self.pid,
+            "repro_version": self.repro_version,
+            "provenance": dict(self.provenance),
+            "spec_digest": self.spec_digest,
+            "spans": self.spans,
+            "wall_ns": self.wall_ns,
+            "errors": self.errors,
+            "closed": self.closed,
+        }
+
+
+def index_run(path: Union[str, Path]) -> RunEntry:
+    """Index one telemetry file (raises :class:`ReproError` when it isn't one)."""
+    path = Path(path)
+    records = read_records(path)
+    manifest = manifest_of(records)
+    spans = span_records(records)
+    roots_wall = sum(
+        int(s.get("wall_ns") or 0) for s in spans if s.get("parent_id") is None
+    )
+    return RunEntry(
+        path=path,
+        run_id=str(manifest.get("run_id")),
+        created_unix=float(manifest.get("created_unix") or 0.0),
+        rank=int(manifest.get("rank") or 0),  # type: ignore[arg-type]
+        pid=int(manifest.get("pid") or 0),  # type: ignore[arg-type]
+        repro_version=str(manifest.get("repro_version")),
+        provenance=dict(manifest.get("provenance") or {}),  # type: ignore[arg-type]
+        spans=len(spans),
+        wall_ns=roots_wall,
+        errors=sum(1 for s in spans if s.get("status") == "error"),
+        # A cleanly closed run ends with the sink's self_overhead record.
+        closed=self_overhead_of(records) is not None,
+    )
+
+
+class RunIndex:
+    """All telemetry runs under one root directory, newest first."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.entries: list[RunEntry] = []
+        self.skipped: list[Path] = []
+        if self.root.is_file():
+            candidates = [self.root]
+        elif self.root.is_dir():
+            candidates = sorted(self.root.rglob("*.jsonl"))
+        else:
+            raise ReproError(f"no telemetry root at {self.root}")
+        for candidate in candidates:
+            try:
+                self.entries.append(index_run(candidate))
+            except Exception:
+                # Not every .jsonl under the root is telemetry (result
+                # stores, status streams); skip quietly but keep the list.
+                self.skipped.append(candidate)
+        self.entries.sort(key=lambda e: -e.created_unix)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def by_digest(self) -> dict[Optional[str], list[RunEntry]]:
+        """Runs grouped by spec digest (comparable runs share a group)."""
+        groups: dict[Optional[str], list[RunEntry]] = {}
+        for entry in self.entries:
+            groups.setdefault(entry.spec_digest, []).append(entry)
+        return groups
+
+    def resolve(self, run: str) -> RunEntry:
+        """Find one run by run-id prefix (or by its file path)."""
+        as_path = Path(run)
+        if as_path.exists():
+            target = as_path if as_path.is_file() else as_path / "telemetry.jsonl"
+            return index_run(target)
+        matches = [e for e in self.entries if e.run_id.startswith(run)]
+        if not matches:
+            known = ", ".join(e.run_id for e in self.entries[:10]) or "none"
+            raise ReproError(
+                f"no telemetry run matching {run!r} under {self.root} "
+                f"(known runs: {known})"
+            )
+        if len(matches) > 1:
+            raise ReproError(
+                f"run id {run!r} is ambiguous under {self.root}: "
+                f"{[e.run_id for e in matches]}"
+            )
+        return matches[0]
+
+
+def resolve_run_records(
+    run: str, *, root: Union[str, Path] = "."
+) -> tuple[RunEntry, list[dict[str, object]]]:
+    """Resolve a path-or-run-id to ``(entry, records)``.
+
+    A literal path wins without scanning; anything else is looked up as a
+    run-id prefix in the :class:`RunIndex` over ``root``.
+    """
+    as_path = Path(run)
+    if as_path.exists():
+        target = as_path if as_path.is_file() else as_path / "telemetry.jsonl"
+        return index_run(target), read_records(target)
+    entry = RunIndex(root).resolve(run)
+    return entry, read_records(entry.path)
+
+
+# ---------------------------------------------------------------------- #
+# cross-run diffs
+# ---------------------------------------------------------------------- #
+def _counter_values(records: list[dict[str, object]]) -> dict[str, object]:
+    snapshot = metrics_of(records)
+    if not snapshot:
+        return {}
+    counters = snapshot.get("counters")
+    return dict(counters) if isinstance(counters, Mapping) else {}
+
+
+def diff_runs(
+    baseline: list[dict[str, object]],
+    current: list[dict[str, object]],
+    *,
+    threshold: float = 0.05,
+    min_wall_ns: int = MIN_REGRESSION_WALL_NS,
+) -> dict[str, object]:
+    """Per-span-name and per-counter comparison of two telemetry runs.
+
+    A span name *regresses* when its aggregate wall time grew by more than
+    ``threshold`` (a fraction: 0.05 flags > +5%) and its baseline wall time
+    is at least ``min_wall_ns``.  The result is JSON-native; ``regressions``
+    counts the flagged span names, which the CLI turns into the exit code.
+    """
+    if threshold < 0:
+        raise ReproError(f"threshold must be >= 0, got {threshold}")
+    base_manifest = manifest_of(baseline)
+    cur_manifest = manifest_of(current)
+    base_digest = (base_manifest.get("provenance") or {}).get("spec_digest")  # type: ignore[union-attr]
+    cur_digest = (cur_manifest.get("provenance") or {}).get("spec_digest")  # type: ignore[union-attr]
+    base_by_name = aggregate_spans(span_records(baseline))
+    cur_by_name = aggregate_spans(span_records(current))
+
+    spans: dict[str, dict[str, object]] = {}
+    regressions = 0
+    for name in sorted(set(base_by_name) | set(cur_by_name)):
+        base_agg = base_by_name.get(name)
+        cur_agg = cur_by_name.get(name)
+        row: dict[str, object] = {
+            "baseline_count": base_agg["count"] if base_agg else 0,
+            "current_count": cur_agg["count"] if cur_agg else 0,
+            "baseline_wall_ns": base_agg["wall_ns"] if base_agg else 0,
+            "current_wall_ns": cur_agg["wall_ns"] if cur_agg else 0,
+            "baseline_self_wall_ns": base_agg["self_wall_ns"] if base_agg else 0,
+            "current_self_wall_ns": cur_agg["self_wall_ns"] if cur_agg else 0,
+            "baseline_cpu_ns": base_agg["cpu_ns"] if base_agg else 0,
+            "current_cpu_ns": cur_agg["cpu_ns"] if cur_agg else 0,
+            "only_in": (
+                "baseline" if cur_agg is None
+                else "current" if base_agg is None else None
+            ),
+        }
+        base_wall = int(row["baseline_wall_ns"])  # type: ignore[arg-type]
+        cur_wall = int(row["current_wall_ns"])  # type: ignore[arg-type]
+        row["wall_delta_ns"] = cur_wall - base_wall
+        row["ratio"] = (cur_wall / base_wall) if base_wall else None
+        regressed = (
+            base_agg is not None and cur_agg is not None
+            and base_wall >= min_wall_ns
+            and cur_wall > base_wall * (1.0 + threshold)
+        )
+        row["regressed"] = regressed
+        if regressed:
+            regressions += 1
+        spans[name] = row
+
+    base_counters = _counter_values(baseline)
+    cur_counters = _counter_values(current)
+    counters: dict[str, dict[str, object]] = {}
+    for name in sorted(set(base_counters) | set(cur_counters)):
+        base_value = base_counters.get(name, 0)
+        cur_value = cur_counters.get(name, 0)
+        counters[name] = {
+            "baseline": base_value,
+            "current": cur_value,
+            "delta": (cur_value or 0) - (base_value or 0),  # type: ignore[operator]
+        }
+
+    return {
+        "baseline": {
+            "run_id": base_manifest.get("run_id"),
+            "spec_digest": base_digest,
+            "repro_version": base_manifest.get("repro_version"),
+        },
+        "current": {
+            "run_id": cur_manifest.get("run_id"),
+            "spec_digest": cur_digest,
+            "repro_version": cur_manifest.get("repro_version"),
+        },
+        "same_spec": (
+            base_digest is not None and base_digest == cur_digest
+        ),
+        "threshold": threshold,
+        "min_wall_ns": min_wall_ns,
+        "spans": spans,
+        "counters": counters,
+        "regressions": regressions,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# text rendering
+# ---------------------------------------------------------------------- #
+def _fmt_ms(ns: int) -> str:
+    return f"{ns / 1e6:,.2f}ms"
+
+
+def render_run_list(entries: list[RunEntry]) -> str:
+    """Aligned table of indexed runs (``pasta telemetry list``)."""
+    if not entries:
+        return "no telemetry runs found"
+    rows = []
+    for entry in entries:
+        digest = entry.spec_digest
+        provenance = {k: v for k, v in entry.provenance.items()
+                      if k != "spec_digest"}
+        rows.append((
+            entry.run_id,
+            f"rank{entry.rank}",
+            str(entry.spans),
+            _fmt_ms(entry.wall_ns),
+            (digest[:12] if digest else "-"),
+            "closed" if entry.closed else "crashed",
+            ", ".join(f"{k}={v}" for k, v in sorted(provenance.items())) or "-",
+        ))
+    headers = ("run", "rank", "spans", "wall", "digest", "state", "provenance")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_diff(result: Mapping[str, object]) -> str:
+    """Human-readable form of :func:`diff_runs`."""
+    baseline = result.get("baseline") or {}
+    current = result.get("current") or {}
+    lines = [
+        f"baseline {baseline.get('run_id')} -> current {current.get('run_id')}"  # type: ignore[union-attr]
+        f"  (threshold +{float(result.get('threshold') or 0) * 100:.0f}%)",
+    ]
+    if not result.get("same_spec"):
+        lines.append(
+            "WARNING: runs have different spec digests "
+            f"({baseline.get('spec_digest')} vs {current.get('spec_digest')}); "  # type: ignore[union-attr]
+            "wall-time deltas may reflect different workloads"
+        )
+    spans = result.get("spans") or {}
+    name_width = max((len(n) for n in spans), default=4)
+    name_width = max(name_width, len("span"))
+    lines.append(
+        f"{'span':<{name_width}}  {'baseline':>12}  {'current':>12}  "
+        f"{'delta':>12}  flag"
+    )
+    for name, row in spans.items():  # type: ignore[union-attr]
+        flag = "REGRESSED" if row.get("regressed") else (
+            f"only-{row['only_in']}" if row.get("only_in") else ""
+        )
+        lines.append(
+            f"{name:<{name_width}}  "
+            f"{_fmt_ms(int(row['baseline_wall_ns'])):>12}  "
+            f"{_fmt_ms(int(row['current_wall_ns'])):>12}  "
+            f"{_fmt_ms(int(row['wall_delta_ns'])):>12}  {flag}"
+        )
+    counters = result.get("counters") or {}
+    changed = {n: c for n, c in counters.items() if c.get("delta")}  # type: ignore[union-attr]
+    if changed:
+        lines.append("")
+        lines.append("counter deltas:")
+        for name, cell in changed.items():
+            lines.append(
+                f"  {name}: {cell['baseline']} -> {cell['current']} "
+                f"({cell['delta']:+})"
+            )
+    lines.append("")
+    lines.append(f"{result.get('regressions')} span(s) regressed")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "MIN_REGRESSION_WALL_NS",
+    "RunEntry",
+    "RunIndex",
+    "diff_runs",
+    "index_run",
+    "render_diff",
+    "render_run_list",
+    "resolve_run_records",
+]

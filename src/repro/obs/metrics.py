@@ -113,6 +113,40 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket the quantile lands in, with
+        the estimate clamped to the observed ``[min, max]`` — so p50/p95/p99
+        are approximations whose error is bounded by the bucket width, never
+        values outside what was actually seen.  Returns ``None`` before the
+        first observation.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ReproError(
+                f"histogram {self.name!r} percentile q must be in (0, 1], got {q}"
+            )
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if bucket_count and cumulative >= target:
+                lo = self.buckets[i - 1] if i else 0.0
+                hi = (
+                    self.buckets[i] if i < len(self.buckets)
+                    else (self.max if self.max is not None else self.buckets[-1])
+                )
+                fraction = (target - (cumulative - bucket_count)) / bucket_count
+                estimate = lo + (hi - lo) * fraction
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+        return self.max
+
     def as_value(self) -> dict[str, object]:
         return {
             "buckets": list(self.buckets),
@@ -122,6 +156,9 @@ class Histogram:
             "mean": (self.sum / self.count) if self.count else 0.0,
             "min": self.min,
             "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
         }
 
 

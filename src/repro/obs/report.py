@@ -131,21 +131,36 @@ def _walk(nodes: Iterable[SpanNode]) -> Iterable[SpanNode]:
         yield from _walk(node.children)
 
 
+def aggregate_spans(
+    records: Iterable[Mapping[str, object]],
+) -> dict[str, dict[str, object]]:
+    """Per-span-name aggregates: count, wall/self/CPU time, errors.
+
+    The shared shape behind ``summary``'s by-name table and the cross-run
+    ``diff`` in :mod:`repro.obs.history` — both sides of a diff aggregate
+    through this one function so deltas compare like with like.
+    """
+    by_name: dict[str, dict[str, object]] = {}
+    for node in _walk(build_tree(records)):
+        agg = by_name.setdefault(node.name, {
+            "count": 0, "wall_ns": 0, "self_wall_ns": 0, "cpu_ns": 0,
+            "errors": 0,
+        })
+        agg["count"] += 1  # type: ignore[operator]
+        agg["wall_ns"] += node.wall_ns  # type: ignore[operator]
+        agg["self_wall_ns"] += node.self_wall_ns  # type: ignore[operator]
+        agg["cpu_ns"] += int(node.record.get("cpu_ns") or 0)  # type: ignore[operator]
+        if node.record.get("status") == "error":
+            agg["errors"] += 1  # type: ignore[operator]
+    return dict(sorted(by_name.items()))
+
+
 def summarize(records: list[dict[str, object]]) -> dict[str, object]:
     """One JSON-native digest of a telemetry run (``pasta telemetry summary``)."""
     manifest = manifest_of(records)
     roots = build_tree(records)
     all_nodes = list(_walk(roots))
-    by_name: dict[str, dict[str, object]] = {}
-    for node in all_nodes:
-        agg = by_name.setdefault(node.name, {
-            "count": 0, "wall_ns": 0, "self_wall_ns": 0, "errors": 0,
-        })
-        agg["count"] += 1  # type: ignore[operator]
-        agg["wall_ns"] += node.wall_ns  # type: ignore[operator]
-        agg["self_wall_ns"] += node.self_wall_ns  # type: ignore[operator]
-        if node.record.get("status") == "error":
-            agg["errors"] += 1  # type: ignore[operator]
+    by_name = aggregate_spans(records)
     root_wall_ns = sum(r.wall_ns for r in roots)
     root_child_ns = sum(r.child_wall_ns for r in roots)
     events = [dict(r) for r in records if r.get("type") == "event"]
@@ -165,7 +180,7 @@ def summarize(records: list[dict[str, object]]) -> dict[str, object]:
         "errors": sum(
             1 for n in all_nodes if n.record.get("status") == "error"
         ),
-        "by_name": dict(sorted(by_name.items())),
+        "by_name": by_name,
     }
     metrics = metrics_of(records)
     if metrics is not None:
@@ -233,13 +248,16 @@ def render_summary(summary: Mapping[str, object]) -> str:
     if metrics:
         counters = metrics.get("counters") or {}  # type: ignore[union-attr]
         gauges = metrics.get("gauges") or {}  # type: ignore[union-attr]
-        if counters or gauges:
+        histograms = metrics.get("histograms") or {}  # type: ignore[union-attr]
+        if counters or gauges or histograms:
             lines.append("")
             lines.append("metrics:")
             for name, value in sorted(counters.items()):
                 lines.append(f"  {name} = {value}")
             for name, value in sorted(gauges.items()):
                 lines.append(f"  {name} = {value}")
+            for name, hist in sorted(histograms.items()):
+                lines.append(f"  {name}: {_fmt_histogram(hist)}")
     overhead = summary.get("self_overhead")
     if overhead:
         ns = int(overhead.get("telemetry_ns") or 0)  # type: ignore[union-attr]
@@ -248,7 +266,20 @@ def render_summary(summary: Mapping[str, object]) -> str:
             f"self overhead: {_fmt_ms(ns)} across "
             f"{overhead.get('records_written')} records"  # type: ignore[union-attr]
         )
+        span_hist = overhead.get("span_wall_s")  # type: ignore[union-attr]
+        if isinstance(span_hist, Mapping) and span_hist.get("count"):
+            lines.append(f"span wall: {_fmt_histogram(span_hist)}")
     return "\n".join(lines)
+
+
+def _fmt_histogram(hist: Mapping[str, object]) -> str:
+    """One-line histogram digest: count, mean, bucket-estimated percentiles."""
+    parts = [f"n={hist.get('count')}"]
+    for key in ("mean", "p50", "p95", "p99", "max"):
+        value = hist.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            parts.append(f"{key}={value:.4g}")
+    return "  ".join(parts)
 
 
 def render_top(ranked: list[Mapping[str, object]]) -> str:

@@ -29,6 +29,7 @@ configuration without ever touching the sink.
 
 from __future__ import annotations
 
+import atexit
 import logging
 import os
 import time
@@ -39,6 +40,7 @@ from typing import Iterator, Mapping, Optional, Sequence, Union
 from repro.obs.log import get_logger
 from repro.obs.metrics import (
     DURATION_BUCKETS_S,
+    Histogram,
     MetricsRegistry,
     NULL_INSTRUMENT,
     NullInstrument,
@@ -48,6 +50,16 @@ from repro.obs.spans import NULL_SPAN, AttrValue, NullSpan, Span, SpanTracer
 
 #: Environment variable naming a telemetry directory (or ``*.jsonl`` path).
 TELEMETRY_ENV = "PASTA_TELEMETRY"
+
+#: Bucket bounds (seconds) for the span wall-time self-histogram: spans range
+#: from microsecond bookkeeping to whole-campaign roots, so the buckets span
+#: µs to tens of minutes.
+SPAN_WALL_BUCKETS_S = (
+    0.000001, 0.00001, 0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0,
+)
+
+#: Seconds between partial metrics checkpoints (see ``Telemetry._emit``).
+DEFAULT_CHECKPOINT_INTERVAL_S = 30.0
 
 
 class Telemetry:
@@ -60,12 +72,26 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, sink: Optional[JsonlSink] = None) -> None:
+    def __init__(
+        self,
+        sink: Optional[JsonlSink] = None,
+        *,
+        checkpoint_interval_s: float = DEFAULT_CHECKPOINT_INTERVAL_S,
+    ) -> None:
         self.sink = sink
         self.metrics = MetricsRegistry()
         self.tracer = SpanTracer(emit=self._emit)
+        self.span_wall = Histogram("telemetry.span_wall_s", SPAN_WALL_BUCKETS_S)
         self._log = get_logger("obs")
         self._closed = False
+        self._checkpoint_interval_s = checkpoint_interval_s
+        self._last_checkpoint = time.monotonic()
+        if sink is not None:
+            # A run that dies without close() (sys.exit, uncaught exception)
+            # would lose the closing metrics snapshot and self-overhead
+            # record; atexit covers those.  SIGKILL can't be covered by any
+            # handler — there the sink's flush-per-write is the safety net.
+            atexit.register(self.close)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -78,6 +104,7 @@ class Telemetry:
         rank: int = 0,
         provenance: Optional[Mapping[str, object]] = None,
         argv: Optional[Sequence[str]] = None,
+        checkpoint_interval_s: float = DEFAULT_CHECKPOINT_INTERVAL_S,
     ) -> "Telemetry":
         """Create a telemetry writing to ``target`` (a directory or ``.jsonl``)."""
         sink = JsonlSink(
@@ -86,14 +113,19 @@ class Telemetry:
             provenance=provenance,
             argv=list(argv) if argv is not None else None,
         )
-        return cls(sink)
+        return cls(sink, checkpoint_interval_s=checkpoint_interval_s)
 
     # ------------------------------------------------------------------ #
     # emission
     # ------------------------------------------------------------------ #
     def _emit(self, record: Mapping[str, object]) -> None:
+        is_span = record.get("type") == "span"
+        if is_span:
+            self.span_wall.observe(float(record.get("wall_ns") or 0) / 1e9)
         if self.sink is not None:
             self.sink.write(record)
+            if is_span:
+                self._maybe_checkpoint()
         if self._log.isEnabledFor(logging.DEBUG):
             if record.get("type") == "span":
                 wall_ns = record.get("wall_ns") or 0
@@ -104,6 +136,26 @@ class Telemetry:
                 )
             else:
                 self._log.debug("%s %s", record.get("type"), dict(record))
+
+    def _maybe_checkpoint(self) -> None:
+        """Write a partial metrics snapshot if the interval has elapsed.
+
+        A killed run keeps its spans (flush-per-write) but would otherwise
+        lose every metric, since the full snapshot is only appended by
+        ``close()``.  Periodic ``partial`` checkpoints bound that loss; the
+        reader (``metrics_of``) keeps the *last* metrics record, so the
+        closing snapshot supersedes every checkpoint on a clean run.
+        """
+        if self._checkpoint_interval_s <= 0:
+            return
+        now = time.monotonic()
+        if now - self._last_checkpoint < self._checkpoint_interval_s:
+            return
+        self._last_checkpoint = now
+        if len(self.metrics) and self.sink is not None:
+            self.sink.write(
+                {"type": "metrics", "partial": True, **self.metrics.snapshot()}
+            )
 
     # ------------------------------------------------------------------ #
     # spans
@@ -179,6 +231,8 @@ class Telemetry:
             ),
             "telemetry_ns": overhead_ns,
         }
+        if self.span_wall.count:
+            report["span_wall_s"] = self.span_wall.as_value()
         if total_wall_ns:
             report["wall_ns_with_telemetry"] = int(total_wall_ns)
             report["wall_ns_estimated_without"] = max(0, int(total_wall_ns) - overhead_ns)
@@ -200,6 +254,7 @@ class Telemetry:
         if self._closed:
             return
         self._closed = True
+        atexit.unregister(self.close)
         root = self.tracer.root
         total_wall_ns: Optional[int] = None
         if root is not None:

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -26,12 +32,14 @@ from repro.obs import (
     from_env,
     get_logger,
     manifest_of,
+    metrics_of,
     parse_level,
     read_records,
     render_summary,
     render_top,
     render_tree,
     reset_logging,
+    self_overhead_of,
     span_records,
     summarize,
     telemetry_path,
@@ -189,6 +197,45 @@ class TestMetrics:
         NULL_INSTRUMENT.set(2)
         NULL_INSTRUMENT.observe(0.1)
         assert NULL_INSTRUMENT.as_value() == 0
+
+    def test_percentile_interpolates_within_bucket(self):
+        hist = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.05, 0.5, 0.5):
+            hist.observe(value)
+        # p50 lands at the top of the first bucket (2 of 4 observations).
+        assert hist.percentile(0.50) == pytest.approx(0.1)
+        # p95 interpolates inside the second bucket, then clamps to max.
+        assert hist.percentile(0.95) == pytest.approx(0.5)
+        assert hist.percentile(1.0) == pytest.approx(0.5)
+
+    def test_percentile_clamped_to_observed_range(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        hist.observe(5.0)
+        # One observation: every quantile is that observation, not a bucket
+        # midpoint outside what was seen.
+        assert hist.percentile(0.50) == 5.0
+        assert hist.percentile(0.99) == 5.0
+
+    def test_percentile_overflow_bucket_uses_observed_max(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(7.5)
+        assert hist.percentile(0.99) == 7.5
+
+    def test_percentile_edge_cases(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.percentile(0.5) is None  # no observations yet
+        with pytest.raises(ReproError, match="percentile"):
+            hist.percentile(0.0)
+        with pytest.raises(ReproError, match="percentile"):
+            hist.percentile(1.5)
+
+    def test_as_value_carries_percentile_estimates(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.2, 0.9):
+            hist.observe(value)
+        value = hist.as_value()
+        assert value["p50"] <= value["p95"] <= value["p99"] <= value["max"]
+        json.dumps(value)
 
 
 # ---------------------------------------------------------------------- #
@@ -391,3 +438,103 @@ def test_null_telemetry_pickles_to_shared_instance():
     # Process-pool workers may capture the module default; pickling must not
     # explode (identity across processes is not required).
     assert pickle.loads(pickle.dumps(NULL_TELEMETRY)).enabled is False
+
+
+# ---------------------------------------------------------------------- #
+# flush hardening: checkpoints, span-wall histogram, crash survival
+# ---------------------------------------------------------------------- #
+class TestTelemetryHardening:
+    def test_span_wall_histogram_in_self_overhead(self, tmp_path):
+        telemetry = Telemetry.open(tmp_path)
+        with telemetry.span("a"):
+            with telemetry.span("b"):
+                pass
+        telemetry.close()
+        records = read_records(tmp_path)
+        hist = self_overhead_of(records)["span_wall_s"]
+        assert hist["count"] == 2
+        assert hist["p50"] <= hist["p95"] <= hist["p99"] <= hist["max"]
+        summary_text = render_summary(summarize(records))
+        assert "span wall:" in summary_text
+
+    def test_registry_histograms_rendered_in_summary(self, tmp_path):
+        telemetry = Telemetry.open(tmp_path)
+        telemetry.histogram("job_s", (1.0, 10.0)).observe(0.5)
+        with telemetry.span("run"):
+            pass
+        telemetry.close()
+        text = render_summary(summarize(read_records(tmp_path)))
+        assert "job_s: n=1" in text and "p95=" in text
+
+    def test_periodic_checkpoint_writes_partial_metrics(self, tmp_path):
+        telemetry = Telemetry.open(tmp_path, checkpoint_interval_s=0.0001)
+        telemetry.counter("work").inc()
+        time.sleep(0.002)
+        with telemetry.span("first"):
+            pass
+        # Before close: the span close tripped a partial metrics checkpoint.
+        partial = [r for r in read_records(tmp_path) if r["type"] == "metrics"]
+        assert partial and partial[-1]["partial"] is True
+        assert partial[-1]["counters"]["work"] == 1
+        telemetry.counter("work").inc()
+        telemetry.close()
+        records = read_records(tmp_path)
+        final = [r for r in records if r["type"] == "metrics"][-1]
+        # The closing snapshot has no partial flag and supersedes every
+        # checkpoint for readers (metrics_of keeps the last record).
+        assert "partial" not in final
+        assert metrics_of(records)["counters"]["work"] == 2
+
+    def test_checkpointing_disabled_with_nonpositive_interval(self, tmp_path):
+        telemetry = Telemetry.open(tmp_path, checkpoint_interval_s=0.0)
+        telemetry.counter("work").inc()
+        time.sleep(0.002)
+        with telemetry.span("first"):
+            pass
+        assert [r for r in read_records(tmp_path) if r["type"] == "metrics"] == []
+        telemetry.close()
+
+    def _run_script(self, body: str) -> subprocess.CompletedProcess:
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run([sys.executable, "-c", body], env=env,
+                              capture_output=True, text=True, timeout=60)
+
+    def test_atexit_flushes_closing_records_without_close(self, tmp_path):
+        # A run that exits without calling close() (sys.exit, uncaught error)
+        # still gets its metrics snapshot and self_overhead via atexit.
+        proc = self._run_script(
+            "from repro.obs import Telemetry\n"
+            f"telemetry = Telemetry.open({str(tmp_path)!r})\n"
+            "telemetry.span('left.open')\n"
+            "telemetry.counter('jobs').inc(2)\n"
+        )
+        assert proc.returncode == 0, proc.stderr
+        records = read_records(tmp_path)
+        assert [r["name"] for r in records if r["type"] == "span"] == ["left.open"]
+        assert metrics_of(records)["counters"]["jobs"] == 2
+        assert self_overhead_of(records) is not None
+
+    def test_sigkill_keeps_last_flushed_span_readable(self, tmp_path):
+        # SIGKILL cannot be caught by any handler: flush-per-write is the
+        # safety net.  Every span closed before the kill must be readable.
+        proc = self._run_script(
+            "import os, signal\n"
+            "from repro.obs import Telemetry\n"
+            f"telemetry = Telemetry.open({str(tmp_path)!r})\n"
+            "outer = telemetry.span('outer')\n"
+            "with telemetry.span('flushed.child'):\n"
+            "    pass\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n"
+        )
+        assert proc.returncode == -signal.SIGKILL
+        records = read_records(tmp_path)
+        names = [r["name"] for r in records if r["type"] == "span"]
+        assert names == ["flushed.child"]  # outer never closed, child survived
+        assert self_overhead_of(records) is None  # no clean close happened
+        from repro.obs import index_run
+
+        assert index_run(telemetry_path(tmp_path)).closed is False

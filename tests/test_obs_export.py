@@ -1,0 +1,615 @@
+"""Tests for telemetry exporters (:mod:`repro.obs.export`) and run history
+(:mod:`repro.obs.history`): Chrome traces, folded stacks, list/diff."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.commands import main
+from repro.errors import ReproError
+from repro.obs import (
+    RunIndex,
+    chrome_trace,
+    deactivate,
+    diff_runs,
+    export_chrome,
+    export_folded,
+    folded_stacks,
+    index_run,
+    merge_folded,
+    read_records,
+    render_diff,
+    render_folded,
+    render_run_list,
+    reset_logging,
+    resolve_run_records,
+    validate_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    deactivate()
+    reset_logging()
+    yield
+    deactivate()
+    reset_logging()
+
+
+# ---------------------------------------------------------------------- #
+# synthetic record builders (timestamps under test control)
+# ---------------------------------------------------------------------- #
+def _manifest(run_id="run-a", created_unix=1_000.0, pid=4242, rank=0,
+              provenance=None):
+    return {
+        "type": "manifest", "schema": 1, "run_id": run_id,
+        "created_unix": created_unix, "pid": pid, "rank": rank,
+        "repro_version": "0.test", "provenance": dict(provenance or {}),
+    }
+
+
+def _span(span_id, name, *, parent_id=None, start_unix=1_000.0,
+          wall_ns=1_000_000, cpu_ns=None, status="ok", attrs=None,
+          counters=None, error=None):
+    record = {
+        "type": "span", "span_id": span_id, "parent_id": parent_id,
+        "name": name, "start_unix": start_unix, "wall_ns": wall_ns,
+        "status": status, "attrs": dict(attrs or {}),
+        "counters": dict(counters or {}),
+    }
+    if cpu_ns is not None:
+        record["cpu_ns"] = cpu_ns
+    if error is not None:
+        record["error"] = error
+    return record
+
+
+def _metrics(counters=None, gauges=None):
+    return {"type": "metrics", "counters": dict(counters or {}),
+            "gauges": dict(gauges or {}), "histograms": {}}
+
+
+def _overhead():
+    return {"type": "self_overhead", "telemetry_enabled": True,
+            "spans_recorded": 1, "records_written": 1, "telemetry_ns": 100}
+
+
+def _x_events(document):
+    return [e for e in document["traceEvents"] if e.get("ph") == "X"]
+
+
+def _write_run(path, records):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n",
+                    encoding="utf-8")
+
+
+# ---------------------------------------------------------------------- #
+# chrome trace export
+# ---------------------------------------------------------------------- #
+class TestChromeTrace:
+    def test_spans_become_duration_events_in_microseconds(self):
+        records = [
+            _manifest(pid=7),
+            _span(2, "child", parent_id=1, start_unix=1_000.001,
+                  wall_ns=2_000_000, cpu_ns=1_500_000),
+            _span(1, "profile.run", start_unix=1_000.0, wall_ns=5_000_000,
+                  counters={"events": 3}),
+        ]
+        document = chrome_trace([records])
+        by_name = {e["name"]: e for e in _x_events(document)}
+        root, child = by_name["profile.run"], by_name["child"]
+        assert (root["ts"], root["dur"]) == (0.0, 5_000.0)
+        assert (child["ts"], child["dur"]) == (1_000.0, 2_000.0)
+        assert root["pid"] == child["pid"] == 7
+        assert root["tid"] == child["tid"] == 0
+        assert root["cat"] == "profile"
+        assert root["args"]["counters"] == {"events": 3}
+        assert child["args"]["cpu_ns"] == 1_500_000
+        assert validate_chrome_trace(document)["spans"] == 2
+
+    def test_rank_attrs_map_to_distinct_tid_lanes(self):
+        records = [
+            _manifest(),
+            _span(2, "session.run", parent_id=1, start_unix=1_000.001,
+                  attrs={"rank": 0}),
+            _span(3, "rank.step", parent_id=2, start_unix=1_000.0015,
+                  wall_ns=100_000),
+            _span(4, "session.run", parent_id=1, start_unix=1_000.002,
+                  attrs={"rank": 1}),
+            _span(1, "profile.simulate", start_unix=1_000.0,
+                  wall_ns=10_000_000),
+        ]
+        document = chrome_trace([records])
+        lanes = {e["name"]: e["tid"] for e in _x_events(document)}
+        assert lanes["profile.simulate"] == 0
+        assert lanes["session.run"] in (1, 2)  # dict kept the last duplicate
+        tids = sorted(e["tid"] for e in _x_events(document)
+                      if e["name"] == "session.run")
+        assert tids == [1, 2]
+        # A rank span's children inherit its lane.
+        assert lanes["rank.step"] == 1
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert thread_names == {0: "main", 1: "rank 0", 2: "rank 1"}
+        validate_chrome_trace(document)
+
+    def test_children_clamped_into_parent_interval(self):
+        # Wall-clock rounding can put a child's start marginally before its
+        # parent's; the export must still emit a monotonically consistent lane.
+        records = [
+            _manifest(),
+            _span(2, "child", parent_id=1, start_unix=999.9995,
+                  wall_ns=2_000_000),
+            _span(1, "parent", start_unix=1_000.0, wall_ns=1_000_000),
+        ]
+        document = chrome_trace([records])
+        by_name = {e["name"]: e for e in _x_events(document)}
+        assert (by_name["parent"]["ts"], by_name["parent"]["dur"]) == (0.0, 1_000.0)
+        assert (by_name["child"]["ts"], by_name["child"]["dur"]) == (0.0, 1_000.0)
+        validate_chrome_trace(document)
+
+    def test_counters_become_two_point_series(self):
+        records = [
+            _manifest(),
+            _span(1, "run", start_unix=1_000.0, wall_ns=4_000_000),
+            _metrics(counters={"jobs_ok": 3}),
+            _overhead(),
+        ]
+        document = chrome_trace([records])
+        counter_events = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert [(e["ts"], e["args"]["value"]) for e in counter_events] == [
+            (0.0, 0), (4_000.0, 3)]
+        assert validate_chrome_trace(document)["counters"] == 2
+
+    def test_events_become_instants(self):
+        records = [
+            _manifest(),
+            {"type": "event", "name": "provenance", "ts_unix": 1_000.002,
+             "attrs": {"digest": "abc"}},
+            _span(1, "run", start_unix=1_000.0, wall_ns=4_000_000),
+        ]
+        document = chrome_trace([records])
+        (instant,) = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "provenance"
+        assert instant["ts"] == 2_000.0
+        assert instant["args"] == {"digest": "abc"}
+
+    def test_merging_runs_shares_origin_and_dedups_pids(self):
+        run_a = [
+            _manifest(run_id="aaa", created_unix=1_000.0, pid=50, rank=0),
+            _span(1, "session.run", start_unix=1_000.0),
+        ]
+        run_b = [
+            _manifest(run_id="bbb", created_unix=1_001.0, pid=50, rank=1),
+            _span(1, "session.run", start_unix=1_001.0),
+        ]
+        document = chrome_trace([run_a, run_b])
+        spans = _x_events(document)
+        assert sorted(e["pid"] for e in spans) == [50, 51]
+        # Run B starts one second after the shared origin.
+        later = next(e for e in spans if e["pid"] == 51)
+        assert later["ts"] == 1_000_000.0
+        runs_meta = document["otherData"]["runs"]
+        assert [r["run_id"] for r in runs_meta] == ["aaa", "bbb"]
+        validate_chrome_trace(document)
+
+    def test_json_roundtrip(self):
+        records = [
+            _manifest(provenance={"spec_digest": "d" * 16}),
+            _span(1, "run", start_unix=1_000.0),
+            _metrics(counters={"a": 1}),
+        ]
+        document = export_chrome([records])
+        revived = json.loads(json.dumps(document, sort_keys=True))
+        assert validate_chrome_trace(revived) == validate_chrome_trace(document)
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ReproError, match="at least one"):
+            chrome_trace([])
+
+
+class TestChromeValidator:
+    def test_counts_every_event_kind(self):
+        records = [
+            _manifest(),
+            {"type": "event", "name": "note", "ts_unix": 1_000.001, "attrs": {}},
+            _span(1, "run", start_unix=1_000.0, wall_ns=2_000_000),
+            _metrics(counters={"a": 1}),
+        ]
+        counts = validate_chrome_trace(chrome_trace([records]))
+        assert counts["spans"] == 1
+        assert counts["instants"] == 1
+        assert counts["counters"] == 2
+        assert counts["metadata"] == 2  # process_name + main lane
+        assert counts["events"] == sum(
+            counts[k] for k in ("spans", "instants", "counters", "metadata"))
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ReproError, match="traceEvents"):
+            validate_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ReproError, match="unsupported ph"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "b", "ph": "B", "ts": 0, "pid": 1, "tid": 0}]})
+
+    def test_rejects_missing_or_mistyped_fields(self):
+        event = {"name": "s", "ph": "X", "ts": 0, "dur": True,
+                 "pid": 1, "tid": 0}
+        with pytest.raises(ReproError, match="field 'dur'"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_negative_timestamps(self):
+        event = {"name": "s", "ph": "X", "ts": -1.0, "dur": 2.0,
+                 "pid": 1, "tid": 0}
+        with pytest.raises(ReproError, match="negative"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_counter_without_value(self):
+        event = {"name": "c", "ph": "C", "ts": 0, "pid": 1, "tid": 0,
+                 "args": {}}
+        with pytest.raises(ReproError, match="lacks args.value"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_partially_overlapping_lane(self):
+        def x(name, ts, dur, tid=0):
+            return {"name": name, "ph": "X", "ts": ts, "dur": dur,
+                    "pid": 1, "tid": tid}
+
+        with pytest.raises(ReproError, match="partially overlapping"):
+            validate_chrome_trace({"traceEvents": [x("a", 0, 10), x("b", 5, 10)]})
+        # Proper nesting and disjoint spans are fine; so is the same overlap
+        # split across two lanes.
+        validate_chrome_trace({"traceEvents": [
+            x("a", 0, 10), x("b", 0, 4), x("c", 4, 4), x("d", 10, 5)]})
+        validate_chrome_trace({"traceEvents": [x("a", 0, 10), x("b", 5, 10, tid=1)]})
+
+
+# ---------------------------------------------------------------------- #
+# folded stacks
+# ---------------------------------------------------------------------- #
+class TestFoldedStacks:
+    def test_weights_are_self_time_microseconds(self):
+        records = [
+            _manifest(),
+            _span(2, "child", parent_id=1, start_unix=1_000.001,
+                  wall_ns=2_000_000),
+            _span(1, "root", start_unix=1_000.0, wall_ns=5_000_000),
+        ]
+        assert folded_stacks(records) == {"root": 3_000, "root;child": 2_000}
+
+    def test_fully_covered_parent_contributes_no_line(self):
+        records = [
+            _manifest(),
+            _span(2, "child", parent_id=1, start_unix=1_000.0,
+                  wall_ns=5_000_000),
+            _span(1, "root", start_unix=1_000.0, wall_ns=5_000_000),
+        ]
+        assert folded_stacks(records) == {"root;child": 5_000}
+
+    def test_rank_attr_inserts_synthetic_frame(self):
+        records = [
+            _manifest(),
+            _span(2, "session.run", parent_id=1, start_unix=1_000.001,
+                  wall_ns=2_000_000, attrs={"rank": 1}),
+            _span(1, "root", start_unix=1_000.0, wall_ns=5_000_000),
+        ]
+        assert "root;rank 1;session.run" in folded_stacks(records)
+        assert "root;session.run" in folded_stacks(records, rank_frames=False)
+
+    def test_semicolons_in_names_are_sanitized(self):
+        records = [_manifest(), _span(1, "odd;name", start_unix=1_000.0)]
+        assert list(folded_stacks(records)) == ["odd:name"]
+
+    def test_merge_and_render(self):
+        merged = merge_folded([{"a": 1, "a;b": 2}, {"a": 3, "c": 4}])
+        assert merged == {"a": 4, "a;b": 2, "c": 4}
+        assert render_folded(merged) == "a 4\na;b 2\nc 4"
+
+    def test_export_folded_returns_rendered_text(self):
+        records = [_manifest(), _span(1, "root", start_unix=1_000.0,
+                                      wall_ns=3_000_000)]
+        assert export_folded([records, records]) == "root 6000"
+
+
+# ---------------------------------------------------------------------- #
+# run history: index, list, resolve
+# ---------------------------------------------------------------------- #
+def _run_records(run_id, *, created_unix=1_000.0, digest="cafe" * 8,
+                 wall_ns=10_000_000, closed=True, rank=0, pid=4242):
+    records = [
+        _manifest(run_id=run_id, created_unix=created_unix, rank=rank, pid=pid,
+                  provenance={"spec_digest": digest, "model": "gpt2"}),
+        _span(2, "profile.simulate", parent_id=1, start_unix=created_unix,
+              wall_ns=int(wall_ns * 0.8)),
+        _span(1, "cli.profile", start_unix=created_unix, wall_ns=wall_ns),
+        _metrics(counters={"processor.events_processed": 10}),
+    ]
+    if closed:
+        records.append(_overhead())
+    return records
+
+
+class TestRunIndex:
+    def test_index_run_reads_manifest_and_aggregates(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        _write_run(path, _run_records("abc123", wall_ns=10_000_000))
+        entry = index_run(path)
+        assert entry.run_id == "abc123"
+        assert entry.spans == 2
+        assert entry.wall_ns == 10_000_000  # root spans only, no double count
+        assert entry.errors == 0
+        assert entry.closed is True
+        assert entry.spec_digest == "cafe" * 8
+        assert json.loads(json.dumps(entry.to_dict()))["run_id"] == "abc123"
+
+    def test_crashed_run_detected(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        _write_run(path, _run_records("abc123", closed=False))
+        assert index_run(path).closed is False
+        assert "crashed" in render_run_list([index_run(path)])
+
+    def test_scan_skips_non_telemetry_jsonl(self, tmp_path):
+        _write_run(tmp_path / "r1" / "telemetry.jsonl",
+                   _run_records("aaa111", created_unix=1_000.0))
+        _write_run(tmp_path / "r2" / "telemetry.jsonl",
+                   _run_records("bbb222", created_unix=2_000.0))
+        (tmp_path / "status.jsonl").write_text(
+            '{"type": "campaign", "event": "start"}\n', encoding="utf-8")
+        index = RunIndex(tmp_path)
+        # Newest first; the status stream is skipped, not fatal.
+        assert [e.run_id for e in index] == ["bbb222", "aaa111"]
+        assert len(index) == 2
+        assert [p.name for p in index.skipped] == ["status.jsonl"]
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="no telemetry root"):
+            RunIndex(tmp_path / "nope")
+
+    def test_resolve_by_prefix_path_ambiguity_and_missing(self, tmp_path):
+        _write_run(tmp_path / "r1" / "telemetry.jsonl", _run_records("aaa111"))
+        _write_run(tmp_path / "r2" / "telemetry.jsonl", _run_records("aab222"))
+        index = RunIndex(tmp_path)
+        assert index.resolve("aaa").run_id == "aaa111"
+        assert index.resolve(str(tmp_path / "r2")).run_id == "aab222"
+        with pytest.raises(ReproError, match="ambiguous"):
+            index.resolve("aa")
+        with pytest.raises(ReproError, match="no telemetry run matching"):
+            index.resolve("zzz")
+
+    def test_by_digest_groups_comparable_runs(self, tmp_path):
+        _write_run(tmp_path / "r1" / "telemetry.jsonl",
+                   _run_records("aaa111", digest="d1" * 16))
+        _write_run(tmp_path / "r2" / "telemetry.jsonl",
+                   _run_records("bbb222", digest="d1" * 16))
+        _write_run(tmp_path / "r3" / "telemetry.jsonl",
+                   _run_records("ccc333", digest="d2" * 16))
+        groups = RunIndex(tmp_path).by_digest()
+        assert sorted(len(v) for v in groups.values()) == [1, 2]
+
+    def test_resolve_run_records_path_wins_without_scanning(self, tmp_path):
+        path = tmp_path / "r1" / "telemetry.jsonl"
+        _write_run(path, _run_records("aaa111"))
+        entry, records = resolve_run_records(str(path), root=tmp_path / "gone")
+        assert entry.run_id == "aaa111"
+        assert records[0]["type"] == "manifest"
+
+    def test_render_run_list(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        _write_run(path, _run_records("abc123"))
+        text = render_run_list([index_run(path)])
+        assert "run" in text and "digest" in text
+        assert "abc123" in text and "closed" in text and "model=gpt2" in text
+        assert render_run_list([]) == "no telemetry runs found"
+
+
+# ---------------------------------------------------------------------- #
+# cross-run diffs
+# ---------------------------------------------------------------------- #
+class TestDiffRuns:
+    def test_regression_past_threshold_is_flagged(self):
+        baseline = _run_records("base", wall_ns=10_000_000)
+        current = _run_records("cur", wall_ns=12_000_000)
+        result = diff_runs(baseline, current, threshold=0.05)
+        row = result["spans"]["cli.profile"]
+        assert row["regressed"] is True
+        assert row["wall_delta_ns"] == 2_000_000
+        assert row["ratio"] == pytest.approx(1.2)
+        assert result["regressions"] == 2  # simulate span scaled with it
+        assert result["same_spec"] is True
+        # A generous threshold absorbs the same delta.
+        assert diff_runs(baseline, current, threshold=0.5)["regressions"] == 0
+
+    def test_improvement_and_parity_not_flagged(self):
+        baseline = _run_records("base", wall_ns=10_000_000)
+        assert diff_runs(baseline, _run_records("cur", wall_ns=9_000_000))[
+            "regressions"] == 0
+        assert diff_runs(baseline, _run_records("cur", wall_ns=10_000_000))[
+            "regressions"] == 0
+
+    def test_min_wall_floor_suppresses_jitter(self):
+        baseline = _run_records("base", wall_ns=400_000)
+        current = _run_records("cur", wall_ns=800_000)
+        assert diff_runs(baseline, current)["regressions"] == 0
+        assert diff_runs(baseline, current, min_wall_ns=100_000)[
+            "regressions"] == 2
+
+    def test_only_in_rows_never_regress(self):
+        baseline = [_manifest(run_id="base"),
+                    _span(1, "gone", start_unix=1_000.0, wall_ns=5_000_000)]
+        current = [_manifest(run_id="cur"),
+                   _span(1, "new", start_unix=1_000.0, wall_ns=5_000_000)]
+        result = diff_runs(baseline, current)
+        assert result["spans"]["gone"]["only_in"] == "baseline"
+        assert result["spans"]["new"]["only_in"] == "current"
+        assert result["regressions"] == 0
+
+    def test_counter_deltas(self):
+        baseline = [_manifest(run_id="base"), _metrics(counters={"a": 2, "b": 5})]
+        current = [_manifest(run_id="cur"), _metrics(counters={"a": 4, "c": 1})]
+        counters = diff_runs(baseline, current)["counters"]
+        assert counters["a"] == {"baseline": 2, "current": 4, "delta": 2}
+        assert counters["b"]["delta"] == -5
+        assert counters["c"]["delta"] == 1
+
+    def test_different_digests_warn_in_render(self):
+        baseline = _run_records("base", digest="d1" * 16)
+        current = _run_records("cur", digest="d2" * 16)
+        result = diff_runs(baseline, current)
+        assert result["same_spec"] is False
+        assert "WARNING: runs have different spec digests" in render_diff(result)
+
+    def test_render_diff_flags_and_summary_line(self):
+        result = diff_runs(_run_records("base", wall_ns=10_000_000),
+                           _run_records("cur", wall_ns=20_000_000))
+        text = render_diff(result)
+        assert "REGRESSED" in text
+        assert text.endswith("2 span(s) regressed")
+
+    def test_result_is_json_native(self):
+        result = diff_runs(_run_records("base"), _run_records("cur"))
+        assert json.loads(json.dumps(result, sort_keys=True)) == result
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ReproError, match="threshold"):
+            diff_runs(_run_records("a"), _run_records("b"), threshold=-0.1)
+
+
+# ---------------------------------------------------------------------- #
+# CLI: export / list / diff
+# ---------------------------------------------------------------------- #
+class TestCli:
+    def test_chrome_export_of_fine_grained_gpt2_roundtrips_validator(
+            self, tmp_path, capsys):
+        # Acceptance gate: a fine-grained gpt2 run exports to a Chrome trace
+        # that passes the strict validator after a JSON round-trip, with
+        # monotonically consistent timestamps and counter series present.
+        assert main(["profile", "gpt2", "--tool", "kernel_frequency",
+                     "--fine-grained", "--json",
+                     "--telemetry", str(tmp_path / "obs")]) == 0
+        capsys.readouterr()
+        out = tmp_path / "trace.chrome.json"
+        assert main(["telemetry", "export", str(tmp_path / "obs"),
+                     "--format", "chrome", "-o", str(out)]) == 0
+        document = json.loads(out.read_text(encoding="utf-8"))
+        counts = validate_chrome_trace(document)
+        assert counts["spans"] >= 4
+        assert counts["counters"] > 0
+        names = {e["name"] for e in document["traceEvents"]}
+        assert {"cli.profile", "profile.simulate", "session.run"} <= names
+
+    def test_folded_export_cli(self, tmp_path, capsys):
+        assert main(["profile", "alexnet", "--tool", "kernel_frequency",
+                     "--device", "rtx3060", "--batch-size", "2", "--json",
+                     "--telemetry", str(tmp_path / "obs")]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "export", str(tmp_path / "obs"),
+                     "--format", "folded"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.strip().splitlines() if line]
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+        assert any(line.startswith("cli.profile") for line in lines)
+
+    def test_single_run_formats_reject_multiple_targets(self, tmp_path, capsys):
+        _write_run(tmp_path / "r1" / "telemetry.jsonl", _run_records("aaa"))
+        _write_run(tmp_path / "r2" / "telemetry.jsonl", _run_records("bbb"))
+        assert main(["telemetry", "export", str(tmp_path / "r1"),
+                     str(tmp_path / "r2"), "--format", "json"]) == 1
+        assert "single run" in capsys.readouterr().err
+
+    def test_list_cli_text_and_json(self, tmp_path, capsys):
+        _write_run(tmp_path / "r1" / "telemetry.jsonl",
+                   _run_records("aaa111", created_unix=1_000.0))
+        _write_run(tmp_path / "r2" / "telemetry.jsonl",
+                   _run_records("bbb222", created_unix=2_000.0))
+        assert main(["telemetry", "list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "aaa111" in out and "bbb222" in out
+        assert main(["telemetry", "list", str(tmp_path), "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["run_id"] for e in entries] == ["bbb222", "aaa111"]
+
+    def test_diff_cli_exit_code_is_the_regression_gate(self, tmp_path, capsys):
+        # Acceptance gate: two same-digest runs, current regressed past
+        # --threshold => non-zero exit; generous threshold => zero.
+        _write_run(tmp_path / "base" / "telemetry.jsonl",
+                   _run_records("aaa111", wall_ns=10_000_000))
+        _write_run(tmp_path / "cur" / "telemetry.jsonl",
+                   _run_records("bbb222", wall_ns=15_000_000))
+        assert main(["telemetry", "diff", str(tmp_path / "base"),
+                     str(tmp_path / "cur"), "--threshold", "0.10"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "WARNING" not in out
+        assert main(["telemetry", "diff", str(tmp_path / "base"),
+                     str(tmp_path / "cur"), "--threshold", "2.0"]) == 0
+
+    def test_diff_cli_resolves_run_id_prefixes_and_emits_json(
+            self, tmp_path, capsys):
+        _write_run(tmp_path / "base" / "telemetry.jsonl",
+                   _run_records("aaa111", wall_ns=10_000_000))
+        _write_run(tmp_path / "cur" / "telemetry.jsonl",
+                   _run_records("bbb222", wall_ns=10_000_000))
+        assert main(["telemetry", "diff", "aaa", "bbb",
+                     "--root", str(tmp_path), "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["baseline"]["run_id"] == "aaa111"
+        assert result["current"]["run_id"] == "bbb222"
+        assert result["regressions"] == 0
+
+    def test_summary_and_top_json_flags(self, tmp_path, capsys):
+        _write_run(tmp_path / "telemetry.jsonl", _run_records("aaa111"))
+        assert main(["telemetry", "summary", str(tmp_path),
+                     "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["run_id"] == "aaa111"
+        assert main(["telemetry", "top", str(tmp_path), "--format", "json"]) == 0
+        ranked = json.loads(capsys.readouterr().out)
+        assert ranked[0]["self_wall_ns"] >= ranked[-1]["self_wall_ns"]
+
+
+# ---------------------------------------------------------------------- #
+# multi-rank merge (satellite): TP world_size=2 => one coherent trace
+# ---------------------------------------------------------------------- #
+class TestMultiRankMerge:
+    def test_tp_run_exports_distinct_rank_lanes(self, tmp_path, capsys):
+        assert main(["profile", "megatron_gpt2_345m", "--tool",
+                     "kernel_frequency", "--parallel", "tp",
+                     "--world-size", "2", "--iterations", "2", "--json",
+                     "--telemetry", str(tmp_path / "obs")]) == 0
+        capsys.readouterr()
+        records = read_records(tmp_path / "obs")
+        document = export_chrome([records])
+        session_lanes = {e["tid"] for e in _x_events(document)
+                         if e["name"] == "session.run"}
+        assert session_lanes == {1, 2}  # rank 0 and rank 1, no interleaving
+        thread_names = {e["args"]["name"] for e in document["traceEvents"]
+                        if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert {"main", "rank 0", "rank 1"} <= thread_names
+
+    def test_per_rank_files_merge_and_stay_diffable(self, tmp_path):
+        # Per-rank manifests (rank= in the sink) merge into one trace with
+        # one pid lane group per rank, and the merged runs remain diff-able
+        # as an aggregate against a baseline of the same shape.
+        from repro.obs import Telemetry
+
+        for rank in range(2):
+            telemetry = Telemetry.open(
+                tmp_path / f"rank{rank}", rank=rank,
+                provenance={"spec_digest": "e" * 32})
+            with telemetry.span("session.run", rank=rank):
+                pass
+            telemetry.close()
+        runs = [read_records(tmp_path / "rank0"),
+                read_records(tmp_path / "rank1")]
+        document = export_chrome(runs)
+        assert len({e["pid"] for e in _x_events(document)}) == 2
+        merged = runs[0] + [r for r in runs[1] if r.get("type") == "span"]
+        result = diff_runs(merged, merged)
+        assert result["regressions"] == 0
+        assert result["spans"]["session.run"]["baseline_count"] == 2
