@@ -1,0 +1,151 @@
+"""Chaos drill: a campaign survives injected faults, crashes and takeovers.
+
+The campaign fabric claims to be crash-safe; this example proves it on your
+machine in a few seconds, using the same deterministic fault-injection
+harness the chaos test suite runs:
+
+1. a campaign runs under a :class:`~repro.campaign.FaultPlan` that makes one
+   job fail twice (retried with backoff), slows another down, tears one
+   store append mid-line and corrupts one cache entry — and still finishes
+   with zero failed jobs;
+2. a worker subprocess is SIGKILL'd mid-campaign (the ``crash`` fault kind
+   is a real ``kill -9``: nothing is flushed, no handler runs);
+3. a second scheduler resumes over the same campaign directory, takes over
+   the dead worker's stale leases, simulates *only* the missing cells, and
+   produces the same merged report an uninterrupted run would.
+
+Run with::
+
+    PYTHONPATH=src python examples/fault_injection_drill.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import warnings
+from pathlib import Path
+
+from repro.campaign import (
+    CampaignScheduler,
+    CampaignSpec,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    LeaseManager,
+    ResultCache,
+    ResultStore,
+    faults_scope,
+    rollup,
+)
+
+SPEC = CampaignSpec(
+    name="chaos-drill",
+    models=["alexnet", "resnet18"],
+    tools=["kernel_frequency", "memory_characteristics"],
+    analysis_models=["gpu_resident", "cpu_side"],
+    iterations=1,
+    batch_size=1,
+)
+
+
+def drill_recoverable_faults(workdir: Path) -> None:
+    """Every recoverable fault mode in one run — and zero failed jobs."""
+    plan = FaultPlan(seed=11, rules=(
+        FaultRule(site="scheduler.job", kind="error", times=2),
+        FaultRule(site="runner.execute", kind="slow", times=1, delay_s=0.05),
+        FaultRule(site="store.append", kind="torn_write", times=1),
+        FaultRule(site="cache.put", kind="cache_corrupt", times=1),
+    ))
+    scheduler = CampaignScheduler(
+        retries=3,
+        backoff_s=0.02,  # exponential backoff with decorrelated jitter
+        cache=ResultCache(workdir / "cache"),
+        store=ResultStore(workdir / "results.jsonl"),
+    )
+    with faults_scope(FaultInjector(plan)) as injector:
+        result = scheduler.run(SPEC)
+    print(f"[1] injected {injector.injected} faults -> "
+          f"{result.failed} failed jobs, {result.executed} executed, "
+          f"{result.summary()['backoff_s']}s spent in retry backoff")
+    assert result.failed == 0
+
+
+def drill_kill_and_resume(workdir: Path) -> str:
+    """SIGKILL a worker mid-campaign, then resume; returns the merged report."""
+    spec_path = workdir / "spec.json"
+    spec_path.write_text(json.dumps(SPEC.to_dict()))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(Path(__file__).resolve().parents[1] / "src")
+        + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    # The 4th simulated job is a hard kill -9: no flush, no cleanup.
+    env["PASTA_FAULTS"] = json.dumps(
+        {"rules": [{"site": "runner.execute", "kind": "crash", "after": 3}]}
+    )
+    body = (
+        "from repro.commands import main\n"
+        "raise SystemExit(main(["
+        f"'campaign', 'run', {str(spec_path)!r}, "
+        f"'--cache-dir', {str(workdir / 'cache')!r}, "
+        f"'--store', {str(workdir / 'results.jsonl')!r}, "
+        "'--workers', '0/2', "
+        f"'--lease-dir', {str(workdir / 'leases')!r}, '--lease-ttl', '0.5'"
+        "]))\n"
+    )
+    proc = subprocess.run([sys.executable, "-c", body], env=env,
+                          capture_output=True, text=True, timeout=120)
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    store = ResultStore(workdir / "results.jsonl")
+    survived = len(store.latest_by_digest())
+    stale = len(list((workdir / "leases").glob("*.lease")))
+    print(f"[2] worker killed by SIGKILL; {survived} records survived, "
+          f"{stale} stale lease(s) left behind")
+
+    # Resume in-process as worker 1: finish shard 1, wait out the dead
+    # worker's lease ttl, take its cells over, re-simulate nothing done.
+    scheduler = CampaignScheduler(
+        cache=ResultCache(workdir / "cache"),
+        store=store,
+        leases=LeaseManager(workdir / "leases", ttl_s=0.5),
+        shard=(1, 2),
+    )
+    result = scheduler.run(SPEC)
+    assert result.failed == 0
+    assert result.cached == survived  # zero re-simulation of finished cells
+    print(f"[3] resume: {result.cached} cells recovered, "
+          f"{result.executed} simulated, {result.stolen} stolen from the "
+          f"dead worker, all leases released")
+    ok = [r for r in store.latest_by_digest().values()
+          if r.get("status") == "ok"]
+    return json.dumps(rollup(ok, by="model"), sort_keys=True)
+
+
+def main() -> None:
+    warnings.simplefilter("ignore", RuntimeWarning)  # torn-line read notices
+    with tempfile.TemporaryDirectory(prefix="pasta-chaos-") as tmp:
+        drill_recoverable_faults(Path(tmp) / "faults")
+
+        killed = Path(tmp) / "killed"
+        killed.mkdir()
+        resumed_report = drill_kill_and_resume(killed)
+
+        # An uninterrupted run in a fresh directory: byte-identical report.
+        clean = Path(tmp) / "clean"
+        store = ResultStore(clean / "results.jsonl")
+        CampaignScheduler(cache=ResultCache(clean / "cache"), store=store).run(SPEC)
+        ok = [r for r in store.latest_by_digest().values()
+              if r.get("status") == "ok"]
+        clean_report = json.dumps(rollup(ok, by="model"), sort_keys=True)
+        assert resumed_report == clean_report
+        print("[4] merged report after the kill+resume is byte-identical "
+              "to an uninterrupted run")
+
+
+if __name__ == "__main__":
+    main()

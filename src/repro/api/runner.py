@@ -804,7 +804,15 @@ def execute_payload(
     objects.  The payload is a :meth:`ProfileSpec.to_dict` dict; the record
     holds the echoed payload, the run summary, and every tool report.
     """
+    # Imported here, not at module top: repro.campaign.faults lives in a
+    # package whose __init__ imports the scheduler, which imports this module.
+    from repro.campaign.faults import active_faults
+
     spec = ProfileSpec.from_dict(payload)
+    # Chaos hook: lets the fault harness (PASTA_FAULTS) raise, stall or
+    # SIGKILL a job here — inside process-pool workers and subprocess drills
+    # too, since the injector arms itself from the inherited environment.
+    active_faults().fire("runner.execute", label=spec.label())
     result = execute(spec, record_to=record_to)
     return json_sanitize({
         "job": dict(payload),

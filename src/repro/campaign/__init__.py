@@ -12,6 +12,10 @@ that drives live runs, recording and replay:
 * :mod:`repro.campaign.cache` — content-addressed result cache (identical
   specs never re-simulate);
 * :mod:`repro.campaign.store` — append-only JSONL record store;
+* :mod:`repro.campaign.leases` — file-based job leases (claim / heartbeat /
+  stale takeover) and digest sharding for the distributed campaign fabric;
+* :mod:`repro.campaign.faults` — deterministic fault injection
+  (``PASTA_FAULTS``) for crash/chaos drills;
 * :mod:`repro.campaign.progress` — live job-lifecycle streaming to
   ``status.jsonl`` (the ``pasta campaign watch`` feed);
 * :mod:`repro.campaign.aggregate` — roll-ups, analysis-model comparisons and
@@ -26,6 +30,17 @@ from repro.campaign.aggregate import (
     rollup,
 )
 from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    activate_faults,
+    active_faults,
+    deactivate_faults,
+    faults_scope,
+)
+from repro.campaign.leases import LeaseInfo, LeaseManager, shard_of
 from repro.campaign.progress import (
     NULL_PROGRESS,
     NullProgress,
@@ -60,15 +75,25 @@ __all__ = [
     "CampaignRunResult",
     "CampaignScheduler",
     "CampaignSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
     "JobOutcome",
     "JobSpec",
+    "LeaseInfo",
+    "LeaseManager",
     "NULL_PROGRESS",
     "NullProgress",
     "ProgressWriter",
     "ResultCache",
     "ResultStore",
+    "activate_faults",
+    "active_faults",
     "active_progress",
+    "deactivate_faults",
     "diff_records",
+    "faults_scope",
     "expand_jobs",
     "overhead_model_comparison",
     "progress_scope",
@@ -77,6 +102,7 @@ __all__ = [
     "render_table",
     "rollup",
     "run_campaign",
+    "shard_of",
     "snapshot_status",
     "status_path",
 ]

@@ -1,0 +1,275 @@
+"""File-based job leases: claim, heartbeat, stale takeover, sharding.
+
+N independent campaign schedulers (separate processes, or separate hosts on
+a shared filesystem) coordinate over nothing but the campaign directory.
+The protocol is deliberately primitive — no server, no locks held across
+calls, every file operation atomic at the POSIX level:
+
+* **claim** — ``open(O_CREAT | O_EXCL)`` of ``<root>/<digest>.lease``.
+  Exactly one worker wins the create; the file body records the owner
+  (worker id, pid, host, run id) and two timestamps.
+* **heartbeat** — the holder periodically rewrites the lease (write-to-temp
+  + ``os.replace``) with a fresh ``heartbeat_unix``.  A lease whose
+  heartbeat is older than ``ttl_s`` is *stale*: its owner is presumed dead
+  (``kill -9`` leaves no tombstone, only silence).
+* **takeover** — a worker that finds a stale lease unlinks it and re-runs
+  the ``O_EXCL`` claim.  Two stealers may both unlink, but only one wins
+  the create; the loser observes a fresh foreign lease and backs off.
+* **release** — the holder unlinks its lease once the job's result is
+  safely in the store/cache.
+
+Sharding uses the job digest itself — :func:`shard_of` maps a digest's hex
+prefix onto ``count`` buckets, so every worker derives the same partition
+with no communication.  A worker runs its own shard first, then
+work-steals any cell whose lease is absent or stale (see the scheduler's
+steal phase).
+
+Lease transitions are mirrored as telemetry instant events
+(``lease.claim`` / ``lease.takeover`` / ``lease.release``) so a run's
+timeline shows who owned what when.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.serialization import stable_json_dumps
+from repro.errors import ReproError
+from repro.obs.telemetry import active as _active_telemetry
+
+#: Suffix of lease files inside the lease directory.
+LEASE_SUFFIX = ".lease"
+
+#: Default seconds-without-heartbeat before a lease counts as stale.
+DEFAULT_TTL_S = 30.0
+
+
+def shard_of(digest: str, count: int) -> int:
+    """Deterministic shard index of a job digest under ``count`` shards."""
+    if count < 1:
+        raise ReproError(f"shard count must be >= 1, got {count}")
+    return int(digest[:8], 16) % count
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """The decoded body of one lease file."""
+
+    digest: str
+    owner: str
+    pid: int
+    host: str
+    claimed_unix: float
+    heartbeat_unix: float
+
+    def age_s(self, now: Optional[float] = None) -> float:
+        """Seconds since the last heartbeat."""
+        return max(0.0, (time.time() if now is None else now) - self.heartbeat_unix)
+
+
+class LeaseManager:
+    """One worker's handle on a shared lease directory."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        owner: Optional[str] = None,
+        ttl_s: float = DEFAULT_TTL_S,
+    ) -> None:
+        if ttl_s <= 0:
+            raise ReproError(f"lease ttl_s must be > 0, got {ttl_s}")
+        self.root = Path(root)
+        self.ttl_s = ttl_s
+        self.host = socket.gethostname()
+        self.owner = owner or f"{self.host}:{os.getpid()}:{uuid.uuid4().hex[:6]}"
+        #: Digests this manager currently holds a lease on.
+        self.held: set[str] = set()
+        self.takeovers = 0
+
+    # ------------------------------------------------------------------ #
+    # paths + decoding
+    # ------------------------------------------------------------------ #
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}{LEASE_SUFFIX}"
+
+    def holder(self, digest: str) -> Optional[LeaseInfo]:
+        """Decode the current lease for ``digest`` (None if absent/corrupt).
+
+        A corrupt lease file (a holder killed mid-rewrite) decodes to None,
+        which callers treat like a stale lease: safe to take over.
+        """
+        try:
+            data = json.loads(self.path_for(digest).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        try:
+            return LeaseInfo(
+                digest=str(data["digest"]),
+                owner=str(data["owner"]),
+                pid=int(data["pid"]),
+                host=str(data["host"]),
+                claimed_unix=float(data["claimed_unix"]),
+                heartbeat_unix=float(data["heartbeat_unix"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def is_stale(self, info: Optional[LeaseInfo], now: Optional[float] = None) -> bool:
+        """True when a lease is expired (or undecodable) and may be taken."""
+        if info is None:
+            return True
+        return info.age_s(now) > self.ttl_s
+
+    # ------------------------------------------------------------------ #
+    # the protocol
+    # ------------------------------------------------------------------ #
+    def _body(self, digest: str, claimed_unix: Optional[float] = None) -> str:
+        now = round(time.time(), 6)
+        return stable_json_dumps({
+            "digest": digest,
+            "owner": self.owner,
+            "pid": os.getpid(),
+            "host": self.host,
+            "claimed_unix": claimed_unix if claimed_unix is not None else now,
+            "heartbeat_unix": now,
+        })
+
+    def claim(self, digest: str, steal_stale: bool = True) -> bool:
+        """Try to claim ``digest``; returns True when this worker now holds it.
+
+        A fresh foreign lease loses the claim; a stale (or corrupt) one is
+        taken over when ``steal_stale`` is set.  Re-claiming a digest this
+        manager already holds is a cheap True.
+        """
+        if digest in self.held:
+            return True
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(digest)
+        if self._try_create(path, digest):
+            self._note("lease.claim", digest)
+            return True
+        info = self.holder(digest)
+        if not steal_stale or not self.is_stale(info):
+            return False
+        # Stale: unlink the corpse and re-run the one-winner O_EXCL create.
+        # A racing stealer may beat us to either step; both outcomes are a
+        # clean loss (someone live owns the lease now).
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:
+            return False
+        if self._try_create(path, digest):
+            self.takeovers += 1
+            self._note("lease.takeover", digest,
+                       previous_owner=info.owner if info else None)
+            return True
+        return False
+
+    def _try_create(self, path: Path, digest: str) -> bool:
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            return False
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(self._body(digest))
+                fh.flush()
+        except BaseException:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            raise
+        self.held.add(digest)
+        return True
+
+    def heartbeat(self, digest: str) -> bool:
+        """Refresh a held lease's heartbeat; False if ownership was lost.
+
+        The rewrite is write-to-temp + ``os.replace`` so a reader never sees
+        a torn lease body from a live holder.
+        """
+        if digest not in self.held:
+            return False
+        info = self.holder(digest)
+        if info is None or info.owner != self.owner:
+            # Someone took the lease over (we were presumed dead).  Stop
+            # touching it — the thief owns the job now.
+            self.held.discard(digest)
+            return False
+        path = self.path_for(digest)
+        tmp = path.with_suffix(path.suffix + f".hb-{os.getpid()}")
+        try:
+            tmp.write_text(self._body(digest, claimed_unix=info.claimed_unix),
+                           encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        return True
+
+    def heartbeat_all(self) -> int:
+        """Refresh every held lease; returns how many are still owned."""
+        return sum(1 for digest in list(self.held) if self.heartbeat(digest))
+
+    def release(self, digest: str) -> bool:
+        """Drop a held lease (after the result is durably stored)."""
+        if digest not in self.held:
+            return False
+        self.held.discard(digest)
+        info = self.holder(digest)
+        if info is not None and info.owner != self.owner:
+            return False  # taken over; the new owner's lease stays
+        try:
+            self.path_for(digest).unlink()
+        except OSError:
+            return False
+        self._note("lease.release", digest)
+        return True
+
+    def release_all(self) -> int:
+        """Drop every held lease (end-of-run cleanup)."""
+        return sum(1 for digest in list(self.held) if self.release(digest))
+
+    def active_leases(self) -> dict[str, LeaseInfo]:
+        """Every decodable lease in the directory, keyed by digest."""
+        if not self.root.exists():
+            return {}
+        out: dict[str, LeaseInfo] = {}
+        for path in sorted(self.root.glob(f"*{LEASE_SUFFIX}")):
+            info = self.holder(path.name[: -len(LEASE_SUFFIX)])
+            if info is not None:
+                out[info.digest] = info
+        return out
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def _note(self, name: str, digest: str, **attrs: object) -> None:
+        telemetry = _active_telemetry()
+        if telemetry.enabled:
+            telemetry.event(name, digest=digest[:12], owner=self.owner, **attrs)
+            telemetry.counter(name.replace(".", "_") + "s").inc()
+
+
+__all__ = [
+    "DEFAULT_TTL_S",
+    "LEASE_SUFFIX",
+    "LeaseInfo",
+    "LeaseManager",
+    "shard_of",
+]

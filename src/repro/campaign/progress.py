@@ -173,6 +173,7 @@ def snapshot_status(
     jobs: dict[object, dict[str, object]] = {}
     ranks: dict[object, dict[int, dict[str, object]]] = {}
     retried_events = 0
+    lease_events: dict[str, int] = {}
     started_ts: Optional[float] = None
     last_ts: Optional[float] = None
     ended = False
@@ -202,8 +203,13 @@ def snapshot_status(
                 state["status"] = record.get("status")
                 state["cache_hit"] = bool(record.get("cache_hit"))
                 state["duration_s"] = record.get("duration_s")
+                if record.get("stolen"):
+                    state["stolen"] = True
             elif event == "retried":
                 retried_events += 1
+        elif kind == "lease":
+            if isinstance(event, str):
+                lease_events[event] = lease_events.get(event, 0) + 1
         elif kind == "rank":
             job_ranks = ranks.setdefault(record.get("job"), {})
             rank = record.get("rank")
@@ -249,6 +255,8 @@ def snapshot_status(
         "cache_hits": cache_hits,
         "cache_misses": len(finished) - cache_hits,
         "retried": retried_events,
+        "stolen": sum(1 for s in finished if s.get("stolen")),
+        "leases": dict(sorted(lease_events.items())),
         "elapsed_s": round(elapsed_s, 3),
         "throughput_jobs_s": (
             round(throughput, 3) if throughput is not None else None
@@ -279,6 +287,14 @@ def render_status(snapshot: Mapping[str, object]) -> str:
         f"cache: {snapshot.get('cache_hits')} hits / "
         f"{snapshot.get('cache_misses')} misses  retries: {snapshot.get('retried')}",
     ]
+    stolen = snapshot.get("stolen")
+    leases = snapshot.get("leases") or {}
+    if stolen or leases:
+        lease_text = ", ".join(f"{k} {v}" for k, v in leases.items())  # type: ignore[union-attr]
+        lines.append(
+            f"fabric: {stolen or 0} stolen"
+            + (f"  leases: [{lease_text}]" if lease_text else "")
+        )
     throughput = snapshot.get("throughput_jobs_s")
     eta = snapshot.get("eta_s")
     lines.append(

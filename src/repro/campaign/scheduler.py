@@ -22,11 +22,43 @@ distinct workload **once** as a trace (:mod:`repro.replay`), and answers every
 job in the group by offline replay.  A grid sweeping N tool/analysis-model
 combinations over one workload therefore simulates once instead of N times,
 while producing the same records.
+
+The distributed fabric
+----------------------
+Several schedulers — separate processes or hosts sharing a campaign
+directory — can run *one* grid together:
+
+* **Sharding** — ``shard=(k, n)`` makes this scheduler primary for the jobs
+  whose digest falls in shard ``k`` of ``n`` (:func:`~repro.campaign.leases.shard_of`).
+* **Leases** — each job is claimed through a
+  :class:`~repro.campaign.leases.LeaseManager` before execution (atomic
+  ``O_EXCL`` claim files with pid/host/owner and heartbeats), so two workers
+  never simulate the same cell.  A heartbeat thread keeps held leases fresh;
+  a worker that dies (``kill -9``) simply stops heartbeating and its leases
+  go stale.
+* **Work-stealing** — after its own shard, a scheduler sweeps the remaining
+  cells: anything already completed elsewhere is served from the shared
+  cache/store, anything whose lease is absent or stale is claimed and run
+  here (``steal=False`` waits without stealing).
+* **Crash-resume** — with ``resume=True`` (the default when a store is
+  attached), completed work is reconstructed from
+  :meth:`~repro.campaign.store.ResultStore.latest_by_digest` on startup, so
+  a rerun after a crash simulates only the missing cells.
+
+Failure policy (``on_failure``): ``"isolate"`` (default) records the failure
+and moves on; ``"fail_fast"`` aborts the campaign, marking unstarted jobs
+``"skipped"``; ``"degrade"`` re-runs a failed job stripped to its bare
+workload (no tools, no knobs) and records the partial result as
+``"degraded"``.  Retries sleep between attempts with exponential backoff and
+decorrelated jitter (``backoff_s`` / ``backoff_cap_s``), surfaced per
+attempt in :class:`JobOutcome` and on the progress stream.
 """
 
 from __future__ import annotations
 
+import random
 import tempfile
+import threading
 import time
 import traceback
 from concurrent.futures import (
@@ -50,6 +82,8 @@ from repro.api.runner import (
 )
 from repro.api.spec import ProfileSpec
 from repro.campaign.cache import ResultCache
+from repro.campaign.faults import active_faults
+from repro.campaign.leases import LeaseManager, shard_of
 from repro.campaign.progress import (
     NULL_PROGRESS,
     NullProgress,
@@ -70,7 +104,19 @@ JobRunner = Callable[[dict[str, object]], dict[str, object]]
 _EXECUTORS = ("serial", "thread", "process")
 
 #: Outcome statuses that carry a usable record.
-_OK_STATUSES = ("ok", "cached")
+_OK_STATUSES = ("ok", "cached", "degraded")
+
+#: Every status an outcome can end in.
+_ALL_STATUSES = ("ok", "cached", "degraded", "failed", "timeout", "skipped")
+
+#: Per-job failure policies.
+FAILURE_POLICIES = ("isolate", "fail_fast", "degrade")
+
+#: Patchable sleep used by retry backoff and lease polling (tests stub it).
+_sleep = time.sleep
+
+#: Store keys added on append that a resumed/cached record must not carry.
+_STORE_ONLY_KEYS = ("campaign", "cache_hit")
 
 
 class JobAttemptsError(ReproError):
@@ -118,8 +164,27 @@ def _error_detail(error: BaseException) -> str:
     return f"{type(error).__name__}: {error}"
 
 
-def _run_with_retries(payload: dict[str, object], retries: int, runner: JobRunner) -> dict[str, object]:
+def _backoff_total(entries: list[dict[str, object]]) -> float:
+    return float(sum(
+        e.get("backoff_s", 0.0) for e in entries  # type: ignore[arg-type]
+        if isinstance(e.get("backoff_s", 0.0), (int, float))
+    ))
+
+
+def _run_with_retries(
+    payload: dict[str, object],
+    retries: int,
+    runner: JobRunner,
+    backoff_s: float = 0.0,
+    backoff_cap_s: float = 30.0,
+) -> dict[str, object]:
     """Invoke ``runner`` with up to ``retries`` re-attempts on exception.
+
+    Failed attempts sleep before the next try: exponential backoff with
+    *decorrelated jitter* (each delay drawn uniformly from ``[base, 3 *
+    previous]``, capped), so a fleet of retrying workers spreads out instead
+    of hammering in lockstep.  The chosen delay is recorded on the attempt's
+    error entry as ``backoff_s``.
 
     Returns the record augmented with the attempt count (plus
     ``attempt_errors`` when earlier attempts failed); raises
@@ -128,14 +193,34 @@ def _run_with_retries(payload: dict[str, object], retries: int, runner: JobRunne
     """
     attempts = 0
     attempt_errors: list[dict[str, object]] = []
+    rng = random.Random()
+    previous_delay = max(backoff_s, 0.0)
+    faults = active_faults()
+    # Rich enough for FaultRule.match substring filters to single out one
+    # grid cell; built from the payload so it works in pool workers too.
+    label = (
+        f"{payload.get('model', '')}[bs{payload.get('batch_size', '?')}]"
+        f"@{payload.get('device', '')}"
+    )
     while True:
         attempts += 1
         try:
+            faults.fire("scheduler.job", label=label)
             record = runner(payload)
         except Exception as error:
-            attempt_errors.append(_attempt_error_entry(attempts, error))
+            entry = _attempt_error_entry(attempts, error)
             if attempts > retries:
+                attempt_errors.append(entry)
                 raise JobAttemptsError(attempt_errors) from error
+            if backoff_s > 0.0:
+                delay = min(
+                    max(backoff_cap_s, 0.0),
+                    rng.uniform(backoff_s, max(backoff_s, previous_delay * 3.0)),
+                )
+                previous_delay = delay
+                entry["backoff_s"] = round(delay, 6)
+                _sleep(delay)
+            attempt_errors.append(entry)
         else:
             if not isinstance(record, dict):
                 raise ReproError(
@@ -148,9 +233,15 @@ def _run_with_retries(payload: dict[str, object], retries: int, runner: JobRunne
             return record
 
 
-def _run_default_with_retries(payload: dict[str, object], retries: int) -> dict[str, object]:
+def _run_default_with_retries(
+    payload: dict[str, object],
+    retries: int,
+    backoff_s: float = 0.0,
+    backoff_cap_s: float = 30.0,
+) -> dict[str, object]:
     """Module-level (picklable) wrapper used by the process-pool executor."""
-    return _run_with_retries(payload, retries, execute_payload)
+    return _run_with_retries(payload, retries, execute_payload,
+                             backoff_s=backoff_s, backoff_cap_s=backoff_cap_s)
 
 
 @dataclass
@@ -159,15 +250,19 @@ class JobOutcome:
 
     job: ProfileSpec
     digest: str
-    status: str  # "ok" | "cached" | "failed" | "timeout"
+    status: str  # one of _ALL_STATUSES
     record: Optional[dict[str, object]] = None
     error: Optional[str] = None
     attempts: int = 1
     duration_s: float = 0.0
-    #: Per-attempt error entries (``attempt`` / ``error`` / ``traceback``),
-    #: covering *every* failed attempt — including the ones a later retry
-    #: recovered from (``status == "ok"`` with a non-empty list).
+    #: Per-attempt error entries (``attempt`` / ``error`` / ``traceback`` /
+    #: ``backoff_s``), covering *every* failed attempt — including the ones a
+    #: later retry recovered from (``status == "ok"`` with a non-empty list).
     errors: list[dict[str, object]] = field(default_factory=list)
+    #: Total seconds slept in retry backoff for this job.
+    backoff_s: float = 0.0
+    #: True when this scheduler took the job from another worker's shard.
+    stolen: bool = False
 
     @property
     def ok(self) -> bool:
@@ -210,6 +305,21 @@ class CampaignRunResult:
     def failed(self) -> int:
         return sum(1 for o in self.outcomes if not o.ok)
 
+    @property
+    def degraded(self) -> int:
+        """Jobs answered by the stripped-down degraded fallback."""
+        return sum(1 for o in self.outcomes if o.status == "degraded")
+
+    @property
+    def skipped(self) -> int:
+        """Jobs never started because a ``fail_fast`` abort fired first."""
+        return sum(1 for o in self.outcomes if o.status == "skipped")
+
+    @property
+    def stolen(self) -> int:
+        """Jobs this scheduler work-stole from another worker's shard."""
+        return sum(1 for o in self.outcomes if o.stolen)
+
     def records(self) -> list[dict[str, object]]:
         """Usable records from all successful outcomes."""
         return [o.record for o in self.outcomes if o.ok and o.record is not None]
@@ -226,9 +336,13 @@ class CampaignRunResult:
             "executed": self.executed,
             "cached": self.cached,
             "failed": self.failed,
+            "degraded": self.degraded,
+            "skipped": self.skipped,
+            "stolen": self.stolen,
             "execution": self.execution,
             "workloads_recorded": self.workloads_recorded,
             "duration_s": round(self.duration_s, 3),
+            "backoff_s": round(sum(o.backoff_s for o in self.outcomes), 6),
             "failures": [
                 {
                     "job": o.job.label(),
@@ -258,9 +372,28 @@ class CampaignScheduler:
         ``"timeout"`` and the campaign moves on.
     retries:
         Re-attempts per job before recording a failure.
+    backoff_s / backoff_cap_s:
+        Base (and cap) of the exponential-backoff-with-decorrelated-jitter
+        sleep between retry attempts; ``backoff_s=0`` (default) retries
+        immediately, preserving the historical behaviour.
     cache / store:
         Optional result cache (digest-keyed reuse) and JSONL store (append
         per completed job).
+    resume:
+        Reconstruct completed work from the store's ``latest_by_digest()``
+        on startup (version-matched ``"ok"`` records become cache hits), so
+        a rerun after a crash simulates only the missing cells.  Default
+        True; meaningless without a store.
+    leases / shard / steal / steal_timeout_s:
+        The distributed fabric: a :class:`~repro.campaign.leases.LeaseManager`
+        over a shared lease directory, an optional ``(index, count)`` digest
+        shard this worker is primary for, whether to work-steal cells whose
+        lease is absent or stale (default True), and how long to wait on
+        cells held by other live workers before giving up (None = wait until
+        they finish or their lease goes stale).
+    on_failure:
+        ``"isolate"`` (default), ``"fail_fast"``, or ``"degrade"`` — see the
+        module docstring.
     job_runner:
         Override the job execution function (tests inject stubs here).
         Ignored by the process executor, which always uses the default
@@ -273,7 +406,8 @@ class CampaignScheduler:
         only to simulate-mode execution, while ``retries`` covers the
         recording step.  Jobs whose spec sets ``record_to`` are always
         simulated, even in replay mode — they need a live event stream to
-        produce their trace artifact.
+        produce their trace artifact.  Work-stolen jobs are likewise always
+        simulated (a stolen cell has no recorded group trace to share).
     trace_dir:
         Where replay-mode workload traces are written; defaults to a
         temporary directory discarded after the run.
@@ -298,6 +432,15 @@ class CampaignScheduler:
         execution: Optional[str] = None,
         trace_dir: Union[str, Path, None] = None,
         progress: Union[ProgressWriter, NullProgress, None] = None,
+        backoff_s: float = 0.0,
+        backoff_cap_s: float = 30.0,
+        resume: bool = True,
+        leases: Optional[LeaseManager] = None,
+        shard: Optional[tuple[int, int]] = None,
+        steal: bool = True,
+        steal_timeout_s: Optional[float] = None,
+        on_failure: str = "isolate",
+        heartbeat_interval_s: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -305,18 +448,40 @@ class CampaignScheduler:
             raise ReproError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
         if retries < 0:
             raise ReproError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0 or backoff_cap_s < 0:
+            raise ReproError("backoff_s and backoff_cap_s must be >= 0")
         if executor == "process" and job_runner is not None:
             raise ReproError("custom job runners are not picklable; use the thread executor")
         if execution is not None and execution not in EXECUTION_MODES:
             raise ReproError(
                 f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
             )
+        if on_failure not in FAILURE_POLICIES:
+            raise ReproError(
+                f"on_failure must be one of {FAILURE_POLICIES}, got {on_failure!r}"
+            )
+        if shard is not None:
+            index, count = shard
+            if count < 1 or not 0 <= index < count:
+                raise ReproError(f"shard must be (index, count) with 0 <= index < count, got {shard!r}")
+            if leases is None:
+                raise ReproError("sharded execution requires a lease manager "
+                                 "(shards coordinate through leases)")
         self.jobs = jobs
         self.executor = executor
         self.timeout_s = timeout_s
         self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
         self.cache = cache
         self.store = store
+        self.resume = resume
+        self.leases = leases
+        self.shard = shard
+        self.steal = steal
+        self.steal_timeout_s = steal_timeout_s
+        self.on_failure = on_failure
+        self.heartbeat_interval_s = heartbeat_interval_s
         self.job_runner: JobRunner = job_runner or execute_payload
         self.version = version if version is not None else repro.__version__
         self.execution = execution
@@ -325,6 +490,8 @@ class CampaignScheduler:
         # active at that moment (the CLI's --status flag installs one).
         self.progress = progress
         self._progress: Union[ProgressWriter, NullProgress] = NULL_PROGRESS
+        #: Set to the abort reason once a fail_fast failure fires.
+        self._abort: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -336,8 +503,11 @@ class CampaignScheduler:
     ) -> CampaignRunResult:
         """Run every job of ``spec`` and return per-job outcomes.
 
-        Cached jobs are answered immediately; the rest execute on the worker
-        pool.  Completed records are cached and appended to the store.
+        Cached (and store-resumable) jobs are answered immediately; the rest
+        execute on the worker pool — lease-gated when the distributed fabric
+        is configured.  Completed records are cached and appended to the
+        store as they finish, so an interrupted campaign keeps everything it
+        already simulated.
         """
         started = time.monotonic()
         campaign_name = name or (spec.name if isinstance(spec, CampaignSpec) else "adhoc")
@@ -347,13 +517,17 @@ class CampaignScheduler:
         job_list = expand_jobs(spec)
         telemetry = _active_telemetry()
         telemetry.annotate(campaign=campaign_name, execution=execution)
+        self._abort = None
         self._progress = (
             self.progress if self.progress is not None else active_progress()
         )
         self._progress.emit(
             "campaign", event="start", campaign=campaign_name,
             execution=execution, total=len(job_list), slots=self.jobs,
+            worker=self.leases.owner if self.leases is not None else None,
+            shard=list(self.shard) if self.shard is not None else None,
         )
+        resume_map = self._resume_map() if (self.resume and self.store is not None) else {}
         with telemetry.span(
             "campaign.run",
             campaign=campaign_name,
@@ -379,6 +553,15 @@ class CampaignScheduler:
                 cached_record = self.cache.get(digest) if use_cache else None
                 if cached_record is not None:
                     telemetry.counter("campaign.cache_hits").inc()
+                elif job.record_to is None and digest in resume_map:
+                    # Crash-resume: the store already holds this cell's
+                    # result from an earlier (possibly killed) run.  Serve
+                    # it as a cache hit and refill the cache for the fleet.
+                    cached_record = resume_map[digest]
+                    telemetry.counter("campaign.resumed").inc()
+                    if use_cache:
+                        self.cache.put(digest, cached_record)
+                if cached_record is not None:
                     self._record_outcome(outcomes, index, JobOutcome(
                         job=job, digest=digest, status="cached", record=cached_record
                     ), campaign_name)
@@ -387,10 +570,15 @@ class CampaignScheduler:
                         telemetry.counter("campaign.cache_misses").inc()
                     pending.append((index, job, digest))
 
-            workloads_recorded = self._run_pending(
-                pending, outcomes, campaign_name, execution
-            )
-            for status in ("ok", "cached", "failed", "timeout"):
+            if self.leases is not None:
+                workloads_recorded = self._run_leased(
+                    pending, outcomes, campaign_name, execution
+                )
+            else:
+                workloads_recorded = self._run_pending(
+                    pending, outcomes, campaign_name, execution
+                )
+            for status in _ALL_STATUSES:
                 campaign_span.set_counter(
                     f"jobs_{status}",
                     sum(1 for o in outcomes.values() if o.status == status),
@@ -407,9 +595,28 @@ class CampaignScheduler:
         self._progress.emit(
             "campaign", event="end", campaign=campaign_name,
             duration_s=round(result.duration_s, 3), executed=result.executed,
-            cached=result.cached, failed=result.failed,
+            cached=result.cached, failed=result.failed, stolen=result.stolen,
         )
         return result
+
+    def _resume_map(self) -> dict[str, dict[str, object]]:
+        """Completed cells recoverable from the store: digest -> record.
+
+        Only version-matched ``"ok"`` records count — failed, degraded and
+        stale-version records must re-simulate.  Store-only bookkeeping keys
+        are stripped so a resumed record is byte-identical to a cache hit.
+        """
+        assert self.store is not None
+        out: dict[str, dict[str, object]] = {}
+        for digest, record in self.store.latest_by_digest().items():
+            if record.get("status") != "ok":
+                continue
+            if record.get("version") != self.version:
+                continue
+            out[digest] = {
+                k: v for k, v in record.items() if k not in _STORE_ONLY_KEYS
+            }
+        return out
 
     def _run_pending(
         self,
@@ -420,6 +627,9 @@ class CampaignScheduler:
     ) -> int:
         """Execute the cache-missing jobs; returns the workloads recorded."""
         workloads_recorded = 0
+        if self._abort is not None:
+            self._skip_remaining(pending, outcomes, campaign_name)
+            return 0
         if pending and execution == "replay":
             # A job that asks for its own trace artifact needs a live event
             # stream to record — replaying the shared group trace would
@@ -428,7 +638,10 @@ class CampaignScheduler:
             # mode); everything else goes through record-once/replay-many.
             recordings = [entry for entry in pending if entry[1].record_to is not None]
             replayable = [entry for entry in pending if entry[1].record_to is None]
-            for index, job, digest in recordings:
+            for position, (index, job, digest) in enumerate(recordings):
+                if self._abort is not None:
+                    self._skip_remaining(recordings[position:], outcomes, campaign_name)
+                    return workloads_recorded
                 self._emit_job(index, job, digest, "started")
                 self._record_outcome(
                     outcomes, index,
@@ -447,7 +660,10 @@ class CampaignScheduler:
                 self.executor == "serial" or (self.executor == "thread" and self.jobs == 1)
             )
             if inline:
-                for index, job, digest in pending:
+                for position, (index, job, digest) in enumerate(pending):
+                    if self._abort is not None:
+                        self._skip_remaining(pending[position:], outcomes, campaign_name)
+                        break
                     self._emit_job(index, job, digest, "started")
                     self._record_outcome(
                         outcomes, index, self._run_one_inline(job, digest), campaign_name
@@ -455,6 +671,167 @@ class CampaignScheduler:
             else:
                 self._run_pool(pending, outcomes, campaign_name)
         return workloads_recorded
+
+    # ------------------------------------------------------------------ #
+    # the distributed fabric
+    # ------------------------------------------------------------------ #
+    def _run_leased(
+        self,
+        pending: list[tuple[int, ProfileSpec, str]],
+        outcomes: dict[int, JobOutcome],
+        campaign_name: str,
+        execution: str,
+    ) -> int:
+        """Lease-gated execution: claim own shard, run it, then work-steal."""
+        assert self.leases is not None
+        shard_index, shard_count = self.shard if self.shard is not None else (0, 1)
+        mine: list[tuple[int, ProfileSpec, str]] = []
+        theirs: list[tuple[int, ProfileSpec, str]] = []
+        for entry in pending:
+            if shard_of(entry[2], shard_count) == shard_index:
+                mine.append(entry)
+            else:
+                theirs.append(entry)
+        claimed: list[tuple[int, ProfileSpec, str]] = []
+        telemetry = _active_telemetry()
+        for entry in mine:
+            takeovers_before = self.leases.takeovers
+            if self.leases.claim(entry[2]):
+                claimed.append(entry)
+                if self.leases.takeovers > takeovers_before:
+                    self._emit_lease("takeover", entry[2])
+            else:
+                # A live worker beat us to our own cell (it was stealing, or
+                # shards overlap); treat it like a foreign cell.
+                self._emit_lease("contested", entry[2])
+                theirs.append(entry)
+        telemetry.counter("campaign.leases_claimed").inc(len(claimed))
+        stop_beating = threading.Event()
+        beater = threading.Thread(
+            target=self._heartbeat_loop, args=(stop_beating,),
+            name="pasta-lease-heartbeat", daemon=True,
+        )
+        beater.start()
+        try:
+            recorded = self._run_pending(claimed, outcomes, campaign_name, execution)
+            self._steal_phase(theirs, outcomes, campaign_name)
+        finally:
+            stop_beating.set()
+            beater.join(timeout=5.0)
+            self.leases.release_all()
+        return recorded
+
+    def _heartbeat_loop(self, stop: threading.Event) -> None:
+        assert self.leases is not None
+        interval = (
+            self.heartbeat_interval_s
+            if self.heartbeat_interval_s is not None
+            else max(0.05, self.leases.ttl_s / 3.0)
+        )
+        while not stop.wait(interval):
+            self.leases.heartbeat_all()
+
+    def _steal_phase(
+        self,
+        entries: list[tuple[int, ProfileSpec, str]],
+        outcomes: dict[int, JobOutcome],
+        campaign_name: str,
+    ) -> None:
+        """Resolve the cells other workers are (were) responsible for.
+
+        Each pass over the unresolved cells: serve anything completed
+        elsewhere from the shared cache/store, claim-and-run anything whose
+        lease is absent or stale (work-stealing), and wait on cells held by
+        live workers.  A dead worker's lease stops heartbeating, goes stale
+        within the ttl, and its cells are taken over here.
+        """
+        assert self.leases is not None
+        remaining = list(entries)
+        if not remaining:
+            return
+        telemetry = _active_telemetry()
+        deadline = (
+            time.monotonic() + self.steal_timeout_s
+            if self.steal_timeout_s is not None else None
+        )
+        poll_s = max(0.05, min(self.leases.ttl_s / 4.0, 1.0))
+        while remaining:
+            if self._abort is not None:
+                self._skip_remaining(remaining, outcomes, campaign_name)
+                return
+            progressed = False
+            unresolved: list[tuple[int, ProfileSpec, str]] = []
+            for index, job, digest in remaining:
+                record = self._completed_elsewhere(job, digest)
+                if record is not None:
+                    telemetry.counter("campaign.cache_hits").inc()
+                    self._record_outcome(outcomes, index, JobOutcome(
+                        job=job, digest=digest, status="cached", record=record,
+                    ), campaign_name)
+                    progressed = True
+                    continue
+                takeovers_before = self.leases.takeovers
+                if self.steal and self.leases.claim(digest):
+                    self._emit_lease(
+                        "takeover" if self.leases.takeovers > takeovers_before
+                        else "steal",
+                        digest,
+                    )
+                    telemetry.counter("campaign.jobs_stolen").inc()
+                    self._emit_job(index, job, digest, "started")
+                    outcome = self._run_one_inline(job, digest)
+                    outcome.stolen = True
+                    self._record_outcome(outcomes, index, outcome, campaign_name)
+                    progressed = True
+                    continue
+                unresolved.append((index, job, digest))
+            remaining = unresolved
+            if not remaining:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                for index, job, digest in remaining:
+                    holder = self.leases.holder(digest)
+                    owner = holder.owner if holder is not None else "unknown"
+                    self._record_outcome(outcomes, index, JobOutcome(
+                        job=job, digest=digest, status="failed",
+                        error=f"job leased by {owner}; gave up after "
+                              f"{self.steal_timeout_s}s",
+                    ), campaign_name)
+                return
+            if not progressed:
+                _sleep(poll_s)
+
+    def _completed_elsewhere(
+        self, job: ProfileSpec, digest: str
+    ) -> Optional[dict[str, object]]:
+        """Another worker's finished record for ``digest``, if any."""
+        if self.cache is not None and job.record_to is None:
+            record = self.cache.get(digest)
+            if record is not None:
+                return record
+        if self.store is not None and job.record_to is None:
+            record = self.store.latest_by_digest().get(digest)
+            if (
+                record is not None
+                and record.get("status") == "ok"
+                and record.get("version") == self.version
+            ):
+                return {k: v for k, v in record.items() if k not in _STORE_ONLY_KEYS}
+        return None
+
+    def _skip_remaining(
+        self,
+        entries: list[tuple[int, ProfileSpec, str]],
+        outcomes: dict[int, JobOutcome],
+        campaign_name: str,
+    ) -> None:
+        for index, job, digest in entries:
+            if index in outcomes:
+                continue
+            self._record_outcome(outcomes, index, JobOutcome(
+                job=job, digest=digest, status="skipped",
+                error=f"campaign aborted: {self._abort}",
+            ), campaign_name)
 
     # ------------------------------------------------------------------ #
     # execution strategies
@@ -498,6 +875,9 @@ class CampaignScheduler:
             trace_root.mkdir(parents=True, exist_ok=True)
             for group_index, signature in enumerate(order):
                 members = groups[signature]
+                if self._abort is not None:
+                    self._skip_remaining(members, outcomes, campaign_name)
+                    continue
                 base_payload = members[0][1].to_dict()
                 trace_path = trace_root / f"workload-{group_index:04d}.pastatrace"
                 started = time.monotonic()
@@ -505,6 +885,7 @@ class CampaignScheduler:
                     summary = _run_with_retries(
                         base_payload, self.retries,
                         lambda payload: record_workload_trace(payload, trace_path),
+                        backoff_s=self.backoff_s, backoff_cap_s=self.backoff_cap_s,
                     )
                     summary.pop("attempts", None)
                 except Exception as error:
@@ -524,7 +905,10 @@ class CampaignScheduler:
                 # same in-memory event list.
                 reader = TraceReader(trace_path)
                 events = list(reader.events())
-                for index, job, digest in members:
+                for position, (index, job, digest) in enumerate(members):
+                    if self._abort is not None:
+                        self._skip_remaining(members[position:], outcomes, campaign_name)
+                        break
                     self._emit_job(index, job, digest, "started")
                     job_started = time.monotonic()
                     try:
@@ -552,7 +936,9 @@ class CampaignScheduler:
         job_started = time.monotonic()
         try:
             record = _run_with_retries(job.to_dict(), self.retries,
-                                       runner or self.job_runner)
+                                       runner or self.job_runner,
+                                       backoff_s=self.backoff_s,
+                                       backoff_cap_s=self.backoff_cap_s)
         except Exception as error:
             return JobOutcome(
                 job=job,
@@ -562,6 +948,7 @@ class CampaignScheduler:
                 attempts=self.retries + 1,
                 duration_s=time.monotonic() - job_started,
                 errors=_errors_of(error),
+                backoff_s=_backoff_total(_errors_of(error)),
             )
         return self._ok_outcome(job, digest, record, time.monotonic() - job_started)
 
@@ -573,8 +960,10 @@ class CampaignScheduler:
     def _submit(self, pool: Executor, job: ProfileSpec) -> Future:
         payload = job.to_dict()
         if self.executor == "process":
-            return pool.submit(_run_default_with_retries, payload, self.retries)
-        return pool.submit(_run_with_retries, payload, self.retries, self.job_runner)
+            return pool.submit(_run_default_with_retries, payload, self.retries,
+                               self.backoff_s, self.backoff_cap_s)
+        return pool.submit(_run_with_retries, payload, self.retries, self.job_runner,
+                           self.backoff_s, self.backoff_cap_s)
 
     def _wait_slice(self) -> Optional[float]:
         if self.timeout_s is None:
@@ -602,6 +991,10 @@ class CampaignScheduler:
         in_flight_gauge = telemetry.gauge("campaign.in_flight")
         try:
             while queue or in_flight:
+                if self._abort is not None and queue:
+                    # fail_fast: nothing new starts; in-flight jobs drain.
+                    self._skip_remaining(queue, outcomes, campaign_name)
+                    queue = []
                 while queue and len(in_flight) < slots:
                     index, job, digest = queue.pop(0)
                     self._emit_job(index, job, digest, "started")
@@ -666,8 +1059,57 @@ class CampaignScheduler:
                 job=job, digest=digest, status="failed", error=detail,
                 attempts=self.retries + 1, duration_s=duration_s,
                 errors=_errors_of(error),
+                backoff_s=_backoff_total(_errors_of(error)),
             )
         return self._ok_outcome(job, digest, record, duration_s)
+
+    # ------------------------------------------------------------------ #
+    # graceful degradation
+    # ------------------------------------------------------------------ #
+    def _degraded_outcome(self, outcome: JobOutcome) -> JobOutcome:
+        """Re-run a failed job stripped to its bare workload.
+
+        The fallback drops tools, knob overrides and fine-grained
+        instrumentation — the parts most likely to have failed — so the
+        campaign still gets the cell's baseline summary.  The record is
+        marked ``"degraded"`` (never cached: its content does not match the
+        original digest) and keeps the real job identity plus the failure
+        that triggered the fallback.
+        """
+        fallback = outcome.job.replace(
+            tools=(), knobs=(), fine_grained=False, record_to=None
+        )
+        started = time.monotonic()
+        try:
+            record = self.job_runner(fallback.to_dict())
+        except Exception as error:
+            outcome.errors.append(_attempt_error_entry(
+                len(outcome.errors) + 1, error
+            ))
+            outcome.error = (
+                f"{outcome.error}; degraded fallback also failed: "
+                f"{_error_detail(error)}"
+            )
+            return outcome
+        if not isinstance(record, dict):
+            return outcome
+        record = dict(record)
+        record["status"] = "degraded"
+        record["degraded"] = True
+        record["degraded_from"] = {
+            "error": outcome.error,
+            "tools": list(outcome.job.tools),
+        }
+        record["job"] = outcome.job.to_dict()
+        record["digest"] = outcome.digest
+        record["version"] = self.version
+        return JobOutcome(
+            job=outcome.job, digest=outcome.digest, status="degraded",
+            record=record, error=outcome.error, attempts=outcome.attempts,
+            duration_s=outcome.duration_s + (time.monotonic() - started),
+            errors=outcome.errors, backoff_s=outcome.backoff_s,
+            stolen=outcome.stolen,
+        )
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -680,6 +1122,13 @@ class CampaignScheduler:
             "job", event=event, index=index, job=job.label(), digest=digest[:12]
         )
 
+    def _emit_lease(self, event: str, digest: str) -> None:
+        """One lease transition on the progress stream."""
+        assert self.leases is not None
+        self._progress.emit(
+            "lease", event=event, digest=digest[:12], owner=self.leases.owner
+        )
+
     def _ok_outcome(
         self, job: ProfileSpec, digest: str, record: dict[str, object], duration_s: float
     ) -> JobOutcome:
@@ -688,10 +1137,11 @@ class CampaignScheduler:
         record["digest"] = digest
         record["version"] = self.version
         attempt_errors = record.get("attempt_errors")
+        errors = list(attempt_errors) if isinstance(attempt_errors, list) else []
         return JobOutcome(
             job=job, digest=digest, status="ok", record=record,
             attempts=attempts, duration_s=duration_s,
-            errors=list(attempt_errors) if isinstance(attempt_errors, list) else [],
+            errors=errors, backoff_s=_backoff_total(errors),
         )
 
     def _record_outcome(
@@ -705,7 +1155,15 @@ class CampaignScheduler:
 
         Cache writes and store appends happen per job, as each completes, so
         an interrupted campaign keeps everything it already simulated.
+        Failure policy is applied here: a ``degrade`` scheduler swaps a
+        failure for its stripped-down fallback, a ``fail_fast`` one arms the
+        abort that stops new work from starting.
         """
+        if outcome.status == "failed" and self.on_failure == "degrade":
+            outcome = self._degraded_outcome(outcome)
+        if not outcome.ok and outcome.status != "skipped" and self.on_failure == "fail_fast":
+            if self._abort is None:
+                self._abort = f"{outcome.job.label()} {outcome.status}: {outcome.error}"
         outcomes[index] = outcome
         # Re-attempts beyond the first try: a success after N failures retried
         # N times; a failure's final attempt was not itself a retry.
@@ -714,13 +1172,14 @@ class CampaignScheduler:
             self._progress.emit(
                 "job", event="retried", index=index, job=outcome.job.label(),
                 digest=outcome.digest[:12], attempt=entry.get("attempt"),
-                error=entry.get("error"),
+                error=entry.get("error"), backoff_s=entry.get("backoff_s"),
             )
         self._progress.emit(
             "job", event="finished", index=index, job=outcome.job.label(),
             digest=outcome.digest[:12], status=outcome.status,
             cache_hit=outcome.cached, duration_s=round(outcome.duration_s, 6),
             attempts=outcome.attempts, error=outcome.error,
+            stolen=outcome.stolen or None,
         )
         telemetry = _active_telemetry()
         if telemetry.enabled:
@@ -756,16 +1215,30 @@ class CampaignScheduler:
             if isinstance(job_payload, dict) and job_payload.get("record_to") is not None:
                 cached = dict(cached)
                 cached["job"] = {k: v for k, v in job_payload.items() if k != "record_to"}
-            self.cache.put(outcome.digest, cached)
+            try:
+                self.cache.put(outcome.digest, cached)
+            except Exception as error:
+                # A failing cache (disk full, injected corruption) degrades
+                # throughput, never the campaign.
+                telemetry.counter("campaign.cache_put_errors").inc()
+                self._progress.emit(
+                    "job", event="cache_error", index=index,
+                    digest=outcome.digest[:12], error=_error_detail(error),
+                )
+        self._append_to_store(outcome, campaign_name)
+        if self.leases is not None and outcome.digest in self.leases.held:
+            self.leases.release(outcome.digest)
+
+    def _append_to_store(self, outcome: JobOutcome, campaign_name: str) -> None:
+        """Persist one outcome; a failing store never fails the campaign."""
         if self.store is None:
             return
         if outcome.ok and outcome.record is not None:
             stored = dict(outcome.record)
             stored["campaign"] = campaign_name
             stored["cache_hit"] = outcome.cached
-            self.store.append(stored)
         else:
-            self.store.append({
+            stored = {
                 "campaign": campaign_name,
                 "job": outcome.job.to_dict(),
                 "digest": outcome.digest,
@@ -774,7 +1247,18 @@ class CampaignScheduler:
                 "error": outcome.error,
                 "attempts": outcome.attempts,
                 "errors": outcome.errors,
-            })
+            }
+        try:
+            self.store.append(stored)
+        except Exception as error:
+            # Torn/failed appends (a crashing disk, an injected torn_write)
+            # lose this one record; the tolerant reader and the cache keep
+            # the campaign itself recoverable.
+            _active_telemetry().counter("campaign.store_append_errors").inc()
+            self._progress.emit(
+                "job", event="store_error", digest=outcome.digest[:12],
+                error=_error_detail(error),
+            )
 
 
 def run_campaign(

@@ -62,6 +62,8 @@ from repro.campaign.aggregate import (
     rollup,
 )
 from repro.campaign.cache import ResultCache
+from repro.campaign.faults import FaultInjector, FaultPlan, faults_scope
+from repro.campaign.leases import DEFAULT_TTL_S, LeaseManager
 from repro.campaign.progress import (
     ProgressWriter,
     progress_scope,
@@ -77,6 +79,25 @@ from repro.errors import ReproError
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".pasta-cache"
+
+#: Default lease directory for multi-worker (``--workers``) runs.
+DEFAULT_LEASE_DIR = ".pasta-leases"
+
+
+def _parse_workers(text: str) -> tuple[int, int]:
+    """Parse ``--workers K/N`` into a 0-based ``(index, count)`` shard."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ReproError(
+            f"--workers must look like K/N (e.g. 0/2), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ReproError(
+            f"--workers needs 0 <= K < N, got {text!r}"
+        )
+    return index, count
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +128,46 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     run.add_argument("--trace-dir", default=None,
                      help="keep replay-mode workload traces in this directory "
                           "(default: a discarded temporary directory)")
+    run.add_argument("--retry-backoff", type=float, default=0.0, metavar="S",
+                     help="base seconds of exponential backoff (with "
+                          "decorrelated jitter) between retry attempts "
+                          "(default: 0 = retry immediately)")
+    run.add_argument("--retry-backoff-cap", type=float, default=30.0, metavar="S",
+                     help="ceiling on one retry backoff sleep (default: 30)")
+    run.add_argument("--on-failure", choices=["isolate", "fail_fast", "degrade"],
+                     default="isolate",
+                     help="per-job failure policy: isolate (record and move "
+                          "on, the default), fail_fast (abort the campaign, "
+                          "skipping unstarted jobs), degrade (re-run the job "
+                          "without tools/knobs and record a partial result)")
+    run.add_argument("--workers", default=None, metavar="K/N",
+                     help="run as worker K of N over a shared campaign "
+                          "directory: this process is primary for digest "
+                          "shard K (0-based) and work-steals the rest "
+                          "(requires --lease-dir or its default)")
+    run.add_argument("--lease-dir", default=None, metavar="DIR",
+                     help="job-lease directory for multi-worker runs "
+                          f"(default with --workers: {DEFAULT_LEASE_DIR})")
+    run.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                     help="seconds without a heartbeat before a worker's "
+                          "lease counts as dead and may be taken over "
+                          "(default: 30)")
+    run.add_argument("--no-steal", action="store_true",
+                     help="never take over other workers' cells; wait for "
+                          "them (or their lease expiry) instead")
+    run.add_argument("--steal-timeout", type=float, default=None, metavar="S",
+                     help="give up on cells held by live foreign workers "
+                          "after this many seconds (default: wait)")
+    run.add_argument("--no-resume", action="store_true",
+                     help="do not reconstruct completed work from the store "
+                          "on startup (crash-resume is on by default)")
+    run.add_argument("--fsync", action="store_true",
+                     help="fsync cache and store writes (durability against "
+                          "host crashes, not just process crashes)")
+    run.add_argument("--faults", default=None, metavar="PLAN",
+                     help="arm a fault-injection plan: inline JSON or a path "
+                          "to a JSON file (also honoured from the "
+                          "PASTA_FAULTS environment variable)")
     run.add_argument("--dry-run", action="store_true",
                      help="print the expanded job grid and exit")
     run.add_argument("--status", default=None, metavar="DIR",
@@ -158,6 +219,8 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.obs.telemetry import active as _active_telemetry
 
     with _active_telemetry().span("campaign.setup", spec=args.spec):
@@ -168,22 +231,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for job in jobs:
                 print(f"  {job.label()}")
             return 0
+        shard = _parse_workers(args.workers) if args.workers else None
+        leases = None
+        if shard is not None or args.lease_dir is not None:
+            leases = LeaseManager(
+                args.lease_dir or DEFAULT_LEASE_DIR,
+                ttl_s=args.lease_ttl if args.lease_ttl is not None else DEFAULT_TTL_S,
+            )
         scheduler = CampaignScheduler(
             jobs=args.jobs,
             executor=args.executor,
             timeout_s=args.timeout,
             retries=args.retries,
-            cache=None if args.no_cache else ResultCache(args.cache_dir),
-            store=ResultStore(args.store) if args.store else None,
+            backoff_s=args.retry_backoff,
+            backoff_cap_s=args.retry_backoff_cap,
+            cache=(
+                None if args.no_cache
+                else ResultCache(args.cache_dir, fsync=args.fsync)
+            ),
+            store=ResultStore(args.store, fsync=args.fsync) if args.store else None,
             execution=args.execution,
             trace_dir=args.trace_dir,
+            resume=not args.no_resume,
+            leases=leases,
+            shard=shard,
+            steal=not args.no_steal,
+            steal_timeout_s=args.steal_timeout,
+            on_failure=args.on_failure,
         )
-    if args.status:
-        # Scoped (not passed to the scheduler) so the api runner's in-job
-        # events — per-rank parallel progress — reach the same stream.
-        with progress_scope(ProgressWriter(args.status)):
-            result = scheduler.run(spec)
-    else:
+    with ExitStack() as stack:
+        if args.faults:
+            stack.enter_context(
+                faults_scope(FaultInjector(FaultPlan.parse(args.faults)))
+            )
+        if args.status:
+            # Scoped (not passed to the scheduler) so the api runner's in-job
+            # events — per-rank parallel progress — reach the same stream.
+            stack.enter_context(progress_scope(ProgressWriter(args.status)))
         result = scheduler.run(spec)
     summary = result.summary()
     if args.json:
@@ -193,9 +277,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f", {result.workloads_recorded} workload(s) simulated"
             if result.execution == "replay" else ""
         )
+        fabric_bits = [
+            f"{count} {label}"
+            for count, label in (
+                (result.stolen, "stolen"),
+                (result.degraded, "degraded"),
+                (result.skipped, "skipped"),
+            )
+            if count
+        ]
+        fabric_note = f", {', '.join(fabric_bits)}" if fabric_bits else ""
         print(f"campaign {result.name!r}: {result.total} jobs "
               f"({result.executed} executed, {result.cached} cached, "
-              f"{result.failed} failed{replay_note}) in {result.duration_s:.2f}s")
+              f"{result.failed} failed{fabric_note}{replay_note}) "
+              f"in {result.duration_s:.2f}s")
         for outcome in result.failures():
             print(f"  FAILED {outcome.job.label()}: [{outcome.status}] {outcome.error}")
             # Every attempt is accounted for, not just the last one.

@@ -150,11 +150,37 @@ class TestStore:
         assert set(latest) == {"d1", "d2"}
         assert latest["d1"]["n"] == 2
 
-    def test_corrupt_line_raises_with_location(self, tmp_path):
+    def test_corrupt_line_warns_and_skips_by_default(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n{"ok": 2}\n')
+        with pytest.warns(RuntimeWarning, match="r.jsonl:2"):
+            records = ResultStore(path).load()
+        assert [r["ok"] for r in records] == [1, 2]
+
+    def test_corrupt_line_raises_with_location_in_strict_mode(self, tmp_path):
         path = tmp_path / "r.jsonl"
         path.write_text('{"ok": 1}\nnot json\n')
         with pytest.raises(ReproError, match="r.jsonl:2"):
-            ResultStore(path).load()
+            ResultStore(path).load(strict=True)
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        # A writer killed mid-append leaves half a record and no newline.
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"ok": 1}\n{"ok": 2')
+        with pytest.warns(RuntimeWarning, match="torn/corrupt"):
+            records = ResultStore(path).load()
+        assert [r["ok"] for r in records] == [1]
+
+    def test_append_heals_newline_boundary_after_tear(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"ok": 1}\n{"torn": ')
+        store = ResultStore(path)
+        store.append({"ok": 3})
+        with pytest.warns(RuntimeWarning):
+            records = store.load()
+        # The tear costs exactly one record; post-crash appends survive.
+        assert [r.get("ok") for r in records] == [1, 3]
+        assert path.read_text().endswith("\n")
 
 
 class TestCache:
@@ -170,13 +196,81 @@ class TestCache:
         assert cache.clear() == 1
         assert cache.get(digest) is None
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         digest = "cd" + "0" * 62
         path = cache.path_for(digest)
         path.parent.mkdir(parents=True)
         path.write_text("{broken")
         assert cache.get(digest) is None
+        # The corrupt entry was moved aside, not left to fail every read.
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert cache.stats.quarantined == 1
+        assert cache.stats.as_dict()["quarantined"] == 1
+        # The slot refills cleanly.
+        cache.put(digest, {"status": "ok"})
+        assert cache.get(digest) == {"status": "ok"}
+
+    def test_clear_sweeps_quarantined_tombstones(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest = "ef" + "0" * 62
+        path = cache.path_for(digest)
+        path.parent.mkdir(parents=True)
+        path.write_text("not json")
+        assert cache.get(digest) is None
+        # The tombstone is not a cached result: clear() counts 0 removed
+        # entries but still sweeps it.
+        assert cache.clear() == 0
+        assert list((tmp_path / "cache").glob("*/*")) == []
+
+    def test_evict_tolerates_losing_the_unlink_race(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest = "12" + "0" * 62
+        cache.put(digest, {"status": "ok"})
+        assert cache.evict(digest) is True
+        # A second evict (another scheduler got there first) is a calm False.
+        assert cache.evict(digest) is False
+
+    def test_clear_counts_only_what_this_call_removed(self, tmp_path):
+        cache_a = ResultCache(tmp_path / "cache")
+        cache_b = ResultCache(tmp_path / "cache")
+        digests = [f"{i:02x}" + "0" * 62 for i in range(4)]
+        for digest in digests:
+            cache_a.put(digest, {"status": "ok"})
+        # Another scheduler evicts two entries between walk and unlink.
+        cache_b.evict(digests[0])
+        cache_b.evict(digests[1])
+        assert cache_a.clear() == 2
+        assert cache_a.clear() == 0
+
+    def test_concurrent_clears_never_raise_and_split_the_count(self, tmp_path):
+        import threading as _threading
+
+        cache = ResultCache(tmp_path / "cache")
+        digests = [f"{i:02x}" + "0" * 62 for i in range(32)]
+        for digest in digests:
+            cache.put(digest, {"status": "ok"})
+        counts = []
+        workers = [
+            _threading.Thread(
+                target=lambda: counts.append(ResultCache(tmp_path / "cache").clear())
+            )
+            for _ in range(4)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        # Every entry was removed exactly once across the racing clears.
+        assert sum(counts) == len(digests)
+        assert len(cache) == 0
+
+    def test_fsync_put_still_roundtrips(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", fsync=True)
+        digest = "34" + "0" * 62
+        cache.put(digest, {"status": "ok", "n": 1})
+        assert cache.get(digest) == {"status": "ok", "n": 1}
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,241 @@
+"""Crash-resume drills: SIGKILL'd workers, stale-lease takeover, merged reports.
+
+These tests run real campaigns in subprocesses, kill them mid-run with the
+fault harness (``PASTA_FAULTS`` crash rules — ``os.kill(SIGKILL)``, nothing
+flushed, no handler), and assert that a rerun over the same campaign
+directory simulates only the missing cells and that the merged report is
+byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.campaign import ResultStore, rollup, snapshot_status
+from repro.obs.sink import read_records
+
+#: A 6-cell grid of cheap alexnet jobs (tools x analysis models).
+SPEC = {
+    "name": "drill",
+    "models": ["alexnet"],
+    "tools": ["kernel_frequency", "memory_characteristics",
+              ["kernel_frequency", "memory_characteristics"]],
+    "analysis_models": ["gpu_resident", "cpu_side"],
+    "iterations": 1,
+    "batch_size": 1,
+}
+TOTAL = 6
+
+
+def _run_cli(args, *, faults=None, cwd=None, timeout=120):
+    """Run ``pasta campaign ...`` in a subprocess; returns the process."""
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("PASTA_FAULTS", None)
+    if faults is not None:
+        env["PASTA_FAULTS"] = json.dumps(faults)
+    body = (
+        "from repro.commands import main\n"
+        f"raise SystemExit(main({['campaign', *args]!r}))\n"
+    )
+    return subprocess.run(
+        [sys.executable, "-c", body], env=env, cwd=cwd,
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def _campaign_dirs(tmp_path, name):
+    root = tmp_path / name
+    root.mkdir()
+    spec_path = root / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    return {
+        "spec": str(spec_path),
+        "cache": str(root / "cache"),
+        "store": str(root / "results.jsonl"),
+        "leases": str(root / "leases"),
+        "status": str(root / "status"),
+    }
+
+
+def _run_args(dirs, *extra):
+    return [
+        "run", dirs["spec"], "--cache-dir", dirs["cache"],
+        "--store", dirs["store"], "--json", *extra,
+    ]
+
+
+def _report(store_path):
+    """The merged campaign report: canonical JSON of the rollup tables."""
+    latest = list(ResultStore(store_path).latest_by_digest().values())
+    ok = [r for r in latest if r.get("status") == "ok"]
+    assert len(ok) == TOTAL
+    return json.dumps(
+        {"by_model": rollup(ok, by="model"),
+         "by_analysis_model": rollup(ok, by="analysis_model")},
+        sort_keys=True,
+    )
+
+
+def _uninterrupted_report(tmp_path):
+    dirs = _campaign_dirs(tmp_path, "baseline")
+    proc = _run_cli(_run_args(dirs))
+    assert proc.returncode == 0, proc.stderr
+    return _report(dirs["store"])
+
+
+class TestCrashResume:
+    def test_sigkill_mid_campaign_then_resume_runs_only_missing_cells(self, tmp_path):
+        dirs = _campaign_dirs(tmp_path, "crash")
+        crashed = _run_cli(
+            _run_args(dirs),
+            faults={"rules": [
+                {"site": "runner.execute", "kind": "crash", "after": 3}]},
+        )
+        # SIGKILL, not a python exception: no summary, no cleanup ran.
+        assert crashed.returncode == -signal.SIGKILL, crashed.stderr
+        survivors = ResultStore(dirs["store"]).latest_by_digest()
+        assert len(survivors) == 3
+
+        resumed = _run_cli(_run_args(dirs))
+        assert resumed.returncode == 0, resumed.stderr
+        summary = json.loads(resumed.stdout)
+        assert summary["total"] == TOTAL
+        # Only the cells the kill stole are simulated; the rest resume.
+        assert summary["executed"] == TOTAL - 3
+        assert summary["cached"] == 3
+        assert summary["failed"] == 0
+
+        # A further rerun re-simulates nothing at all.
+        rerun = _run_cli(_run_args(dirs))
+        assert rerun.returncode == 0, rerun.stderr
+        summary = json.loads(rerun.stdout)
+        assert summary["executed"] == 0
+        assert summary["cached"] == TOTAL
+
+        # The merged report is byte-identical to an uninterrupted run's.
+        assert _report(dirs["store"]) == _uninterrupted_report(tmp_path)
+
+    def test_resume_works_from_store_alone_without_cache(self, tmp_path):
+        dirs = _campaign_dirs(tmp_path, "nocache")
+        crashed = _run_cli(
+            _run_args(dirs, "--no-cache"),
+            faults={"rules": [
+                {"site": "runner.execute", "kind": "crash", "after": 2}]},
+        )
+        assert crashed.returncode == -signal.SIGKILL, crashed.stderr
+        resumed = _run_cli(_run_args(dirs, "--no-cache"))
+        assert resumed.returncode == 0, resumed.stderr
+        summary = json.loads(resumed.stdout)
+        assert summary["executed"] == TOTAL - 2
+        assert summary["cached"] == 2
+
+    def test_no_resume_flag_resimulates_everything(self, tmp_path):
+        dirs = _campaign_dirs(tmp_path, "noresume")
+        first = _run_cli(_run_args(dirs, "--no-cache"))
+        assert first.returncode == 0, first.stderr
+        again = _run_cli(_run_args(dirs, "--no-cache", "--no-resume"))
+        assert again.returncode == 0, again.stderr
+        summary = json.loads(again.stdout)
+        assert summary["executed"] == TOTAL
+        assert summary["cached"] == 0
+
+
+class TestTwoWorkerTakeover:
+    def test_killed_workers_shard_is_taken_over_and_report_matches(self, tmp_path):
+        dirs = _campaign_dirs(tmp_path, "fabric")
+        lease_args = ["--lease-dir", dirs["leases"], "--lease-ttl", "0.5"]
+
+        # Worker A: primary for shard 0, SIGKILL'd after one completed job.
+        # It dies holding unreleased leases on the rest of its shard.
+        worker_a = _run_cli(
+            _run_args(dirs, "--workers", "0/2", *lease_args),
+            faults={"rules": [
+                {"site": "runner.execute", "kind": "worker_kill", "after": 1}]},
+        )
+        assert worker_a.returncode == -signal.SIGKILL, worker_a.stderr
+        leftovers = list(Path(dirs["leases"]).glob("*.lease"))
+        assert leftovers, "the killed worker should leave stale leases behind"
+        done_before = len(ResultStore(dirs["store"]).latest_by_digest())
+        assert done_before >= 1
+
+        # Worker B: primary for shard 1.  It must finish its own shard, wait
+        # out A's lease ttl, take the stale leases over, and complete the
+        # whole campaign — without re-simulating anything A finished.
+        worker_b = _run_cli(
+            _run_args(dirs, "--workers", "1/2", "--status", dirs["status"],
+                      *lease_args),
+        )
+        assert worker_b.returncode == 0, worker_b.stderr
+        summary = json.loads(worker_b.stdout)
+        assert summary["total"] == TOTAL
+        assert summary["failed"] == 0
+        assert summary["cached"] == done_before
+        assert summary["executed"] == TOTAL - done_before
+        assert summary["stolen"] >= 1
+
+        # The takeover is visible on the progress stream.
+        snapshot = snapshot_status(
+            read_records(Path(dirs["status"]) / "status.jsonl"))
+        assert snapshot["stolen"] >= 1
+        assert snapshot["leases"].get("takeover", 0) >= 1
+
+        # All leases were released once the campaign completed.
+        assert list(Path(dirs["leases"]).glob("*.lease")) == []
+
+        # Zero re-simulation on a third pass, and a byte-identical report.
+        worker_c = _run_cli(_run_args(dirs))
+        assert worker_c.returncode == 0, worker_c.stderr
+        summary = json.loads(worker_c.stdout)
+        assert summary["executed"] == 0
+        assert summary["cached"] == TOTAL
+        assert _report(dirs["store"]) == _uninterrupted_report(tmp_path)
+
+
+class TestFaultedCampaignRecovers:
+    def test_every_recoverable_fault_mode_in_one_campaign(self, tmp_path):
+        # error (retried), slow (tolerated), torn store write (isolated) and
+        # a corrupted cache entry (quarantined) — the campaign still reports
+        # zero failures.
+        dirs = _campaign_dirs(tmp_path, "chaos")
+        proc = _run_cli(
+            _run_args(dirs, "--retries", "2", "--retry-backoff", "0.01"),
+            faults={"seed": 11, "rules": [
+                {"site": "scheduler.job", "kind": "error", "times": 1},
+                {"site": "runner.execute", "kind": "slow", "times": 1,
+                 "delay_s": 0.05},
+                {"site": "store.append", "kind": "torn_write", "times": 1},
+                {"site": "cache.put", "kind": "cache_corrupt", "times": 1},
+            ]},
+        )
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads(proc.stdout)
+        assert summary["failed"] == 0
+        assert summary["total"] == TOTAL
+        assert summary["backoff_s"] > 0
+
+        # The torn record is skipped on read; a resume fills the hole (one
+        # record lost to the tear, one cache entry corrupted -> at most two
+        # cells re-simulate; the rest resume).
+        with pytest.warns(RuntimeWarning):
+            resumable = [
+                r for r in ResultStore(dirs["store"]).load()
+                if r.get("status") == "ok"
+            ]
+        assert len(resumable) >= TOTAL - 1
+        resumed = _run_cli(_run_args(dirs))
+        assert resumed.returncode == 0, resumed.stderr
+        summary = json.loads(resumed.stdout)
+        assert summary["failed"] == 0
+        assert summary["executed"] <= 2
+        assert summary["cached"] >= TOTAL - 2
+        assert _report(dirs["store"]) == _uninterrupted_report(tmp_path)
