@@ -1,0 +1,110 @@
+"""ROADMAP item 3's closing acceptance: a 1000+-cell campaign at scale.
+
+The drill: expand a 1024-cell grid, run it across **4 process workers**
+through the real CLI, then run it again and demand
+
+* the rerun is **100% cache hits** — zero cells re-simulated;
+* one **single merged report** aggregates the whole grid from the store.
+
+This is a scheduled dispatch benchmark, not a tier-1 test: it simulates a
+thousand cells, so it only runs when ``PASTA_BENCH_DISPATCH=1`` is set (the
+CI ``benchmarks`` job sets it; plain ``pytest`` skips it).  The cells are
+the cheapest possible (no-tool alexnet inference, distinguished by a swept
+grid-window knob) so the time measured is dispatch + cache + store
+machinery, which is what the acceptance is about.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("PASTA_BENCH_DISPATCH"),
+    reason="1000+-cell dispatch benchmark; set PASTA_BENCH_DISPATCH=1 to run",
+)
+
+#: The acceptance floor from ROADMAP item 3.
+GRID_CELLS = 1024
+
+WORKERS = 4
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _run_cli(args: list[str], cwd: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c",
+         "import sys; from repro.commands import main; sys.exit(main())",
+         *args],
+        capture_output=True, text=True, cwd=cwd, env=env, timeout=1200,
+    )
+
+
+def _grid_spec() -> dict:
+    # 1024 distinct digests over one cheap workload: each cell is a no-tool
+    # alexnet inference run distinguished only by a swept window knob, so
+    # the grid exercises dispatch at scale without an hour of simulation.
+    return {
+        "name": "dispatch-grid-1024",
+        "models": ["alexnet"],
+        "tools": [],
+        "modes": ["inference"],
+        "iterations": 1,
+        "knob_sweep": [
+            {"end_grid_id": 10_000_000 + index} for index in range(GRID_CELLS)
+        ],
+    }
+
+
+def test_dispatch_grid_1024_cells_4_workers(tmp_path: Path) -> None:
+    spec_path = tmp_path / "grid.json"
+    spec_path.write_text(json.dumps(_grid_spec()))
+    common = ["campaign", "run", str(spec_path),
+              "--jobs", str(WORKERS), "--executor", "process",
+              "--cache-dir", str(tmp_path / "cache"), "--json"]
+
+    started = time.perf_counter()
+    first = _run_cli([*common, "--store", str(tmp_path / "store1.jsonl")], tmp_path)
+    cold_s = time.perf_counter() - started
+    assert first.returncode == 0, first.stderr
+    cold = json.loads(first.stdout)
+    assert cold["total"] == GRID_CELLS
+    assert cold["failed"] == 0
+    assert cold["executed"] + cold["cached"] == GRID_CELLS
+
+    started = time.perf_counter()
+    second = _run_cli([*common, "--store", str(tmp_path / "store2.jsonl")], tmp_path)
+    warm_s = time.perf_counter() - started
+    assert second.returncode == 0, second.stderr
+    warm = json.loads(second.stdout)
+    # The acceptance: a rerun of the identical grid simulates *nothing*.
+    assert warm["total"] == GRID_CELLS
+    assert warm["executed"] == 0
+    assert warm["cached"] == GRID_CELLS
+    assert warm["failed"] == 0
+
+    # One merged report over the whole grid, aggregated from the store.
+    report = _run_cli(
+        ["campaign", "report", str(tmp_path / "store2.jsonl"),
+         "--by", "model", "--json"],
+        tmp_path,
+    )
+    assert report.returncode == 0, report.stderr
+    merged = json.loads(report.stdout)
+    rows = merged["rollup"]
+    assert len(rows) == 1, f"expected one merged row, got {rows!r}"
+    assert rows[0]["model"] == "alexnet"
+    assert int(rows[0]["jobs"]) == GRID_CELLS
+
+    print(f"\ndispatch grid: {GRID_CELLS} cells x {WORKERS} workers  "
+          f"cold {cold_s:.1f}s  warm {warm_s:.1f}s  "
+          f"(rerun 100% cached: {warm['cached']}/{GRID_CELLS})")

@@ -34,6 +34,8 @@ Package layout
 * :mod:`repro.tools` — analysis tools built with PASTA (the paper's case
   studies).
 * :mod:`repro.campaign` — batched experiment campaigns with caching.
+* :mod:`repro.serve` — profiling as a service: the ``pasta serve`` daemon,
+  its JSONL job API, and the ``pasta.connect(url)`` remote client.
 * :mod:`repro.replay` — trace record & replay (persistent event streams with
   offline analysis).
 * :mod:`repro.pasta` — the user facade (``pasta.profile()``, ``pasta.run()``,
@@ -41,6 +43,7 @@ Package layout
 """
 
 from repro import pasta
+from repro.pasta import connect
 from repro.api import (
     ParallelismSpec,
     ParallelProfileResult,
@@ -63,7 +66,7 @@ from repro.core.session import PastaSession
 from repro.core.tool import PastaTool
 from repro.errors import PastaError, ReproError
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ParallelProfileResult",
@@ -78,6 +81,7 @@ __all__ = [
     "Registry",
     "ReproError",
     "__version__",
+    "connect",
     "create_tool",
     "discover_plugins",
     "pasta",

@@ -10,7 +10,9 @@ that drives live runs, recording and replay:
 * :mod:`repro.campaign.scheduler` — worker-pool execution with per-job
   retries, timeouts and failure isolation;
 * :mod:`repro.campaign.cache` — content-addressed result cache (identical
-  specs never re-simulate);
+  specs never re-simulate) and the :class:`CacheBackend` contract;
+* :mod:`repro.campaign.cache_http` — the same cache served by a ``pasta
+  serve`` daemon over HTTP (workers without a shared filesystem);
 * :mod:`repro.campaign.store` — append-only JSONL record store;
 * :mod:`repro.campaign.leases` — file-based job leases (claim / heartbeat /
   stale takeover) and digest sharding for the distributed campaign fabric;
@@ -29,7 +31,8 @@ from repro.campaign.aggregate import (
     render_table,
     rollup,
 )
-from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.cache import CacheBackend, CacheStats, ResultCache
+from repro.campaign.cache_http import HttpResultCache
 from repro.campaign.faults import (
     FaultInjector,
     FaultPlan,
@@ -71,6 +74,7 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "CacheBackend",
     "CacheStats",
     "CampaignRunResult",
     "CampaignScheduler",
@@ -78,6 +82,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
+    "HttpResultCache",
     "InjectedFault",
     "JobOutcome",
     "JobSpec",

@@ -28,7 +28,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Protocol, Union, runtime_checkable
 
 from repro.campaign.faults import active_faults
 from repro.core.serialization import stable_json_dumps
@@ -54,6 +54,42 @@ class CacheStats:
             "writes": self.writes,
             "quarantined": self.quarantined,
         }
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What campaign execution needs from a result cache.
+
+    The contract the scheduler (and the serve daemon's job manager) code
+    against: digest-keyed ``get``/``put``/``contains`` plus shared
+    :class:`CacheStats`.  Two implementations ship:
+
+    * :class:`ResultCache` — the sharded on-disk store (this module);
+    * :class:`~repro.campaign.cache_http.HttpResultCache` — the same
+      operations over a ``pasta serve`` daemon's ``/v1/cache`` endpoints,
+      for workers without a shared filesystem (``pasta campaign run
+      --cache-url``).
+
+    Semantics both must honour (covered by the shared conformance test in
+    ``tests/test_cache_backend.py``): ``get`` of an absent digest is a
+    ``None`` miss; ``get`` of a corrupt entry is *also* a ``None`` miss and
+    quarantines the entry so the slot becomes refillable; ``put`` then
+    ``get`` round-trips the record exactly (JSON-native data only).
+    """
+
+    stats: CacheStats
+
+    def get(self, digest: str) -> Optional[dict[str, object]]:
+        """Cached record for ``digest``, or ``None`` on any kind of miss."""
+        ...
+
+    def put(self, digest: str, record: dict[str, object]) -> object:
+        """Store ``record`` under ``digest`` (atomically, last write wins)."""
+        ...
+
+    def contains(self, digest: str) -> bool:
+        """True if a record is currently cached under ``digest``."""
+        ...
 
 
 @dataclass

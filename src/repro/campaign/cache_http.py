@@ -1,0 +1,123 @@
+"""HTTP-backed campaign result cache — PR 8's "shared filesystem" closed out.
+
+The distributed campaign fabric shares results through a
+:class:`~repro.campaign.cache.ResultCache` directory, which requires every
+worker to mount the same filesystem.  :class:`HttpResultCache` removes that
+requirement: it implements the same :class:`~repro.campaign.cache.CacheBackend`
+contract against a ``pasta serve`` daemon's ``/v1/cache`` endpoints, so
+``pasta campaign run --cache-url http://daemon:8080`` shares one
+content-addressed cache across machines.
+
+Deliberately stdlib-and-self-contained (``urllib`` against the wire
+protocol, no import of :mod:`repro.serve`): the campaign layer stays below
+the service layer, and a daemon is just another place bytes live.
+
+Parity with the file store (asserted by the shared conformance test):
+
+* ``get`` of an absent digest → ``None`` miss;
+* ``get`` of a *corrupt* entry → ``None`` miss, with the entry quarantined —
+  the daemon's own file store does the quarantining, the client just sees
+  the honest miss;
+* ``put`` + ``get`` round-trips records exactly (canonical JSON both ways);
+* hit/miss/write counters in :class:`~repro.campaign.cache.CacheStats`.
+
+Transport failures raise :class:`~repro.errors.ReproError` loudly — a
+mistyped ``--cache-url`` must kill the campaign at the first job, not
+silently degrade every lookup into a miss and re-simulate the world.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.campaign.cache import CacheStats
+from repro.errors import ReproError
+
+
+@dataclass
+class HttpResultCache:
+    """Digest-keyed result cache speaking a ``pasta serve`` daemon's API."""
+
+    url: str
+    timeout: float = 30.0
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.url = self.url.rstrip("/")
+        if not self.url.startswith(("http://", "https://")):
+            raise ReproError(
+                f"cache URL must start with http:// or https://, got {self.url!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _open(self, method: str, digest: str, body: Optional[bytes] = None):
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        request = urllib.request.Request(
+            f"{self.url}/v1/cache/{digest}", data=body, method=method,
+            headers=headers,
+        )
+        return urllib.request.urlopen(request, timeout=self.timeout)
+
+    def _fetch(self, digest: str) -> Optional[dict[str, object]]:
+        """GET one entry; absent (404) and corrupt responses are ``None``."""
+        try:
+            with self._open("GET", digest) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as error:
+            if error.code == 404:
+                return None
+            raise ReproError(
+                f"cache daemon at {self.url} refused GET {digest}: "
+                f"HTTP {error.code}"
+            ) from None
+        except urllib.error.URLError as error:
+            raise ReproError(
+                f"cannot reach cache daemon at {self.url}: {error.reason}"
+            ) from None
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            # A record torn in transit: treat as a miss, same as the file
+            # store treats a torn entry (the daemon quarantines its side).
+            return None
+        return record if isinstance(record, dict) else None
+
+    # ------------------------------------------------------------------ #
+    # CacheBackend surface
+    # ------------------------------------------------------------------ #
+    def get(self, digest: str) -> Optional[dict[str, object]]:
+        """Cached record for ``digest``, or ``None``."""
+        record = self._fetch(digest)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, digest: str, record: dict[str, object]) -> str:
+        """Store ``record`` under ``digest`` on the daemon."""
+        body = json.dumps(record).encode("utf-8")
+        try:
+            with self._open("PUT", digest, body) as response:
+                response.read()
+        except urllib.error.HTTPError as error:
+            raise ReproError(
+                f"cache daemon at {self.url} refused PUT {digest}: "
+                f"HTTP {error.code}"
+            ) from None
+        except urllib.error.URLError as error:
+            raise ReproError(
+                f"cannot reach cache daemon at {self.url}: {error.reason}"
+            ) from None
+        self.stats.writes += 1
+        return f"{self.url}/v1/cache/{digest}"
+
+    def contains(self, digest: str) -> bool:
+        """True if the daemon currently has ``digest`` (stats untouched)."""
+        return self._fetch(digest) is not None

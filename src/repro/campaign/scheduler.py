@@ -81,7 +81,7 @@ from repro.api.runner import (
     replay_payload,
 )
 from repro.api.spec import ProfileSpec
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import CacheBackend, ResultCache
 from repro.campaign.faults import active_faults
 from repro.campaign.leases import LeaseManager, shard_of
 from repro.campaign.progress import (
@@ -425,7 +425,7 @@ class CampaignScheduler:
         executor: str = "thread",
         timeout_s: Optional[float] = None,
         retries: int = 0,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[CacheBackend] = None,
         store: Optional[ResultStore] = None,
         job_runner: Optional[JobRunner] = None,
         version: Optional[str] = None,

@@ -65,7 +65,7 @@ def add_observability_flags(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the umbrella ``pasta`` argument parser."""
-    from repro.commands import campaign, profile, telemetry, trace
+    from repro.commands import campaign, jobs, profile, serve, telemetry, trace
 
     parser = argparse.ArgumentParser(
         prog="pasta",
@@ -100,6 +100,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_version_flag(telemetry_parser)
     telemetry_parser.set_defaults(
         handler=telemetry.cmd_telemetry, parser=telemetry_parser)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the profiling-as-a-service daemon")
+    serve.configure_parser(serve_parser)
+    add_version_flag(serve_parser)
+    add_observability_flags(serve_parser)
+    serve_parser.set_defaults(handler=serve.cmd_serve, parser=serve_parser)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a spec to a pasta serve daemon")
+    jobs.configure_submit_parser(submit_parser)
+    add_version_flag(submit_parser)
+    add_observability_flags(submit_parser)
+    submit_parser.set_defaults(handler=jobs.cmd_submit, parser=submit_parser)
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list, stream and cancel a daemon's jobs")
+    jobs.configure_jobs_parser(jobs_parser)
+    add_version_flag(jobs_parser)
+    jobs_parser.set_defaults(handler=jobs.cmd_jobs, parser=jobs_parser)
 
     return parser
 

@@ -114,6 +114,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                      help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
     run.add_argument("--no-cache", action="store_true",
                      help="disable the result cache for this run")
+    run.add_argument("--cache-url", default=None, metavar="URL",
+                     help="share results through a pasta serve daemon's "
+                          "/v1/cache endpoints instead of a local --cache-dir "
+                          "(workers without a shared filesystem)")
     run.add_argument("--store", default=None,
                      help="append job records to this JSONL file")
     run.add_argument("--timeout", type=float, default=None,
@@ -218,6 +222,17 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     clean.set_defaults(campaign_handler=_cmd_clean)
 
 
+def _build_cache(args: argparse.Namespace):
+    """The run's cache backend: none, HTTP-over-daemon, or local directory."""
+    if args.no_cache:
+        return None
+    if args.cache_url:
+        from repro.campaign.cache_http import HttpResultCache
+
+        return HttpResultCache(args.cache_url)
+    return ResultCache(args.cache_dir, fsync=args.fsync)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
@@ -245,10 +260,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             retries=args.retries,
             backoff_s=args.retry_backoff,
             backoff_cap_s=args.retry_backoff_cap,
-            cache=(
-                None if args.no_cache
-                else ResultCache(args.cache_dir, fsync=args.fsync)
-            ),
+            cache=_build_cache(args),
             store=ResultStore(args.store, fsync=args.fsync) if args.store else None,
             execution=args.execution,
             trace_dir=args.trace_dir,

@@ -20,7 +20,16 @@ Profiling API — one fluent line from model to reports::
 plus the plain-call equivalents :func:`run` (live execution) and
 :func:`replay` (offline re-analysis of a recorded trace), both driven by the
 same :class:`ProfileSpec`.
+
+Remote execution is the same builder with a different terminal verb —
+:func:`connect` points it at a ``pasta serve`` daemon::
+
+    client = pasta.connect("http://127.0.0.1:8080")
+    reports = client.profile("gpt2").on("a100").mode("train") \\
+                    .with_tools("hotness").submit().result().reports()
 """
+
+from typing import TYPE_CHECKING
 
 from repro.api import (
     ParallelismSpec,
@@ -34,15 +43,33 @@ from repro.api import (
 )
 from repro.core.annotations import start, stop
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.client import ServeClient
+
 __all__ = [
     "ParallelProfileResult",
     "ParallelismSpec",
     "ProfileBuilder",
     "ProfileResult",
     "ProfileSpec",
+    "connect",
     "profile",
     "replay",
     "run",
     "start",
     "stop",
 ]
+
+
+def connect(
+    url: str, *, namespace: str = "default", timeout: float = 30.0
+) -> "ServeClient":
+    """Connect to a ``pasta serve`` daemon (lazy import of the serve stack).
+
+    See :func:`repro.serve.client.connect` — the returned client's
+    ``.profile(model)`` mirrors this module's :func:`profile` exactly, with
+    ``.submit()`` as the terminal verb instead of ``.run()``.
+    """
+    from repro.serve.client import connect as _connect
+
+    return _connect(url, namespace=namespace, timeout=timeout)
